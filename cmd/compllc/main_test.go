@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenAllIntoTempDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := genAllCmd([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"prelude.go", "gen_terngrad.go", "gen_dgc.go", "gen_adacomp.go"} {
+		if !names[want] {
+			t.Errorf("genall missing %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestWithProgramAndSubcommands(t *testing.T) {
+	// Write a valid program to disk and run every file-based subcommand.
+	src := `
+void encode(float* gradient, uint8* compressed) {
+    compressed = concat(gradient);
+}
+void decode(uint8* compressed, float* gradient) {
+    float* v = extract(compressed, 0);
+    gradient = v;
+}`
+	path := filepath.Join(t.TempDir(), "identity.cll")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := withProgram([]string{path}, demo); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	if err := genCmd([]string{path}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := withProgram([]string{}, demo); err == nil {
+		t.Fatal("missing file argument accepted")
+	}
+	if err := withProgram([]string{"/no/such/file.cll"}, demo); err == nil {
+		t.Fatal("unreadable file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cll")
+	os.WriteFile(bad, []byte("void encode(float* g, uint8* c) { c = zzz; }"), 0o644)
+	if err := withProgram([]string{bad}, demo); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}

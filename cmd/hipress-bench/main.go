@@ -1,0 +1,89 @@
+// Command hipress-bench regenerates the paper's evaluation: every table and
+// figure of "Gradient Compression Supercharged High-Performance Data
+// Parallel DNN Training" (SOSP 2021), from the calibrated simulation and
+// live-execution planes.
+//
+// Usage:
+//
+//	hipress-bench list                 list experiment ids
+//	hipress-bench all [-scale 0.3]     run everything
+//	hipress-bench <id> [<id>...]       run selected experiments
+//
+// Experiment ids: table1 table3 table5 table6 table7 fig7a fig7b fig7c
+// fig8a fig8b fig8c fig9 fig10 fig11 fig12a fig12b fig13 micro, plus the
+// beyond-the-paper studies jitter, strategies, and wire.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hipress"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable command body; it returns the exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hipress-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1.0, "shrink iteration-heavy experiments (0..1]")
+	asJSON := fs.Bool("json", false, "emit results as JSON instead of text tables")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	args := fs.Args()
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "list":
+		for _, id := range hipress.Experiments() {
+			fmt.Fprintln(stdout, id)
+		}
+		return 0
+	case "all":
+		args = hipress.Experiments()
+	}
+	failed := 0
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	for _, id := range args {
+		start := time.Now()
+		tab, err := hipress.RunExperiment(id, *scale)
+		if err != nil {
+			fmt.Fprintf(stderr, "hipress-bench: %s: %v\n", id, err)
+			failed++
+			continue
+		}
+		if *asJSON {
+			if err := enc.Encode(map[string]interface{}{
+				"id": id, "title": tab.Title, "header": tab.Header,
+				"rows": tab.Rows, "notes": tab.Notes,
+				"seconds": time.Since(start).Seconds(),
+			}); err != nil {
+				fmt.Fprintln(stderr, "hipress-bench:", err)
+				failed++
+			}
+			continue
+		}
+		fmt.Fprintln(stdout, tab)
+		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: hipress-bench [-scale 0.3] [-json] {list|all|<experiment-id>...}")
+	fmt.Fprintln(w, "experiments:", hipress.Experiments())
+}

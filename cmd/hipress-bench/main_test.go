@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "table1") || !strings.Contains(out.String(), "fig13") {
+		t.Fatalf("list output:\n%s", out.String())
+	}
+}
+
+func TestRunTextAndJSON(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"table3"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "alpha") {
+		t.Fatalf("text output:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-json", "table3"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if doc["id"] != "table3" {
+		t.Fatalf("json doc = %v", doc)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"no-such-exp"}, &out, &errw); code != 1 {
+		t.Fatalf("unknown experiment exit = %d", code)
+	}
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Fatalf("no-args exit = %d", code)
+	}
+	if code := run([]string{"-bogusflag"}, &out, &errw); code != 2 {
+		t.Fatalf("bad flag exit = %d", code)
+	}
+}

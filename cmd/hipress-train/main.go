@@ -1,0 +1,151 @@
+// Command hipress-train runs training through HiPress-Go in either plane:
+//
+//	hipress-train sim  -model bert-large -preset hipress-ps -algo onebit -nodes 16 [-local] [-iters 5]
+//	    simulate weak-scaling iterations on the calibrated cluster models
+//	    and report throughput, scaling efficiency, and SeCoPa plans.
+//
+//	hipress-train live -task linear -algo dgc -workers 4 -iters 200
+//	    run real data-parallel SGD with real compressed gradient exchange
+//	    and report the convergence curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hipress"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "sim":
+		err = simCmd(os.Args[2:])
+	case "live":
+		err = liveCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hipress-train:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hipress-train {sim|live} [flags]")
+}
+
+func simCmd(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	model := fs.String("model", "bert-large", "model name (see Table 6)")
+	modelFile := fs.String("model-file", "", "JSON model spec (overrides -model)")
+	preset := fs.String("preset", "hipress-ps", "system preset")
+	algo := fs.String("algo", "onebit", "compression algorithm")
+	nodes := fs.Int("nodes", 16, "cluster nodes")
+	local := fs.Bool("local", false, "use the 1080Ti/56Gbps local cluster instead of EC2")
+	plans := fs.Bool("plans", false, "print SeCoPa per-gradient plans")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cl := hipress.EC2Cluster(*nodes)
+	if *local {
+		cl = hipress.LocalCluster(*nodes)
+	}
+	var m *hipress.DNNModel
+	var err error
+	if *modelFile != "" {
+		f, ferr := os.Open(*modelFile)
+		if ferr != nil {
+			return ferr
+		}
+		m, err = hipress.ModelFromJSON(f)
+		f.Close()
+	} else {
+		m, err = hipress.Model(*model)
+	}
+	if err != nil {
+		return err
+	}
+	a := *algo
+	if *preset == "byteps" || *preset == "ring" {
+		a = ""
+	}
+	cfg, err := hipress.Preset(*preset, a, cl, nil)
+	if err != nil {
+		return err
+	}
+	r, err := hipress.Run(cl, m, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system:              %s\n", r.System)
+	fmt.Printf("cluster:             %d nodes, %d GPUs (%v, %s)\n", cl.Nodes, cl.TotalGPUs(), cl.Device, cl.Fabric.Name)
+	fmt.Printf("iteration time:      %.4f s (compute %.4f s, exposed sync %.4f s)\n", r.IterSec, r.ComputeSec, r.SyncExposedSec)
+	fmt.Printf("throughput:          %.0f %s/s\n", r.Throughput, m.SampleUnit)
+	fmt.Printf("scaling efficiency:  %.2f\n", r.ScalingEff)
+	fmt.Printf("communication ratio: %.1f%%\n", 100*r.CommRatio)
+	if *plans && len(r.Plans) > 0 {
+		fmt.Println("SeCoPa plans (gradient -> <compress, partitions>):")
+		for _, name := range r.SortedPlanNames() {
+			fmt.Printf("  %-28s %s\n", name, r.Plans[name])
+		}
+	}
+	return nil
+}
+
+func liveCmd(args []string) error {
+	fs := flag.NewFlagSet("live", flag.ExitOnError)
+	taskName := fs.String("task", "linear", "training task: linear or mlp")
+	algo := fs.String("algo", "dgc", "compression algorithm ('' for exact)")
+	workers := fs.Int("workers", 4, "data-parallel workers")
+	iters := fs.Int("iters", 200, "iterations")
+	lr := fs.Float64("lr", 0.1, "learning rate")
+	ratio := fs.Float64("ratio", 0.1, "sparsifier keep ratio")
+	bitwidth := fs.Float64("bitwidth", 4, "quantizer bitwidth")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := hipress.TrainConfig{
+		Workers:  *workers,
+		Strategy: hipress.StrategyPS,
+		Algo:     *algo,
+		Params: map[string]float64{
+			"ratio":    *ratio,
+			"bitwidth": *bitwidth,
+		},
+		ErrorFeedback: *algo != "" && *algo != "terngrad",
+		LR:            *lr,
+		Iters:         *iters,
+		Seed:          42,
+	}
+	var curve *hipress.TrainCurve
+	var err error
+	switch *taskName {
+	case "linear":
+		curve, _, err = hipress.TrainLinear(hipress.NewLinearTask(24, 0.05, 7), cfg)
+	case "mlp":
+		curve, err = hipress.TrainMLP(hipress.NewMLPTask(10, 16, 7), cfg)
+	default:
+		return fmt.Errorf("unknown task %q (have linear, mlp)", *taskName)
+	}
+	if err != nil {
+		return err
+	}
+	sync := *algo
+	if sync == "" {
+		sync = "exact"
+	}
+	fmt.Printf("task=%s workers=%d sync=%s\n", *taskName, *workers, sync)
+	fmt.Println("iter    loss")
+	for i := range curve.Iters {
+		fmt.Printf("%5d   %.6f\n", curve.Iters[i], curve.Losses[i])
+	}
+	return nil
+}

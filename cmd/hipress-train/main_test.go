@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSimCmd(t *testing.T) {
+	if err := simCmd([]string{"-model", "resnet50", "-preset", "hipress-ring", "-algo", "dgc", "-nodes", "4", "-plans"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := simCmd([]string{"-model", "nonexistent"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := simCmd([]string{"-preset", "nonsense"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestSimCmdModelFile(t *testing.T) {
+	spec := `{"name":"t","batch_per_gpu":4,"v100_iter_sec":0.1,
+	  "total_mb":64,"max_gradient_mb":32,"num_gradients":8}`
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := simCmd([]string{"-model-file", path, "-nodes", "4", "-preset", "hipress-ps"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := simCmd([]string{"-model-file", "/no/such.json"}); err == nil {
+		t.Fatal("missing model file accepted")
+	}
+}
+
+func TestLiveCmd(t *testing.T) {
+	if err := liveCmd([]string{"-task", "linear", "-algo", "terngrad", "-workers", "3", "-iters", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := liveCmd([]string{"-task", "mlp", "-algo", "", "-iters", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := liveCmd([]string{"-task", "unknown"}); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}

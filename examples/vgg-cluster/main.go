@@ -1,0 +1,71 @@
+// vgg-cluster reproduces a Fig. 7a-style weak-scaling study: VGG19
+// throughput from 8 to 128 GPUs for the non-compression baselines, the
+// OSS-compression baseline, and HiPress, plus the SeCoPa plan for VGG19's
+// famous 392 MB fully-connected gradient.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hipress"
+)
+
+func main() {
+	model, err := hipress.Model("vgg19")
+	if err != nil {
+		log.Fatal(err)
+	}
+	systems := []struct{ preset, algo string }{
+		{"byteps", ""},
+		{"ring", ""},
+		{"byteps-oss", "onebit"},
+		{"hipress-ps", "onebit"},
+	}
+	nodeCounts := []int{2, 4, 8, 16}
+
+	fmt.Printf("%-34s", "system \\ GPUs")
+	for _, n := range nodeCounts {
+		fmt.Printf("%8d", n*8)
+	}
+	fmt.Println()
+	for _, sys := range systems {
+		var label string
+		row := make([]float64, 0, len(nodeCounts))
+		for _, n := range nodeCounts {
+			cluster := hipress.EC2Cluster(n)
+			cfg, err := hipress.Preset(sys.preset, sys.algo, cluster, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := hipress.Run(cluster, model, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			label = res.System
+			row = append(row, res.Throughput)
+		}
+		fmt.Printf("%-34s", label)
+		for _, v := range row {
+			fmt.Printf("%8.0f", v)
+		}
+		fmt.Println()
+	}
+
+	// Show what the selective compression and partitioning planner decided
+	// per gradient at 16 nodes (Table 7's content for this model).
+	cluster := hipress.EC2Cluster(16)
+	cfg, _ := hipress.Preset("hipress-ps", "onebit", cluster, nil)
+	res, err := hipress.Run(cluster, model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSeCoPa decisions (first 10 gradients by name):")
+	names := res.SortedPlanNames()
+	if len(names) > 10 {
+		names = names[:10]
+	}
+	for _, name := range names {
+		fmt.Printf("  %-24s %s\n", name, res.Plans[name])
+	}
+}

@@ -1,0 +1,3 @@
+module hipress
+
+go 1.22

@@ -1,0 +1,245 @@
+package compll
+
+import "fmt"
+
+// Type is a declared DSL type: a scalar kind/width, optionally a pointer
+// (vector), or a named param struct.
+type Type struct {
+	Kind      VKind
+	Bits      int
+	Ptr       bool   // T* vector form
+	ParamName string // non-empty for param struct types
+}
+
+// String renders the type in DSL syntax.
+func (t Type) String() string {
+	if t.ParamName != "" {
+		return t.ParamName
+	}
+	base := ""
+	switch t.Kind {
+	case VInt, VIntV:
+		switch t.Bits {
+		case 32:
+			base = "int32"
+		default:
+			base = fmt.Sprintf("uint%d", t.Bits)
+		}
+	case VFloat, VFloatV:
+		base = "float"
+	case VBytes:
+		return "uint8*" // bytes are always the pointer form of uint8
+	case VSparse:
+		base = "sparse"
+	case VVoid:
+		base = "void"
+	}
+	if t.Kind == VIntV || t.Kind == VFloatV {
+		return base + "*"
+	}
+	if t.Ptr {
+		return base + "*"
+	}
+	return base
+}
+
+// typeFromName resolves a base type name; ok is false for unknown names.
+func typeFromName(name string) (Type, bool) {
+	switch name {
+	case "uint1":
+		return Type{Kind: VInt, Bits: 1}, true
+	case "uint2":
+		return Type{Kind: VInt, Bits: 2}, true
+	case "uint4":
+		return Type{Kind: VInt, Bits: 4}, true
+	case "uint8":
+		return Type{Kind: VInt, Bits: 8}, true
+	case "int32", "int":
+		return Type{Kind: VInt, Bits: 32}, true
+	case "bool":
+		return Type{Kind: VInt, Bits: 1}, true
+	case "float":
+		return Type{Kind: VFloat}, true
+	case "sparse":
+		return Type{Kind: VSparse}, true
+	case "void":
+		return Type{Kind: VVoid}, true
+	default:
+		return Type{}, false
+	}
+}
+
+// ptr converts a scalar type to its vector form. uint8* is the payload type.
+func (t Type) ptr() Type {
+	if t.Kind == VInt && t.Bits == 8 {
+		return Type{Kind: VBytes}
+	}
+	if t.Kind == VInt {
+		return Type{Kind: VIntV, Bits: t.Bits, Ptr: true}
+	}
+	if t.Kind == VFloat {
+		return Type{Kind: VFloatV, Ptr: true}
+	}
+	return Type{Kind: t.Kind, Bits: t.Bits, Ptr: true}
+}
+
+// --- declarations -------------------------------------------------------------
+
+// Program is a parsed DSL compilation unit.
+type Program struct {
+	// Name is derived by the caller (usually the file name).
+	Name string
+	// Params are the param struct declarations (EncodeParams etc.).
+	Params []*ParamDecl
+	// Globals are file-scope variables shared between udfs and the
+	// encode/decode entry points (Fig. 5's min/max/gap).
+	Globals []*VarDecl
+	// Funcs are all function declarations, including encode and decode.
+	Funcs []*FuncDecl
+}
+
+// Func returns the declared function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// ParamDecl is a `param Name { type field; ... }` block.
+type ParamDecl struct {
+	Name   string
+	Fields []Field
+}
+
+// Field is one typed name.
+type Field struct {
+	Type Type
+	Name string
+}
+
+// VarDecl is a variable declaration with optional initializer.
+type VarDecl struct {
+	Type Type
+	Name string
+	Init Expr // may be nil
+	Line int
+}
+
+// FuncDecl is a function declaration.
+type FuncDecl struct {
+	Ret    Type
+	Name   string
+	Params []Field
+	Body   []Stmt
+	Line   int
+}
+
+// --- statements ----------------------------------------------------------------
+
+// Stmt is a DSL statement.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares a local variable.
+type DeclStmt struct{ Decl VarDecl }
+
+// AssignStmt assigns to an lvalue (identifier).
+type AssignStmt struct {
+	Target string
+	Value  Expr
+	Line   int
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	Value Expr // nil for bare return
+	Line  int
+}
+
+// IfStmt is a two-armed conditional.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+	Line int
+}
+
+// ExprStmt evaluates an expression for side effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*DeclStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()   {}
+
+// --- expressions ----------------------------------------------------------------
+
+// Expr is a DSL expression.
+type Expr interface{ exprNode() }
+
+// Ident references a variable, parameter, or function name.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Number is an integer or float literal.
+type Number struct {
+	Text    string
+	IsFloat bool
+	I       int64
+	F       float64
+	Line    int
+}
+
+// Call invokes a function or common operator. TypeArg carries the generic
+// type of random<float>(...) style calls.
+type Call struct {
+	Fn      string
+	TypeArg *Type
+	Args    []Expr
+	Line    int
+}
+
+// Member accesses a struct field or vector property (params.bitwidth,
+// gradient.size).
+type Member struct {
+	X     Expr
+	Field string
+	Line  int
+}
+
+// IndexExpr reads one element of a vector.
+type IndexExpr struct {
+	X    Expr
+	I    Expr
+	Line int
+}
+
+// Binary applies an infix operator.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Unary applies a prefix operator (- or !).
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+func (*Ident) exprNode()     {}
+func (*Number) exprNode()    {}
+func (*Call) exprNode()      {}
+func (*Member) exprNode()    {}
+func (*IndexExpr) exprNode() {}
+func (*Binary) exprNode()    {}
+func (*Unary) exprNode()     {}

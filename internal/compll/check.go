@@ -1,0 +1,330 @@
+package compll
+
+import "fmt"
+
+// Check performs static semantic analysis of a parsed program: name
+// resolution, arity checking, operator-argument shapes, entry-point
+// signatures, and assignment-target validity. It catches at compile time
+// what the interpreter would otherwise only hit on the first gradient —
+// which matters because a mis-specified algorithm integrated into a training
+// job should fail at compllc time, not mid-epoch.
+//
+// The DSL is dynamically typed at the value level (C-like coercions), so
+// Check validates shape and structure, not full type soundness.
+func Check(prog *Program) error {
+	c := &checker{prog: prog}
+	return c.run()
+}
+
+type checker struct {
+	prog *Program
+}
+
+// builtinArity maps common operators and math builtins to their argument
+// counts; -1 marks variadic.
+var builtinArity = map[string]int{
+	"map": 2, "reduce": 2, "filter": 2, "sort": 2,
+	"random": 2, "concat": -1, "extract": 2,
+	"scatter": 2, "topk": 2, "pairs": 2,
+	"floor": 1, "abs": 1, "sqrt": 1,
+}
+
+// udfTakers marks the operators whose second argument must be a function
+// name.
+var udfTakers = map[string]bool{"map": true, "reduce": true, "filter": true, "sort": true}
+
+func (c *checker) run() error {
+	// Duplicate declarations.
+	seenFn := map[string]bool{}
+	for _, fn := range c.prog.Funcs {
+		if seenFn[fn.Name] {
+			return fmt.Errorf("compll: %s: function %q declared twice", c.prog.Name, fn.Name)
+		}
+		seenFn[fn.Name] = true
+		if builtinArity[fn.Name] != 0 {
+			return fmt.Errorf("compll: %s: function %q shadows a common operator", c.prog.Name, fn.Name)
+		}
+		if _, isBuiltin := builtinUDFs[fn.Name]; isBuiltin {
+			return fmt.Errorf("compll: %s: function %q shadows a library udf", c.prog.Name, fn.Name)
+		}
+	}
+	seenGlobal := map[string]bool{}
+	for _, gl := range c.prog.Globals {
+		if seenGlobal[gl.Name] {
+			return fmt.Errorf("compll: %s: global %q declared twice", c.prog.Name, gl.Name)
+		}
+		seenGlobal[gl.Name] = true
+	}
+	seenParam := map[string]bool{}
+	for _, pd := range c.prog.Params {
+		if seenParam[pd.Name] {
+			return fmt.Errorf("compll: %s: param block %q declared twice", c.prog.Name, pd.Name)
+		}
+		seenParam[pd.Name] = true
+		fieldSeen := map[string]bool{}
+		for _, f := range pd.Fields {
+			if fieldSeen[f.Name] {
+				return fmt.Errorf("compll: %s: param %s field %q declared twice", c.prog.Name, pd.Name, f.Name)
+			}
+			fieldSeen[f.Name] = true
+			if f.Type.Kind != VInt && f.Type.Kind != VFloat {
+				return fmt.Errorf("compll: %s: param %s field %q must be a scalar", c.prog.Name, pd.Name, f.Name)
+			}
+		}
+	}
+
+	// Entry-point signatures: exactly one float* and one uint8* parameter,
+	// plus at most one param struct.
+	for _, entry := range []string{"encode", "decode"} {
+		fn := c.prog.Func(entry)
+		if fn == nil {
+			continue // Compile separately enforces presence
+		}
+		if fn.Ret.Kind != VVoid {
+			return fmt.Errorf("compll: %s: %s must return void", c.prog.Name, entry)
+		}
+		var nf, nb, np int
+		for _, p := range fn.Params {
+			switch {
+			case p.Type.Kind == VFloatV:
+				nf++
+			case p.Type.Kind == VBytes:
+				nb++
+			case p.Type.ParamName != "":
+				np++
+			default:
+				return fmt.Errorf("compll: %s: %s parameter %q has type %s; entry points take float*, uint8*, and one param struct",
+					c.prog.Name, entry, p.Name, p.Type)
+			}
+		}
+		if nf != 1 || nb != 1 || np > 1 {
+			return fmt.Errorf("compll: %s: %s needs exactly one float* and one uint8* parameter (got %d and %d)",
+				c.prog.Name, entry, nf, nb)
+		}
+	}
+
+	// Per-function body checks.
+	for _, fn := range c.prog.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scopeSet tracks visible names per nesting level.
+type scopeSet struct {
+	levels []map[string]bool
+}
+
+func (s *scopeSet) push() { s.levels = append(s.levels, map[string]bool{}) }
+func (s *scopeSet) pop()  { s.levels = s.levels[:len(s.levels)-1] }
+func (s *scopeSet) declare(name string) bool {
+	top := s.levels[len(s.levels)-1]
+	if top[name] {
+		return false
+	}
+	top[name] = true
+	return true
+}
+func (s *scopeSet) has(name string) bool {
+	for i := len(s.levels) - 1; i >= 0; i-- {
+		if s.levels[i][name] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	sc := &scopeSet{}
+	sc.push()
+	for _, g := range c.prog.Globals {
+		sc.declare(g.Name)
+	}
+	sc.push()
+	params := map[string]*ParamDecl{}
+	for _, p := range fn.Params {
+		if !sc.declare(p.Name) {
+			return fmt.Errorf("compll: %s: %s: duplicate parameter %q", c.prog.Name, fn.Name, p.Name)
+		}
+		if p.Type.ParamName != "" {
+			params[p.Name] = c.paramDecl(p.Type.ParamName)
+		}
+	}
+	isEntry := fn.Name == "encode" || fn.Name == "decode"
+	if err := c.checkBlock(fn, fn.Body, sc, params); err != nil {
+		return err
+	}
+	if !isEntry && fn.Ret.Kind != VVoid && !terminates(fn.Body) {
+		return fmt.Errorf("compll: %s: %s: not all paths return a value", c.prog.Name, fn.Name)
+	}
+	return nil
+}
+
+func (c *checker) paramDecl(name string) *ParamDecl {
+	for _, p := range c.prog.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(fn *FuncDecl, body []Stmt, sc *scopeSet, params map[string]*ParamDecl) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *DeclStmt:
+			if st.Decl.Init != nil {
+				if err := c.checkExpr(fn, st.Decl.Init, sc, params); err != nil {
+					return err
+				}
+			}
+			if !sc.declare(st.Decl.Name) {
+				return fmt.Errorf("compll: %s: line %d: redeclaration of %q", c.prog.Name, st.Decl.Line, st.Decl.Name)
+			}
+		case *AssignStmt:
+			if !sc.has(st.Target) {
+				return fmt.Errorf("compll: %s: line %d: assignment to undeclared %q", c.prog.Name, st.Line, st.Target)
+			}
+			if _, isParam := params[st.Target]; isParam {
+				return fmt.Errorf("compll: %s: line %d: cannot assign to param struct %q", c.prog.Name, st.Line, st.Target)
+			}
+			if err := c.checkExpr(fn, st.Value, sc, params); err != nil {
+				return err
+			}
+		case *ReturnStmt:
+			if st.Value != nil {
+				if fn.Ret.Kind == VVoid {
+					return fmt.Errorf("compll: %s: line %d: %s returns a value but is declared void", c.prog.Name, st.Line, fn.Name)
+				}
+				if err := c.checkExpr(fn, st.Value, sc, params); err != nil {
+					return err
+				}
+			} else if fn.Ret.Kind != VVoid {
+				return fmt.Errorf("compll: %s: line %d: bare return in non-void %s", c.prog.Name, st.Line, fn.Name)
+			}
+		case *IfStmt:
+			if err := c.checkExpr(fn, st.Cond, sc, params); err != nil {
+				return err
+			}
+			sc.push()
+			if err := c.checkBlock(fn, st.Then, sc, params); err != nil {
+				return err
+			}
+			sc.pop()
+			if st.Else != nil {
+				sc.push()
+				if err := c.checkBlock(fn, st.Else, sc, params); err != nil {
+					return err
+				}
+				sc.pop()
+			}
+		case *ExprStmt:
+			if err := c.checkExpr(fn, st.X, sc, params); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("compll: %s: unknown statement %T", c.prog.Name, s)
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkExpr(fn *FuncDecl, x Expr, sc *scopeSet, params map[string]*ParamDecl) error {
+	switch e := x.(type) {
+	case *Number:
+		return nil
+	case *Ident:
+		if !sc.has(e.Name) {
+			return fmt.Errorf("compll: %s: line %d: undefined %q", c.prog.Name, e.Line, e.Name)
+		}
+		return nil
+	case *Unary:
+		return c.checkExpr(fn, e.X, sc, params)
+	case *Binary:
+		if err := c.checkExpr(fn, e.L, sc, params); err != nil {
+			return err
+		}
+		return c.checkExpr(fn, e.R, sc, params)
+	case *Member:
+		if id, ok := e.X.(*Ident); ok {
+			if decl, isParam := params[id.Name]; isParam {
+				if decl == nil {
+					return fmt.Errorf("compll: %s: line %d: unknown param type for %q", c.prog.Name, e.Line, id.Name)
+				}
+				for _, f := range decl.Fields {
+					if f.Name == e.Field {
+						return nil
+					}
+				}
+				return fmt.Errorf("compll: %s: line %d: param %s has no field %q", c.prog.Name, e.Line, decl.Name, e.Field)
+			}
+		}
+		switch e.Field {
+		case "size", "indices", "values":
+			return c.checkExpr(fn, e.X, sc, params)
+		default:
+			return fmt.Errorf("compll: %s: line %d: unknown member %q (have size, indices, values)", c.prog.Name, e.Line, e.Field)
+		}
+	case *IndexExpr:
+		if err := c.checkExpr(fn, e.X, sc, params); err != nil {
+			return err
+		}
+		return c.checkExpr(fn, e.I, sc, params)
+	case *Call:
+		return c.checkCall(fn, e, sc, params)
+	default:
+		return fmt.Errorf("compll: %s: unknown expression %T", c.prog.Name, x)
+	}
+}
+
+func (c *checker) checkCall(fn *FuncDecl, e *Call, sc *scopeSet, params map[string]*ParamDecl) error {
+	if arity, isBuiltin := builtinArity[e.Fn]; isBuiltin {
+		if arity >= 0 && len(e.Args) != arity {
+			return fmt.Errorf("compll: %s: line %d: %s takes %d args, got %d", c.prog.Name, e.Line, e.Fn, arity, len(e.Args))
+		}
+		if e.TypeArg != nil && e.Fn != "random" {
+			return fmt.Errorf("compll: %s: line %d: only random takes a type argument", c.prog.Name, e.Line)
+		}
+		for i, a := range e.Args {
+			if i == 1 && udfTakers[e.Fn] {
+				id, ok := a.(*Ident)
+				if !ok {
+					return fmt.Errorf("compll: %s: line %d: %s's udf argument must be a function name", c.prog.Name, e.Line, e.Fn)
+				}
+				udf := c.prog.Func(id.Name)
+				_, lib := builtinUDFs[id.Name]
+				if udf == nil && !lib {
+					return fmt.Errorf("compll: %s: line %d: unknown udf %q", c.prog.Name, e.Line, id.Name)
+				}
+				wantArgs := 1
+				if e.Fn == "reduce" || e.Fn == "sort" {
+					wantArgs = 2
+				}
+				if udf != nil && len(udf.Params) != wantArgs {
+					return fmt.Errorf("compll: %s: line %d: %s needs a %d-argument udf; %q takes %d",
+						c.prog.Name, e.Line, e.Fn, wantArgs, id.Name, len(udf.Params))
+				}
+				continue
+			}
+			if err := c.checkExpr(fn, a, sc, params); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	callee := c.prog.Func(e.Fn)
+	if callee == nil {
+		return fmt.Errorf("compll: %s: line %d: unknown function %q", c.prog.Name, e.Line, e.Fn)
+	}
+	if len(e.Args) != len(callee.Params) {
+		return fmt.Errorf("compll: %s: line %d: %s takes %d args, got %d", c.prog.Name, e.Line, e.Fn, len(callee.Params), len(e.Args))
+	}
+	for _, a := range e.Args {
+		if err := c.checkExpr(fn, a, sc, params); err != nil {
+			return err
+		}
+	}
+	return nil
+}

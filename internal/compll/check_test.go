@@ -1,0 +1,125 @@
+package compll
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkErr compiles a program (valid syntax) and expects Check to reject it
+// with a message containing want.
+func checkErr(t *testing.T, src, want string) {
+	t.Helper()
+	prog, err := Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	err = Check(prog)
+	if err == nil {
+		t.Fatalf("Check accepted:\n%s", src)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("Check error %q does not mention %q", err, want)
+	}
+}
+
+const okDecode = "\nvoid decode(uint8* c, float* g) {\n}\n"
+
+func TestCheckAcceptsAllBuiltins(t *testing.T) {
+	algs := mustBuiltins(t)
+	for name, alg := range algs {
+		if err := Check(alg.Program()); err != nil {
+			t.Errorf("%s rejected by checker: %v", name, err)
+		}
+	}
+}
+
+func TestCheckUndefinedVariable(t *testing.T) {
+	checkErr(t, `void encode(float* g, uint8* c) { c = concat(zzz); }`+okDecode, `undefined "zzz"`)
+}
+
+func TestCheckUnknownFunction(t *testing.T) {
+	checkErr(t, `void encode(float* g, uint8* c) { c = mystery(g); }`+okDecode, `unknown function "mystery"`)
+}
+
+func TestCheckArity(t *testing.T) {
+	checkErr(t, `void encode(float* g, uint8* c) { c = extract(g); }`+okDecode, "extract takes 2 args")
+	checkErr(t, `
+float half(float x) { return x / 2; }
+void encode(float* g, uint8* c) { float y = half(1, 2); c = concat(y); }`+okDecode, "half takes 1 args")
+}
+
+func TestCheckUdfShape(t *testing.T) {
+	checkErr(t, `void encode(float* g, uint8* c) { c = concat(map(g, 3)); }`+okDecode, "udf argument must be a function name")
+	checkErr(t, `void encode(float* g, uint8* c) { c = concat(map(g, nope)); }`+okDecode, `unknown udf "nope"`)
+	checkErr(t, `
+float two(float a, float b) { return a; }
+void encode(float* g, uint8* c) { c = concat(map(g, two)); }`+okDecode, "needs a 1-argument udf")
+	checkErr(t, `
+float one(float a) { return a; }
+void encode(float* g, uint8* c) { float m = reduce(g, one); c = concat(m); }`+okDecode, "needs a 2-argument udf")
+}
+
+func TestCheckMemberValidation(t *testing.T) {
+	checkErr(t, `void encode(float* g, uint8* c) { float x = g.length; c = concat(x); }`+okDecode, `unknown member "length"`)
+	checkErr(t, `
+param P { float r; }
+void encode(float* g, uint8* c, P params) { float x = params.rho; c = concat(x); }
+void decode(uint8* c, float* g, P params) {}`, `no field "rho"`)
+}
+
+func TestCheckEntrySignatures(t *testing.T) {
+	checkErr(t, `float encode(float* g, uint8* c) { return 1; }`+okDecode, "must return void")
+	checkErr(t, `void encode(float* g) { }`+okDecode, "exactly one float* and one uint8*")
+	checkErr(t, `void encode(float* g, float* h, uint8* c) { }`+okDecode, "exactly one float*")
+	checkErr(t, `void encode(float* g, uint8* c, int32 k) { }`+okDecode, "entry points take")
+}
+
+func TestCheckReturnPaths(t *testing.T) {
+	checkErr(t, `
+float f(float x) { if (x > 0) { return 1; } }
+void encode(float* g, uint8* c) { c = concat(map(g, f)); }`+okDecode, "not all paths return")
+	checkErr(t, `
+void v() { return 1; }
+void encode(float* g, uint8* c) { v(); c = concat(1); }`+okDecode, "declared void")
+	checkErr(t, `
+float f(float x) { return; }
+void encode(float* g, uint8* c) { c = concat(map(g, f)); }`+okDecode, "bare return")
+}
+
+func TestCheckDuplicates(t *testing.T) {
+	checkErr(t, `
+float f(float x) { return x; }
+float f(float y) { return y; }
+void encode(float* g, uint8* c) { c = concat(1); }`+okDecode, "declared twice")
+	checkErr(t, `
+float a, a;
+void encode(float* g, uint8* c) { c = concat(1); }`+okDecode, `global "a" declared twice`)
+	checkErr(t, `
+void encode(float* g, uint8* c) { float x = 1; float x = 2; c = concat(x); }`+okDecode, "redeclaration")
+}
+
+func TestCheckShadowingOperators(t *testing.T) {
+	checkErr(t, `
+float map(float x) { return x; }
+void encode(float* g, uint8* c) { c = concat(1); }`+okDecode, "shadows a common operator")
+	checkErr(t, `
+float smaller(float a, float b) { return a; }
+void encode(float* g, uint8* c) { c = concat(1); }`+okDecode, "shadows a library udf")
+}
+
+func TestCheckAssignToParam(t *testing.T) {
+	checkErr(t, `
+param P { float r; }
+void encode(float* g, uint8* c, P params) { params = 1; c = concat(1); }
+void decode(uint8* c, float* g, P params) {}`, "cannot assign to param struct")
+}
+
+func TestCheckTypeArgOnlyForRandom(t *testing.T) {
+	checkErr(t, `void encode(float* g, uint8* c) { float x = floor<float>(1.5); c = concat(x); }`+okDecode, "only random takes a type argument")
+}
+
+func TestCompileRunsCheck(t *testing.T) {
+	if _, err := Compile("bad", `void encode(float* g, uint8* c) { c = concat(zzz); }`+okDecode); err == nil {
+		t.Fatal("Compile skipped semantic checking")
+	}
+}

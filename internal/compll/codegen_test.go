@@ -1,0 +1,169 @@
+package compll
+
+import (
+	goparser "go/parser"
+	gotoken "go/token"
+	"strings"
+	"testing"
+)
+
+// TestGenAllBuiltinsParse: the generator produces valid, parseable Go for
+// every bundled program.
+func TestGenAllBuiltinsParse(t *testing.T) {
+	algs := mustBuiltins(t)
+	fset := gotoken.NewFileSet()
+	for name, alg := range algs {
+		src, err := Gen(alg.Program(), "gen")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := goparser.ParseFile(fset, name+".go", src, 0); err != nil {
+			t.Fatalf("%s: generated code does not parse: %v", name, err)
+		}
+		if !strings.Contains(src, "DO NOT EDIT") {
+			t.Errorf("%s: missing generated-code marker", name)
+		}
+	}
+	if !strings.Contains(GenPrelude("gen"), "mustBuiltin") {
+		t.Errorf("prelude missing helper")
+	}
+}
+
+func TestGenRejectsShadowing(t *testing.T) {
+	prog, err := Parse("shadow", `
+void encode(float* gradient, uint8* compressed) {
+    float x = 1;
+    if (x > 0) {
+        float x = 2;
+        compressed = concat(x);
+    }
+}
+void decode(uint8* compressed, float* gradient) {
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Gen(prog, "gen"); err == nil {
+		t.Fatal("codegen accepted shadowing")
+	}
+}
+
+func TestGenRejectsReturnInEntry(t *testing.T) {
+	prog, err := Parse("ret", `
+void encode(float* gradient, uint8* compressed) {
+    return;
+}
+void decode(uint8* compressed, float* gradient) {
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Gen(prog, "gen"); err == nil {
+		t.Fatal("codegen accepted return inside entry point")
+	}
+}
+
+func TestGenRejectsUnknowns(t *testing.T) {
+	cases := []string{
+		// Unknown function call.
+		`void encode(float* g, uint8* c) { c = mystery(g); }
+		 void decode(uint8* c, float* g) {}`,
+		// Undefined variable.
+		`void encode(float* g, uint8* c) { c = concat(zzz); }
+		 void decode(uint8* c, float* g) {}`,
+		// Unknown member.
+		`void encode(float* g, uint8* c) { float x = g.length; c = concat(x); }
+		 void decode(uint8* c, float* g) {}`,
+		// Udf argument that isn't a function name.
+		`void encode(float* g, uint8* c) { c = concat(map(g, 3)); }
+		 void decode(uint8* c, float* g) {}`,
+	}
+	for i, src := range cases {
+		prog, err := Parse("bad", src)
+		if err != nil {
+			t.Fatalf("case %d failed to parse: %v", i, err)
+		}
+		if _, err := Gen(prog, "gen"); err == nil {
+			t.Errorf("case %d accepted by codegen", i)
+		}
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	cases := map[string]string{
+		"terngrad":   "Terngrad",
+		"three-lc":   "ThreeLc",
+		"my_algo.v2": "My_algoV2",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestInterpCodegenAgreeOnControlFlow: a program exercising nested ifs,
+// unary ops, indexing, modulo, and generic random must behave identically
+// interpreted and generated (structurally checked by running the
+// interpreter against expected values here; bit-equality with generated
+// code is enforced in the gen package tests).
+func TestInterpControlFlowSemantics(t *testing.T) {
+	prog, err := Parse("cf", `
+float pick;
+float classify(float x) {
+    if (x > 1) {
+        if (x > 2) { return 3; }
+        return 2;
+    } else {
+        if (x < -1) { return -1; }
+    }
+    return 0;
+}
+void encode(float* gradient, uint8* compressed) {
+    float* cls = map(gradient, classify);
+    int32 m = gradient.size % 3;
+    float first = cls[0];
+    float neg = -first;
+    uint1 nb = !m;
+    compressed = concat(cls, m, first, neg, nb);
+}
+void decode(uint8* compressed, float* gradient) {
+    float* cls = extract(compressed, 0);
+    gradient = cls;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(prog, 1)
+	payload, err := ip.Encode([]float32{2.5, 1.5, 0.5, -2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ip.Decode(payload, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{3, 2, 0, -1}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Fatalf("classify = %v, want %v", dec, want)
+		}
+	}
+	m, err := OpExtract(Bytes(payload), Int(1, 32))
+	if err != nil || m.I != 1 { // 4 % 3
+		t.Fatalf("modulo field = %+v, %v", m, err)
+	}
+	neg, _ := OpExtract(Bytes(payload), Int(3, 32))
+	if neg.F != -3 {
+		t.Fatalf("negation field = %v", neg.F)
+	}
+	nb, _ := OpExtract(Bytes(payload), Int(4, 32))
+	if nb.I != 0 { // !1
+		t.Fatalf("not field = %v", nb.I)
+	}
+
+	// The same program must also survive code generation and parse.
+	if _, err := Gen(prog, "gen"); err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+}

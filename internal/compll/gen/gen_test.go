@@ -1,0 +1,174 @@
+package gen
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hipress/internal/compll"
+	"hipress/internal/tensor"
+)
+
+// interpOf builds the interpreter-backed compressor for a bundled program.
+func interpOf(t *testing.T, name string, params map[string]float64, seed uint64) *compll.Interp {
+	t.Helper()
+	algs, err := compll.BuiltinAlgorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := algs[name]
+	if alg == nil {
+		t.Fatalf("no builtin %q", name)
+	}
+	_ = params
+	return compll.NewInterp(alg.Program(), seed)
+}
+
+func randGrad(seed uint64, n int) []float32 {
+	g := make([]float32, n)
+	tensor.NewRNG(seed).FillNormal(g, 1.5)
+	return g
+}
+
+// TestGeneratedMatchesInterpreterBitForBit: the generated Go and the
+// interpreter must produce identical payloads and identical decodes when
+// seeded identically — the §4.3 claim that code synthesis preserves the
+// DSL's semantics.
+func TestGeneratedMatchesInterpreterBitForBit(t *testing.T) {
+	type pair struct {
+		params map[string]float64
+		gen    func(params map[string]float64, seed uint64) (func([]float32) ([]byte, error), func([]byte, int) ([]float32, error))
+	}
+	cases := map[string]pair{
+		"terngrad": {map[string]float64{"bitwidth": 2}, func(p map[string]float64, s uint64) (func([]float32) ([]byte, error), func([]byte, int) ([]float32, error)) {
+			pr := NewTerngrad(p, s)
+			return pr.Encode, pr.Decode
+		}},
+		"onebit": {nil, func(p map[string]float64, s uint64) (func([]float32) ([]byte, error), func([]byte, int) ([]float32, error)) {
+			pr := NewOnebit(p, s)
+			return pr.Encode, pr.Decode
+		}},
+		"dgc": {map[string]float64{"ratio": 0.1}, func(p map[string]float64, s uint64) (func([]float32) ([]byte, error), func([]byte, int) ([]float32, error)) {
+			pr := NewDgc(p, s)
+			return pr.Encode, pr.Decode
+		}},
+		"graddrop": {map[string]float64{"ratio": 0.2}, func(p map[string]float64, s uint64) (func([]float32) ([]byte, error), func([]byte, int) ([]float32, error)) {
+			pr := NewGraddrop(p, s)
+			return pr.Encode, pr.Decode
+		}},
+		"tbq": {map[string]float64{"tau": 0.4}, func(p map[string]float64, s uint64) (func([]float32) ([]byte, error), func([]byte, int) ([]float32, error)) {
+			pr := NewTbq(p, s)
+			return pr.Encode, pr.Decode
+		}},
+	}
+	for name, c := range cases {
+		for _, n := range []int{1, 9, 257, 1024} {
+			const seed = 99
+			g := randGrad(uint64(n), n)
+			ip := interpOf(t, name, c.params, seed)
+			wantPayload, err := ip.Encode(g, c.params)
+			if err != nil {
+				t.Fatalf("%s interp encode: %v", name, err)
+			}
+			enc, dec := c.gen(c.params, seed)
+			gotPayload, err := enc(g)
+			if err != nil {
+				t.Fatalf("%s generated encode: %v", name, err)
+			}
+			if string(gotPayload) != string(wantPayload) {
+				t.Fatalf("%s: generated payload differs from interpreter (n=%d: %d vs %d bytes)",
+					name, n, len(gotPayload), len(wantPayload))
+			}
+			wantDec, err := ip.Decode(wantPayload, n, c.params)
+			if err != nil {
+				t.Fatalf("%s interp decode: %v", name, err)
+			}
+			gotDec, err := dec(gotPayload, n)
+			if err != nil {
+				t.Fatalf("%s generated decode: %v", name, err)
+			}
+			for i := range wantDec {
+				if gotDec[i] != wantDec[i] {
+					t.Fatalf("%s: decode diverges at %d: %v vs %v", name, i, gotDec[i], wantDec[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedFilesAreCurrent regenerates every bundled program and
+// compares against the committed files, so the gen package can never drift
+// from the DSL sources.
+func TestGeneratedFilesAreCurrent(t *testing.T) {
+	algs, err := compll.BuiltinAlgorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, alg := range algs {
+		want, err := compll.Gen(alg.Program(), "gen")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := os.ReadFile(filepath.Join(".", "gen_"+name+".go"))
+		if err != nil {
+			t.Fatalf("%s: %v (run `go run ./cmd/compllc genall -dir internal/compll/gen`)", name, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s: committed generated code is stale; rerun compllc genall", name)
+		}
+	}
+	wantPrelude := compll.GenPrelude("gen")
+	gotPrelude, err := os.ReadFile("prelude.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotPrelude) != wantPrelude {
+		t.Errorf("prelude.go is stale; rerun compllc genall")
+	}
+}
+
+// TestGeneratedTernGradStatistics: the generated quantizer stays unbiased.
+// bitwidth is fixed at 2 because the DSL program declares uint2 storage, as
+// in the paper's Fig. 5 ("assume bitwidth = 2 for clarity"); the native
+// compress.TernGrad handles the general bitwidths of Fig. 12b.
+func TestGeneratedTernGradStatistics(t *testing.T) {
+	pr := NewTerngrad(map[string]float64{"bitwidth": 2}, 5)
+	g := []float32{-1, 0, 0.25, 0.8, 1}
+	const trials = 3000
+	acc := make([]float64, len(g))
+	for k := 0; k < trials; k++ {
+		payload, err := pr.Encode(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := pr.Decode(payload, len(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range dec {
+			acc[i] += float64(x)
+		}
+	}
+	for i := range g {
+		if mean := acc[i] / trials; math.Abs(mean-float64(g[i])) > 0.02 {
+			t.Errorf("generated terngrad biased at %d: %v vs %v", i, mean, g[i])
+		}
+	}
+}
+
+// TestGeneratedErrorPaths: generated decode validates payloads like the
+// interpreter does.
+func TestGeneratedErrorPaths(t *testing.T) {
+	pr := NewOnebit(nil, 1)
+	if _, err := pr.Decode([]byte{1, 2, 3}, 10); err == nil {
+		t.Fatalf("generated decode accepted garbage payload")
+	}
+	payload, err := pr.Encode([]float32{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Decode(payload, 5); err == nil {
+		t.Fatalf("generated decode accepted wrong n")
+	}
+}

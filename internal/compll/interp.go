@@ -1,0 +1,623 @@
+package compll
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interp executes a parsed DSL program: the reference semantics of CompLL.
+// The code generator (codegen.go) emits Go that must agree with the
+// interpreter output bit for bit — tests enforce this.
+type Interp struct {
+	prog *Program
+	rng  *RNG
+	// paramHolders binds entry-scope param struct variables to their
+	// materialized fields for the duration of one entry call. Interp is not
+	// safe for concurrent use; the live plane gives each node its own.
+	paramHolders map[string]*paramValue
+}
+
+// NewInterp wraps a program with a deterministic random stream for
+// random<...>() calls.
+func NewInterp(prog *Program, seed uint64) *Interp {
+	return &Interp{prog: prog, rng: NewRNG(seed), paramHolders: map[string]*paramValue{}}
+}
+
+// slot is one variable binding with its declared type (assignments convert
+// to the declared type, giving C truncation semantics).
+type slot struct {
+	typ Type
+	val Value
+}
+
+// env is a lexical scope chain. Globals live in the root env shared by the
+// entry point and every udf it calls.
+type env struct {
+	vars   map[string]*slot
+	parent *env
+}
+
+func (e *env) lookup(name string) *slot {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (e *env) declare(name string, typ Type, val Value) error {
+	if _, dup := e.vars[name]; dup {
+		return fmt.Errorf("compll: redeclaration of %q", name)
+	}
+	e.vars[name] = &slot{typ: typ, val: val}
+	return nil
+}
+
+// paramValue materializes a param struct from the caller's parameter map.
+// Missing entries default to zero, matching optional algorithm parameters.
+type paramValue struct {
+	decl   *ParamDecl
+	fields map[string]Value
+}
+
+// Encode runs the program's encode entry point.
+func (ip *Interp) Encode(gradient []float32, params map[string]float64) ([]byte, error) {
+	fn := ip.prog.Func("encode")
+	if fn == nil {
+		return nil, fmt.Errorf("compll: program %s has no encode", ip.prog.Name)
+	}
+	out, err := ip.runEntry(fn, Floats(gradient), Bytes(nil), len(gradient), params)
+	if err != nil {
+		return nil, err
+	}
+	if out.Kind != VBytes {
+		return nil, fmt.Errorf("compll: encode produced %v, want uint8*", out.Kind)
+	}
+	return out.B, nil
+}
+
+// Decode runs the program's decode entry point, reconstructing an n-element
+// gradient.
+func (ip *Interp) Decode(payload []byte, n int, params map[string]float64) ([]float32, error) {
+	fn := ip.prog.Func("decode")
+	if fn == nil {
+		return nil, fmt.Errorf("compll: program %s has no decode", ip.prog.Name)
+	}
+	out, err := ip.runEntry(fn, Floats(make([]float32, n)), Bytes(payload), n, params)
+	if err != nil {
+		return nil, err
+	}
+	if out.Kind != VFloatV {
+		return nil, fmt.Errorf("compll: decode produced %v, want float*", out.Kind)
+	}
+	if len(out.FV) != n {
+		return nil, fmt.Errorf("compll: decode produced %d elements, want %d", len(out.FV), n)
+	}
+	return out.FV, nil
+}
+
+// runEntry binds an entry point's conventional parameters (a float* named by
+// its first float* param, a uint8* payload, an optional param struct),
+// executes the body, and returns the output value — `compressed` for
+// encode, `gradient` for decode.
+func (ip *Interp) runEntry(fn *FuncDecl, grad, payload Value, n int, params map[string]float64) (Value, error) {
+	ip.paramHolders = map[string]*paramValue{}
+	globals := &env{vars: map[string]*slot{}}
+	for _, g := range ip.prog.Globals {
+		v := zeroOf(g.Type)
+		if g.Init != nil {
+			iv, err := ip.eval(g.Init, globals)
+			if err != nil {
+				return Value{}, err
+			}
+			cv, err := ConvertTo(iv, g.Type.Kind, g.Type.Bits)
+			if err != nil {
+				return Value{}, err
+			}
+			v = cv
+		}
+		if err := globals.declare(g.Name, g.Type, v); err != nil {
+			return Value{}, err
+		}
+	}
+	scope := &env{vars: map[string]*slot{}, parent: globals}
+	var gradName, outName string
+	for _, p := range fn.Params {
+		switch {
+		case p.Type.Kind == VFloatV:
+			if err := scope.declare(p.Name, p.Type, grad); err != nil {
+				return Value{}, err
+			}
+			gradName = p.Name
+		case p.Type.Kind == VBytes:
+			if err := scope.declare(p.Name, p.Type, payload); err != nil {
+				return Value{}, err
+			}
+			outName = p.Name
+		case p.Type.ParamName != "":
+			decl := ip.paramDecl(p.Type.ParamName)
+			if decl == nil {
+				return Value{}, fmt.Errorf("compll: unknown param type %q", p.Type.ParamName)
+			}
+			pv := &paramValue{decl: decl, fields: map[string]Value{}}
+			for _, f := range decl.Fields {
+				raw := params[f.Name]
+				cv, err := ConvertTo(Float(raw), f.Type.Kind, f.Type.Bits)
+				if err != nil {
+					return Value{}, err
+				}
+				pv.fields[f.Name] = cv
+			}
+			// Param structs are stored behind a sparse-kinded slot marker;
+			// member access resolves through paramHolders.
+			if err := scope.declare(p.Name, p.Type, Void()); err != nil {
+				return Value{}, err
+			}
+			ip.paramHolders[p.Name] = pv
+		default:
+			return Value{}, fmt.Errorf("compll: entry parameter %s has unsupported type %s", p.Name, p.Type)
+		}
+	}
+	_ = n
+	if _, _, err := ip.execBlock(fn.Body, scope); err != nil {
+		return Value{}, err
+	}
+	// encode's output is the payload parameter; decode's is the gradient
+	// parameter.
+	if fn.Name == "encode" {
+		return scope.lookup(outName).val, nil
+	}
+	return scope.lookup(gradName).val, nil
+}
+
+func (ip *Interp) paramDecl(name string) *ParamDecl {
+	for _, p := range ip.prog.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// execBlock executes statements; returned = true means a return statement
+// fired with the given value.
+func (ip *Interp) execBlock(stmts []Stmt, scope *env) (Value, bool, error) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *DeclStmt:
+			v := zeroOf(st.Decl.Type)
+			if st.Decl.Init != nil {
+				iv, err := ip.eval(st.Decl.Init, scope)
+				if err != nil {
+					return Value{}, false, err
+				}
+				cv, err := ConvertTo(iv, st.Decl.Type.Kind, st.Decl.Type.Bits)
+				if err != nil {
+					return Value{}, false, fmt.Errorf("compll: line %d: %w", st.Decl.Line, err)
+				}
+				v = cv
+			}
+			if err := scope.declare(st.Decl.Name, st.Decl.Type, v); err != nil {
+				return Value{}, false, err
+			}
+
+		case *AssignStmt:
+			sl := scope.lookup(st.Target)
+			if sl == nil {
+				return Value{}, false, fmt.Errorf("compll: line %d: assignment to undeclared %q", st.Line, st.Target)
+			}
+			v, err := ip.eval(st.Value, scope)
+			if err != nil {
+				return Value{}, false, err
+			}
+			cv, err := ConvertTo(v, sl.typ.Kind, sl.typ.Bits)
+			if err != nil {
+				return Value{}, false, fmt.Errorf("compll: line %d: %w", st.Line, err)
+			}
+			sl.val = cv
+
+		case *ReturnStmt:
+			if st.Value == nil {
+				return Void(), true, nil
+			}
+			v, err := ip.eval(st.Value, scope)
+			if err != nil {
+				return Value{}, false, err
+			}
+			return v, true, nil
+
+		case *IfStmt:
+			c, err := ip.eval(st.Cond, scope)
+			if err != nil {
+				return Value{}, false, err
+			}
+			truth, err := c.Truthy()
+			if err != nil {
+				return Value{}, false, fmt.Errorf("compll: line %d: %w", st.Line, err)
+			}
+			body := st.Then
+			if !truth {
+				body = st.Else
+			}
+			inner := &env{vars: map[string]*slot{}, parent: scope}
+			if v, ret, err := ip.execBlock(body, inner); err != nil || ret {
+				return v, ret, err
+			}
+
+		case *ExprStmt:
+			if _, err := ip.eval(st.X, scope); err != nil {
+				return Value{}, false, err
+			}
+
+		default:
+			return Value{}, false, fmt.Errorf("compll: unknown statement %T", s)
+		}
+	}
+	return Void(), false, nil
+}
+
+func zeroOf(t Type) Value {
+	switch t.Kind {
+	case VInt:
+		return Int(0, t.Bits)
+	case VFloat:
+		return Float(0)
+	case VFloatV:
+		return Floats(nil)
+	case VIntV:
+		return Ints(nil, t.Bits)
+	case VBytes:
+		return Bytes(nil)
+	case VSparse:
+		return Sparse(nil, nil)
+	default:
+		return Void()
+	}
+}
+
+// eval evaluates an expression.
+func (ip *Interp) eval(x Expr, scope *env) (Value, error) {
+	switch e := x.(type) {
+	case *Number:
+		if e.IsFloat {
+			return Float(e.F), nil
+		}
+		return Int(e.I, 32), nil
+
+	case *Ident:
+		sl := scope.lookup(e.Name)
+		if sl == nil {
+			return Value{}, fmt.Errorf("compll: line %d: undefined %q", e.Line, e.Name)
+		}
+		return sl.val, nil
+
+	case *Unary:
+		v, err := ip.eval(e.X, scope)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case "-":
+			if v.Kind == VFloat {
+				return Float(-v.F), nil
+			}
+			i, err := v.AsInt()
+			if err != nil {
+				return Value{}, err
+			}
+			return Int(-i, 32), nil
+		case "!":
+			t, err := v.Truthy()
+			if err != nil {
+				return Value{}, err
+			}
+			return boolVal(!t), nil
+		default:
+			return Value{}, fmt.Errorf("compll: line %d: unknown unary %q", e.Line, e.Op)
+		}
+
+	case *Binary:
+		l, err := ip.eval(e.L, scope)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := ip.eval(e.R, scope)
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := Arith(e.Op, l, r)
+		if err != nil {
+			return Value{}, fmt.Errorf("compll: line %d: %w", e.Line, err)
+		}
+		return v, nil
+
+	case *Member:
+		// params.field or vector.size
+		if id, ok := e.X.(*Ident); ok {
+			if pv, isParam := ip.paramHolders[id.Name]; isParam {
+				v, ok := pv.fields[e.Field]
+				if !ok {
+					return Value{}, fmt.Errorf("compll: line %d: param %s has no field %q", e.Line, pv.decl.Name, e.Field)
+				}
+				return v, nil
+			}
+		}
+		base, err := ip.eval(e.X, scope)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Field == "size" {
+			n, err := base.Len()
+			if err != nil {
+				return Value{}, fmt.Errorf("compll: line %d: %w", e.Line, err)
+			}
+			return Int(int64(n), 32), nil
+		}
+		if base.Kind == VSparse {
+			switch e.Field {
+			case "indices":
+				return Ints(base.SIdx, 32), nil
+			case "values":
+				return Floats(base.SVal), nil
+			}
+		}
+		return Value{}, fmt.Errorf("compll: line %d: unknown member %q", e.Line, e.Field)
+
+	case *IndexExpr:
+		base, err := ip.eval(e.X, scope)
+		if err != nil {
+			return Value{}, err
+		}
+		idx, err := ip.eval(e.I, scope)
+		if err != nil {
+			return Value{}, err
+		}
+		i, err := idx.AsInt()
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := base.Index(int(i))
+		if err != nil {
+			return Value{}, fmt.Errorf("compll: line %d: %w", e.Line, err)
+		}
+		return v, nil
+
+	case *Call:
+		return ip.evalCall(e, scope)
+
+	default:
+		return Value{}, fmt.Errorf("compll: unknown expression %T", x)
+	}
+}
+
+// udfOf resolves an expression used as a function argument (to map, reduce,
+// filter, sort) into a callable UDF plus its declared return type.
+func (ip *Interp) udfOf(x Expr, scope *env) (UDF, Type, error) {
+	id, ok := x.(*Ident)
+	if !ok {
+		return nil, Type{}, fmt.Errorf("compll: operator udf argument must be a function name")
+	}
+	if fn := ip.prog.Func(id.Name); fn != nil {
+		return func(args ...Value) (Value, error) {
+			return ip.callFunc(fn, args, scope)
+		}, fn.Ret, nil
+	}
+	if b, ok := builtinUDFs[id.Name]; ok {
+		return b, Type{Kind: VFloat}, nil
+	}
+	return nil, Type{}, fmt.Errorf("compll: line %d: unknown function %q", id.Line, id.Name)
+}
+
+// callFunc invokes a program-declared function with converted arguments.
+// The scope chain bottoms out at the globals env so udfs see and mutate
+// globals (Fig. 5's min/max/gap pattern).
+func (ip *Interp) callFunc(fn *FuncDecl, args []Value, scope *env) (Value, error) {
+	if len(args) != len(fn.Params) {
+		return Value{}, fmt.Errorf("compll: %s expects %d args, got %d", fn.Name, len(fn.Params), len(args))
+	}
+	// Walk to the root (globals) env.
+	root := scope
+	for root.parent != nil {
+		root = root.parent
+	}
+	local := &env{vars: map[string]*slot{}, parent: root}
+	for i, p := range fn.Params {
+		cv, err := ConvertTo(args[i], p.Type.Kind, p.Type.Bits)
+		if err != nil {
+			return Value{}, fmt.Errorf("compll: %s arg %s: %w", fn.Name, p.Name, err)
+		}
+		if err := local.declare(p.Name, p.Type, cv); err != nil {
+			return Value{}, err
+		}
+	}
+	v, returned, err := ip.execBlock(fn.Body, local)
+	if err != nil {
+		return Value{}, err
+	}
+	if !returned && fn.Ret.Kind != VVoid {
+		return Value{}, fmt.Errorf("compll: %s fell off the end without returning", fn.Name)
+	}
+	if fn.Ret.Kind == VVoid {
+		return Void(), nil
+	}
+	return ConvertTo(v, fn.Ret.Kind, fn.Ret.Bits)
+}
+
+func (ip *Interp) evalCall(e *Call, scope *env) (Value, error) {
+	switch e.Fn {
+	case "map":
+		if len(e.Args) != 2 {
+			return Value{}, fmt.Errorf("compll: line %d: map(vec, udf) takes 2 args", e.Line)
+		}
+		g, err := ip.eval(e.Args[0], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		f, ret, err := ip.udfOf(e.Args[1], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		return OpMap(g, f, ret.Kind, ret.Bits)
+
+	case "reduce":
+		if len(e.Args) != 2 {
+			return Value{}, fmt.Errorf("compll: line %d: reduce(vec, udf) takes 2 args", e.Line)
+		}
+		g, err := ip.eval(e.Args[0], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		f, _, err := ip.udfOf(e.Args[1], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		return OpReduce(g, f)
+
+	case "filter":
+		if len(e.Args) != 2 {
+			return Value{}, fmt.Errorf("compll: line %d: filter(vec, udf) takes 2 args", e.Line)
+		}
+		g, err := ip.eval(e.Args[0], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		f, _, err := ip.udfOf(e.Args[1], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		return OpFilter(g, f)
+
+	case "sort":
+		if len(e.Args) != 2 {
+			return Value{}, fmt.Errorf("compll: line %d: sort(vec, udf) takes 2 args", e.Line)
+		}
+		g, err := ip.eval(e.Args[0], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		f, _, err := ip.udfOf(e.Args[1], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		return OpSort(g, f)
+
+	case "random":
+		if len(e.Args) != 2 {
+			return Value{}, fmt.Errorf("compll: line %d: random(a, b) takes 2 args", e.Line)
+		}
+		a, err := ip.eval(e.Args[0], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := ip.eval(e.Args[1], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		asFloat := e.TypeArg == nil || e.TypeArg.Kind == VFloat
+		return OpRandom(ip.rng, a, b, asFloat)
+
+	case "concat":
+		args := make([]Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ip.eval(a, scope)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return OpConcat(args...)
+
+	case "extract":
+		if len(e.Args) != 2 {
+			return Value{}, fmt.Errorf("compll: line %d: extract(payload, i) takes 2 args", e.Line)
+		}
+		p, err := ip.eval(e.Args[0], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		i, err := ip.eval(e.Args[1], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		return OpExtract(p, i)
+
+	case "scatter":
+		if len(e.Args) != 2 {
+			return Value{}, fmt.Errorf("compll: line %d: scatter(sparse, n) takes 2 args", e.Line)
+		}
+		s, err := ip.eval(e.Args[0], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		n, err := ip.eval(e.Args[1], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		return OpScatter(s, n)
+
+	case "pairs":
+		if len(e.Args) != 2 {
+			return Value{}, fmt.Errorf("compll: line %d: pairs(indices, values) takes 2 args", e.Line)
+		}
+		idx, err := ip.eval(e.Args[0], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		val, err := ip.eval(e.Args[1], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		return OpPairs(idx, val)
+
+	case "topk":
+		if len(e.Args) != 2 {
+			return Value{}, fmt.Errorf("compll: line %d: topk(vec, k) takes 2 args", e.Line)
+		}
+		g, err := ip.eval(e.Args[0], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		k, err := ip.eval(e.Args[1], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		return OpTopK(g, k)
+
+	case "floor", "abs", "sqrt":
+		if len(e.Args) != 1 {
+			return Value{}, fmt.Errorf("compll: line %d: %s(x) takes 1 arg", e.Line, e.Fn)
+		}
+		v, err := ip.eval(e.Args[0], scope)
+		if err != nil {
+			return Value{}, err
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Fn {
+		case "floor":
+			return Float(math.Floor(f)), nil
+		case "abs":
+			return Float(math.Abs(f)), nil
+		default:
+			return Float(math.Sqrt(f)), nil
+		}
+
+	default:
+		fn := ip.prog.Func(e.Fn)
+		if fn == nil {
+			return Value{}, fmt.Errorf("compll: line %d: unknown function %q", e.Line, e.Fn)
+		}
+		args := make([]Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ip.eval(a, scope)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return ip.callFunc(fn, args, scope)
+	}
+}

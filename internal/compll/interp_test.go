@@ -1,0 +1,277 @@
+package compll
+
+import (
+	"strings"
+	"testing"
+)
+
+// Focused interpreter tests: runtime behaviors the checker cannot rule out
+// statically, value-model edge cases, and error propagation.
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestInterpGlobalsResetPerCall(t *testing.T) {
+	// Globals must not leak across entry invocations: `acc` starts at its
+	// initializer every encode.
+	prog := mustParse(t, `
+float acc = 10;
+void encode(float* gradient, uint8* compressed) {
+    acc = acc + 1;
+    compressed = concat(acc);
+}
+void decode(uint8* compressed, float* gradient) {
+}`)
+	ip := NewInterp(prog, 1)
+	for i := 0; i < 3; i++ {
+		payload, err := ip.Encode([]float32{1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := OpExtract(Bytes(payload), Int(0, 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.F != 11 {
+			t.Fatalf("call %d: acc = %v, want 11 (globals leaked)", i, v.F)
+		}
+	}
+}
+
+func TestInterpGlobalsSharedWithUDFs(t *testing.T) {
+	// Fig. 5's pattern: encode sets globals; the udf mapped over the
+	// gradient reads them.
+	prog := mustParse(t, `
+float scale;
+float apply(float x) { return x * scale; }
+void encode(float* gradient, uint8* compressed) {
+    scale = 3;
+    float* out = map(gradient, apply);
+    compressed = concat(out);
+}
+void decode(uint8* compressed, float* gradient) {
+    float* v = extract(compressed, 0);
+    gradient = v;
+}`)
+	ip := NewInterp(prog, 1)
+	payload, err := ip.Encode([]float32{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ip.Decode(payload, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0] != 3 || dec[1] != 6 {
+		t.Fatalf("udf did not see globals: %v", dec)
+	}
+}
+
+func TestInterpUintTruncation(t *testing.T) {
+	// C-like semantics: assigning 7 to a uint2 masks to 3.
+	prog := mustParse(t, `
+void encode(float* gradient, uint8* compressed) {
+    uint2 q = 7;
+    compressed = concat(q);
+}
+void decode(uint8* compressed, float* gradient) {
+}`)
+	ip := NewInterp(prog, 1)
+	payload, err := ip.Encode([]float32{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := OpExtract(Bytes(payload), Int(0, 32))
+	if v.I != 3 || v.Bits != 2 {
+		t.Fatalf("uint2 = %+v, want masked 3", v)
+	}
+}
+
+func TestInterpIndexOutOfRange(t *testing.T) {
+	prog := mustParse(t, `
+void encode(float* gradient, uint8* compressed) {
+    float x = gradient[99];
+    compressed = concat(x);
+}
+void decode(uint8* compressed, float* gradient) {
+}`)
+	ip := NewInterp(prog, 1)
+	_, err := ip.Encode([]float32{1, 2}, nil)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("index error = %v", err)
+	}
+}
+
+func TestInterpDecodeLengthMismatch(t *testing.T) {
+	prog := mustParse(t, `
+void encode(float* gradient, uint8* compressed) {
+    compressed = concat(gradient);
+}
+void decode(uint8* compressed, float* gradient) {
+    float* v = extract(compressed, 0);
+    gradient = v;
+}`)
+	ip := NewInterp(prog, 1)
+	payload, err := ip.Encode([]float32{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.Decode(payload, 5, nil); err == nil {
+		t.Fatal("decode length mismatch accepted")
+	}
+}
+
+func TestInterpEncodeMustProduceBytes(t *testing.T) {
+	prog := mustParse(t, `
+void encode(float* gradient, uint8* compressed) {
+    float x = 1;
+}
+void decode(uint8* compressed, float* gradient) {
+}`)
+	ip := NewInterp(prog, 1)
+	payload, err := ip.Encode([]float32{1}, nil)
+	// compressed stays nil bytes — legal (empty payload), decoding is the
+	// program's problem; just ensure no crash and zero length.
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 0 {
+		t.Fatalf("unassigned compressed produced %d bytes", len(payload))
+	}
+}
+
+func TestInterpGenericRandomInt(t *testing.T) {
+	prog := mustParse(t, `
+void encode(float* gradient, uint8* compressed) {
+    int32 r = random<int32>(5, 10);
+    compressed = concat(r);
+}
+void decode(uint8* compressed, float* gradient) {
+}`)
+	ip := NewInterp(prog, 7)
+	for i := 0; i < 20; i++ {
+		payload, err := ip.Encode([]float32{1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := OpExtract(Bytes(payload), Int(0, 32))
+		if v.I < 5 || v.I >= 10 {
+			t.Fatalf("random<int32>(5,10) = %d", v.I)
+		}
+	}
+}
+
+func TestInterpSparseMembersAndPairs(t *testing.T) {
+	prog := mustParse(t, `
+uint1 pos(float x) {
+    if (x > 0) { return 1; }
+    return 0;
+}
+void encode(float* gradient, uint8* compressed) {
+    sparse s = filter(gradient, pos);
+    int32 n = s.indices.size;
+    compressed = concat(n, s.indices, s.values);
+}
+void decode(uint8* compressed, float* gradient) {
+    int32* idx = extract(compressed, 1);
+    float* val = extract(compressed, 2);
+    gradient = scatter(pairs(idx, val), gradient.size);
+}`)
+	ip := NewInterp(prog, 1)
+	payload, err := ip.Encode([]float32{-1, 2, -3, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := OpExtract(Bytes(payload), Int(0, 32))
+	if n.I != 2 {
+		t.Fatalf("filtered count = %d", n.I)
+	}
+	dec, err := ip.Decode(payload, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 2, 0, 4}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Fatalf("dec = %v", dec)
+		}
+	}
+}
+
+func TestValueKindStrings(t *testing.T) {
+	kinds := map[VKind]string{
+		VInt: "int", VFloat: "float", VFloatV: "float*", VIntV: "int*",
+		VBytes: "uint8*", VSparse: "sparse", VVoid: "void",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("VKind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+	if VKind(99).String() == "" {
+		t.Errorf("unknown kind gives empty string")
+	}
+}
+
+func TestValueIndexAndLenErrors(t *testing.T) {
+	if _, err := Float(1).Len(); err == nil {
+		t.Error("Len of scalar accepted")
+	}
+	if _, err := Float(1).Index(0); err == nil {
+		t.Error("Index of scalar accepted")
+	}
+	if _, err := Ints([]int64{1}, 8).Index(5); err == nil {
+		t.Error("out-of-range int index accepted")
+	}
+	if v, err := Bytes([]byte{7}).Index(0); err != nil || v.I != 7 {
+		t.Errorf("byte index = %+v, %v", v, err)
+	}
+	if _, err := Floats(nil).Truthy(); err == nil {
+		t.Error("vector truthiness accepted")
+	}
+}
+
+func TestRuntimeHelpers(t *testing.T) {
+	if v, err := Neg(Float(2)); err != nil || v.F != -2 {
+		t.Errorf("Neg float = %+v, %v", v, err)
+	}
+	if v, err := Neg(Int(3, 32)); err != nil || v.I != -3 {
+		t.Errorf("Neg int = %+v, %v", v, err)
+	}
+	if _, err := Neg(Floats(nil)); err == nil {
+		t.Error("Neg of vector accepted")
+	}
+	if v, err := Not(Int(0, 1)); err != nil || v.I != 1 {
+		t.Errorf("Not = %+v, %v", v, err)
+	}
+	if _, err := SizeOf(Float(1)); err == nil {
+		t.Error("SizeOf scalar accepted")
+	}
+	if _, err := SparseIndices(Float(1)); err == nil {
+		t.Error("SparseIndices of scalar accepted")
+	}
+	if _, err := SparseValues(Float(1)); err == nil {
+		t.Error("SparseValues of scalar accepted")
+	}
+	if v, err := Math1("sqrt", Float(9)); err != nil || v.F != 3 {
+		t.Errorf("sqrt = %+v, %v", v, err)
+	}
+	if _, err := Math1("sin", Float(1)); err == nil {
+		t.Error("unknown math builtin accepted")
+	}
+	if v, err := ParamField(map[string]float64{"x": 6.7}, "x", VInt, 8); err != nil || v.I != 6 {
+		t.Errorf("ParamField = %+v, %v", v, err)
+	}
+	if _, ok := Builtin("smaller"); !ok {
+		t.Error("missing builtin smaller")
+	}
+	if _, ok := Builtin("nope"); ok {
+		t.Error("phantom builtin")
+	}
+}

@@ -1,0 +1,121 @@
+package compll
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds of the DSL.
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkPunct // one of the operator/punctuation strings below
+)
+
+// token is one lexeme with its source position for error messages.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tkEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// puncts are matched longest-first.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"{", "}", "(", ")", "[", "]", ";", ",", ".",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+}
+
+// lex tokenizes src, stripping // line comments and /* */ block comments and
+// the line-continuation backslash the paper's Fig. 5 uses.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '\\' && i+1 < len(src) && (src[i+1] == '\n' || src[i+1] == '\r'):
+			advance(2) // line continuation
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("compll: %d:%d: unterminated block comment", line, col)
+			}
+			advance(end + 4)
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			startLine, startCol := line, col
+			for i < len(src) && (isIdentChar(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, token{tkIdent, src[start:i], startLine, startCol})
+		case c >= '0' && c <= '9':
+			start := i
+			startLine, startCol := line, col
+			seenDot := false
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' && !seenDot) {
+				if src[i] == '.' {
+					// A dot not followed by a digit is member access, not a
+					// decimal point.
+					if i+1 >= len(src) || src[i+1] < '0' || src[i+1] > '9' {
+						break
+					}
+					seenDot = true
+				}
+				advance(1)
+			}
+			toks = append(toks, token{tkNumber, src[start:i], startLine, startCol})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{tkPunct, p, line, col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("compll: %d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	toks = append(toks, token{tkEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

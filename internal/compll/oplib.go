@@ -1,0 +1,534 @@
+package compll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the common operator library of Table 4 — sort, filter, map,
+// reduce, random, concat, extract — plus the registered extensions the paper
+// allows ("CompLL is open and allows registering them into the common
+// operator library"): scatter (rebuild a dense gradient from sparse pairs)
+// and topk (selection threshold), which the sparsification algorithms need.
+//
+// The payloads concat produces are self-describing: a small header lists the
+// field type tags so extract(i) can decode any field without external
+// schema. Sub-byte integer arrays are bit-packed with minimal zero padding,
+// exactly as §4.3 describes.
+
+// UDF is a user-defined function value: DSL functions passed to map, filter,
+// reduce, and sort comparators.
+type UDF func(args ...Value) (Value, error)
+
+// OpMap applies f element-wise over a float or int vector. The result
+// element kind/width is dictated by retKind/retBits (the udf's declared
+// return type).
+func OpMap(g Value, f UDF, retKind VKind, retBits int) (Value, error) {
+	n, err := g.Len()
+	if err != nil {
+		return Value{}, fmt.Errorf("compll: map over non-vector: %w", err)
+	}
+	switch retKind {
+	case VFloat:
+		out := make([]float32, n)
+		for i := 0; i < n; i++ {
+			e, err := g.Index(i)
+			if err != nil {
+				return Value{}, err
+			}
+			r, err := f(e)
+			if err != nil {
+				return Value{}, err
+			}
+			fv, err := r.AsFloat()
+			if err != nil {
+				return Value{}, err
+			}
+			out[i] = float32(fv)
+		}
+		return Floats(out), nil
+	case VInt:
+		out := make([]int64, n)
+		for i := 0; i < n; i++ {
+			e, err := g.Index(i)
+			if err != nil {
+				return Value{}, err
+			}
+			r, err := f(e)
+			if err != nil {
+				return Value{}, err
+			}
+			iv, err := r.AsInt()
+			if err != nil {
+				return Value{}, err
+			}
+			out[i] = clampInt(iv, retBits)
+		}
+		return Ints(out, retBits), nil
+	default:
+		return Value{}, fmt.Errorf("compll: map udf must return a scalar, got %v", retKind)
+	}
+}
+
+// OpReduce folds a vector with a binary udf: r = f(f(g0,g1),g2)... Builtin
+// reducer names ("smaller", "greater", "sum", "maxabs") are resolved by the
+// interpreter to library UDFs before reaching here.
+func OpReduce(g Value, f UDF) (Value, error) {
+	n, err := g.Len()
+	if err != nil {
+		return Value{}, fmt.Errorf("compll: reduce over non-vector: %w", err)
+	}
+	if n == 0 {
+		return Float(0), nil
+	}
+	acc, err := g.Index(0)
+	if err != nil {
+		return Value{}, err
+	}
+	for i := 1; i < n; i++ {
+		e, err := g.Index(i)
+		if err != nil {
+			return Value{}, err
+		}
+		acc, err = f(acc, e)
+		if err != nil {
+			return Value{}, err
+		}
+	}
+	return acc, nil
+}
+
+// OpFilter selects elements where the udf is truthy, producing a sparse
+// (index, value) pair set — the form sparsification payloads serialize.
+func OpFilter(g Value, f UDF) (Value, error) {
+	if g.Kind != VFloatV {
+		return Value{}, fmt.Errorf("compll: filter requires float*, got %v", g.Kind)
+	}
+	var idx []int64
+	var val []float32
+	for i, x := range g.FV {
+		r, err := f(Float(float64(x)))
+		if err != nil {
+			return Value{}, err
+		}
+		keep, err := r.Truthy()
+		if err != nil {
+			return Value{}, err
+		}
+		if keep {
+			idx = append(idx, int64(i))
+			val = append(val, x)
+		}
+	}
+	return Sparse(idx, val), nil
+}
+
+// OpSort returns a copy of g ordered so that udf(a, b) is truthy for every
+// adjacent pair (a before b) — i.e. udf is a "should a come first" relation.
+func OpSort(g Value, f UDF) (Value, error) {
+	if g.Kind != VFloatV {
+		return Value{}, fmt.Errorf("compll: sort requires float*, got %v", g.Kind)
+	}
+	out := make([]float32, len(g.FV))
+	copy(out, g.FV)
+	var sortErr error
+	sort.SliceStable(out, func(i, j int) bool {
+		if sortErr != nil {
+			return false
+		}
+		r, err := f(Float(float64(out[i])), Float(float64(out[j])))
+		if err != nil {
+			sortErr = err
+			return false
+		}
+		t, err := r.Truthy()
+		if err != nil {
+			sortErr = err
+			return false
+		}
+		return t
+	})
+	if sortErr != nil {
+		return Value{}, sortErr
+	}
+	return Floats(out), nil
+}
+
+// OpRandom returns a uniform sample in [a, b): float or integer according to
+// asFloat.
+func OpRandom(rng *RNG, a, b Value, asFloat bool) (Value, error) {
+	if asFloat {
+		lo, err := a.AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := b.AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(lo + (hi-lo)*rng.Float64()), nil
+	}
+	lo, err := a.AsInt()
+	if err != nil {
+		return Value{}, err
+	}
+	hi, err := b.AsInt()
+	if err != nil {
+		return Value{}, err
+	}
+	if hi <= lo {
+		return Value{}, fmt.Errorf("compll: random<int> empty range [%d,%d)", lo, hi)
+	}
+	return Int(lo+int64(rng.Uint64n(uint64(hi-lo))), 32), nil
+}
+
+// OpTopK returns the magnitude of the k-th largest |element|, the selection
+// threshold sparsifiers need. Registered extension operator.
+func OpTopK(g Value, k Value) (Value, error) {
+	if g.Kind != VFloatV {
+		return Value{}, fmt.Errorf("compll: topk requires float*, got %v", g.Kind)
+	}
+	ki, err := k.AsInt()
+	if err != nil {
+		return Value{}, err
+	}
+	if len(g.FV) == 0 {
+		return Float(0), nil
+	}
+	if ki < 1 {
+		ki = 1
+	}
+	if int(ki) > len(g.FV) {
+		ki = int64(len(g.FV))
+	}
+	abs := make([]float64, len(g.FV))
+	for i, x := range g.FV {
+		abs[i] = math.Abs(float64(x))
+	}
+	sort.Float64s(abs)
+	return Float(abs[len(abs)-int(ki)]), nil
+}
+
+// OpPairs zips an index vector and a value vector into a sparse value — the
+// inverse of member access on filter() results, needed when decode rebuilds
+// a sparse set from extracted fields. Registered extension operator.
+func OpPairs(idx, val Value) (Value, error) {
+	if idx.Kind != VIntV {
+		return Value{}, fmt.Errorf("compll: pairs requires int* indices, got %v", idx.Kind)
+	}
+	if val.Kind != VFloatV {
+		return Value{}, fmt.Errorf("compll: pairs requires float* values, got %v", val.Kind)
+	}
+	if len(idx.IV) != len(val.FV) {
+		return Value{}, fmt.Errorf("compll: pairs length mismatch %d vs %d", len(idx.IV), len(val.FV))
+	}
+	return Sparse(append([]int64(nil), idx.IV...), append([]float32(nil), val.FV...)), nil
+}
+
+// OpScatter expands sparse pairs back into a dense n-element vector.
+// Registered extension operator (the decode dual of filter).
+func OpScatter(s Value, n Value) (Value, error) {
+	if s.Kind != VSparse {
+		return Value{}, fmt.Errorf("compll: scatter requires sparse, got %v", s.Kind)
+	}
+	ni, err := n.AsInt()
+	if err != nil {
+		return Value{}, err
+	}
+	out := make([]float32, ni)
+	for j, i := range s.SIdx {
+		if i < 0 || i >= ni {
+			return Value{}, fmt.Errorf("compll: scatter index %d out of range %d", i, ni)
+		}
+		out[i] = s.SVal[j]
+	}
+	return Floats(out), nil
+}
+
+// --- concat / extract: self-describing payload ------------------------------
+
+// Field type tags in concat payloads.
+const (
+	tagIntScalar   = 0x01 // width byte follows value
+	tagFloatScalar = 0x02
+	tagFloatVec    = 0x03
+	tagIntVec      = 0x04 // width byte + bit-packed data
+	tagSparse      = 0x05
+)
+
+const cllMagic = 0xC11A
+
+// OpConcat serializes its arguments into one payload: a header with the
+// field count, then each field with a type tag. This is what the encode API
+// assigns to the `compressed` output.
+func OpConcat(args ...Value) (Value, error) {
+	out := make([]byte, 4, 64)
+	binary.LittleEndian.PutUint16(out[0:], cllMagic)
+	if len(args) > 255 {
+		return Value{}, fmt.Errorf("compll: concat of %d fields (max 255)", len(args))
+	}
+	out[2] = byte(len(args))
+	out[3] = 0 // reserved
+	for _, a := range args {
+		switch a.Kind {
+		case VInt:
+			out = append(out, tagIntScalar, byte(a.Bits))
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(a.I))
+			out = append(out, buf[:]...)
+		case VFloat:
+			out = append(out, tagFloatScalar)
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(a.F)))
+			out = append(out, buf[:]...)
+		case VFloatV:
+			out = append(out, tagFloatVec)
+			out = appendU32(out, uint32(len(a.FV)))
+			for _, x := range a.FV {
+				var buf [4]byte
+				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+				out = append(out, buf[:]...)
+			}
+		case VIntV:
+			out = append(out, tagIntVec, byte(a.Bits))
+			out = appendU32(out, uint32(len(a.IV)))
+			out = append(out, packBits(a.IV, a.Bits)...)
+		case VSparse:
+			out = append(out, tagSparse)
+			out = appendU32(out, uint32(len(a.SIdx)))
+			for _, i := range a.SIdx {
+				out = appendU32(out, uint32(i))
+			}
+			for _, x := range a.SVal {
+				var buf [4]byte
+				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+				out = append(out, buf[:]...)
+			}
+		default:
+			return Value{}, fmt.Errorf("compll: concat cannot serialize %v", a.Kind)
+		}
+	}
+	return Bytes(out), nil
+}
+
+// OpExtract reads field i from a concat payload.
+func OpExtract(payload Value, i Value) (Value, error) {
+	if payload.Kind != VBytes {
+		return Value{}, fmt.Errorf("compll: extract requires uint8*, got %v", payload.Kind)
+	}
+	want, err := i.AsInt()
+	if err != nil {
+		return Value{}, err
+	}
+	b := payload.B
+	if len(b) < 4 || binary.LittleEndian.Uint16(b) != cllMagic {
+		return Value{}, fmt.Errorf("compll: extract from non-CompLL payload")
+	}
+	count := int(b[2])
+	if int(want) < 0 || int(want) >= count {
+		return Value{}, fmt.Errorf("compll: extract field %d of %d", want, count)
+	}
+	off := 4
+	for f := 0; f < count; f++ {
+		if off >= len(b) {
+			return Value{}, fmt.Errorf("compll: truncated payload at field %d", f)
+		}
+		tag := b[off]
+		off++
+		switch tag {
+		case tagIntScalar:
+			bits := int(b[off])
+			off++
+			v := int64(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+			if f == int(want) {
+				return Int(v, bits), nil
+			}
+		case tagFloatScalar:
+			v := math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+			if f == int(want) {
+				return Float(float64(v)), nil
+			}
+		case tagFloatVec:
+			n := int(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+			if f == int(want) {
+				out := make([]float32, n)
+				for j := range out {
+					out[j] = math.Float32frombits(binary.LittleEndian.Uint32(b[off+4*j:]))
+				}
+				return Floats(out), nil
+			}
+			off += 4 * n
+		case tagIntVec:
+			bits := int(b[off])
+			off++
+			n := int(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+			nbytes := (n*bits + 7) / 8
+			if f == int(want) {
+				return Ints(unpackBits(b[off:off+nbytes], n, bits), bits), nil
+			}
+			off += nbytes
+		case tagSparse:
+			n := int(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+			if f == int(want) {
+				idx := make([]int64, n)
+				for j := range idx {
+					idx[j] = int64(binary.LittleEndian.Uint32(b[off+4*j:]))
+				}
+				val := make([]float32, n)
+				voff := off + 4*n
+				for j := range val {
+					val[j] = math.Float32frombits(binary.LittleEndian.Uint32(b[voff+4*j:]))
+				}
+				return Sparse(idx, val), nil
+			}
+			off += 8 * n
+		default:
+			return Value{}, fmt.Errorf("compll: unknown field tag %#02x", tag)
+		}
+	}
+	return Value{}, fmt.Errorf("compll: field %d not found", want)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+// packBits bit-packs integer values of the given width, little-endian within
+// bytes, padded with zeros to a byte boundary.
+func packBits(v []int64, bits int) []byte {
+	if bits >= 8 {
+		// Byte-aligned widths: 8-bit stores one byte per value; 32-bit
+		// stores four.
+		switch bits {
+		case 8:
+			out := make([]byte, len(v))
+			for i, x := range v {
+				out[i] = byte(x)
+			}
+			return out
+		default:
+			out := make([]byte, 4*len(v))
+			for i, x := range v {
+				binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+			}
+			return out
+		}
+	}
+	out := make([]byte, (len(v)*bits+7)/8)
+	var acc uint64
+	accBits := 0
+	bi := 0
+	mask := int64(1)<<uint(bits) - 1
+	for _, x := range v {
+		acc |= uint64(x&mask) << uint(accBits)
+		accBits += bits
+		for accBits >= 8 {
+			out[bi] = byte(acc)
+			acc >>= 8
+			accBits -= 8
+			bi++
+		}
+	}
+	if accBits > 0 {
+		out[bi] = byte(acc)
+	}
+	return out
+}
+
+// unpackBits reverses packBits.
+func unpackBits(b []byte, n, bits int) []int64 {
+	out := make([]int64, n)
+	if bits >= 8 {
+		switch bits {
+		case 8:
+			for i := range out {
+				out[i] = int64(b[i])
+			}
+		default:
+			for i := range out {
+				out[i] = int64(int32(binary.LittleEndian.Uint32(b[4*i:])))
+			}
+		}
+		return out
+	}
+	var acc uint64
+	accBits := 0
+	bi := 0
+	mask := uint64(1)<<uint(bits) - 1
+	for i := 0; i < n; i++ {
+		for accBits < bits {
+			acc |= uint64(b[bi]) << uint(accBits)
+			accBits += 8
+			bi++
+		}
+		out[i] = int64(acc & mask)
+		acc >>= uint(bits)
+		accBits -= bits
+	}
+	return out
+}
+
+// Builtin reducers and element functions available to reduce()/map() by
+// name, saving DSL programs from re-declaring trivial lambdas.
+var builtinUDFs = map[string]UDF{
+	"smaller": func(args ...Value) (Value, error) {
+		a, err := args[0].AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := args[1].AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(math.Min(a, b)), nil
+	},
+	"greater": func(args ...Value) (Value, error) {
+		a, err := args[0].AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := args[1].AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(math.Max(a, b)), nil
+	},
+	"sum": func(args ...Value) (Value, error) {
+		a, err := args[0].AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := args[1].AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(a + b), nil
+	},
+	"maxabs": func(args ...Value) (Value, error) {
+		a, err := args[0].AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := args[1].AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(math.Max(math.Abs(a), math.Abs(b))), nil
+	},
+	"absf": func(args ...Value) (Value, error) {
+		a, err := args[0].AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(math.Abs(a)), nil
+	},
+}

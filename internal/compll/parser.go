@@ -1,0 +1,529 @@
+package compll
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks   []token
+	pos    int
+	params map[string]bool // declared param struct names, usable as types
+}
+
+// Parse parses DSL source into a Program. It performs purely syntactic
+// analysis; Check (in check.go) resolves names and types.
+func Parse(name, src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, params: map[string]bool{}}
+	prog := &Program{Name: name}
+	for !p.at(tkEOF, "") {
+		switch {
+		case p.at(tkIdent, "param"):
+			pd, err := p.paramDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Params = append(prog.Params, pd)
+			p.params[pd.Name] = true
+		default:
+			// A type followed by an identifier begins either a global
+			// variable declaration or a function declaration.
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			nameTok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.at(tkPunct, "(") {
+				fn, err := p.funcDecl(typ, nameTok)
+				if err != nil {
+					return nil, err
+				}
+				prog.Funcs = append(prog.Funcs, fn)
+			} else {
+				decls, err := p.globalDecl(typ, nameTok)
+				if err != nil {
+					return nil, err
+				}
+				prog.Globals = append(prog.Globals, decls...)
+			}
+		}
+	}
+	if prog.Func("encode") == nil && prog.Func("decode") == nil {
+		return nil, fmt.Errorf("compll: %s: program declares neither encode nor decode", name)
+	}
+	return prog, nil
+}
+
+// --- token helpers -------------------------------------------------------------
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		return t, fmt.Errorf("compll: %d:%d: expected %q, found %s", t.line, t.col, text, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tkIdent {
+		return t, fmt.Errorf("compll: %d:%d: expected identifier, found %s", t.line, t.col, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+// --- declarations ----------------------------------------------------------------
+
+func (p *parser) parseType() (Type, error) {
+	t := p.cur()
+	if t.kind != tkIdent {
+		return Type{}, fmt.Errorf("compll: %d:%d: expected type, found %s", t.line, t.col, t)
+	}
+	base, ok := typeFromName(t.text)
+	if !ok {
+		if p.params[t.text] {
+			base = Type{ParamName: t.text}
+		} else {
+			return Type{}, fmt.Errorf("compll: %d:%d: unknown type %q", t.line, t.col, t.text)
+		}
+	}
+	p.pos++
+	if p.accept(tkPunct, "*") {
+		if base.ParamName != "" || base.Kind == VVoid || base.Kind == VSparse {
+			return Type{}, fmt.Errorf("compll: %d:%d: %s cannot be a pointer type", t.line, t.col, t.text)
+		}
+		return base.ptr(), nil
+	}
+	return base, nil
+}
+
+func (p *parser) paramDecl() (*ParamDecl, error) {
+	if _, err := p.expect(tkIdent, "param"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, "{"); err != nil {
+		return nil, err
+	}
+	pd := &ParamDecl{Name: name.text}
+	for !p.accept(tkPunct, "}") {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ";"); err != nil {
+			return nil, err
+		}
+		pd.Fields = append(pd.Fields, Field{Type: typ, Name: fname.text})
+	}
+	return pd, nil
+}
+
+// globalDecl parses `type a, b, c;` after type and first name are consumed.
+func (p *parser) globalDecl(typ Type, first token) ([]*VarDecl, error) {
+	decls := []*VarDecl{{Type: typ, Name: first.text, Line: first.line}}
+	if p.accept(tkPunct, "=") {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		decls[0].Init = init
+	}
+	for p.accept(tkPunct, ",") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Type: typ, Name: name.text, Line: name.line}
+		if p.accept(tkPunct, "=") {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		decls = append(decls, d)
+	}
+	if _, err := p.expect(tkPunct, ";"); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+func (p *parser) funcDecl(ret Type, name token) (*FuncDecl, error) {
+	if _, err := p.expect(tkPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Ret: ret, Name: name.text, Line: name.line}
+	for !p.accept(tkPunct, ")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(tkPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Field{Type: typ, Name: pname.text})
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// --- statements ------------------------------------------------------------------
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tkPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.accept(tkPunct, "}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tkIdent, "return"):
+		p.pos++
+		if p.accept(tkPunct, ";") {
+			return &ReturnStmt{Line: t.line}, nil
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: x, Line: t.line}, nil
+
+	case p.at(tkIdent, "if"):
+		p.pos++
+		if _, err := p.expect(tkPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.line}
+		if p.accept(tkIdent, "else") {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case t.kind == tkIdent && p.isTypeStart():
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := VarDecl{Type: typ, Name: name.text, Line: name.line}
+		if p.accept(tkPunct, "=") {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		if _, err := p.expect(tkPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+
+	case t.kind == tkIdent && p.toks[p.pos+1].kind == tkPunct && p.toks[p.pos+1].text == "=":
+		p.pos += 2
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: t.text, Value: val, Line: t.line}, nil
+
+	default:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Line: t.line}, nil
+	}
+}
+
+// isTypeStart reports whether the current token begins a type (base type
+// name or declared param struct).
+func (p *parser) isTypeStart() bool {
+	t := p.cur()
+	if t.kind != tkIdent {
+		return false
+	}
+	if _, ok := typeFromName(t.text); ok {
+		// Disambiguate a declaration from an expression beginning with a
+		// type-named variable: a declaration's type is followed by an
+		// identifier or '*'.
+		nxt := p.toks[p.pos+1]
+		return nxt.kind == tkIdent || nxt.kind == tkPunct && nxt.text == "*"
+	}
+	if p.params[t.text] {
+		return p.toks[p.pos+1].kind == tkIdent
+	}
+	return false
+}
+
+// --- expressions -------------------------------------------------------------------
+
+// Precedence levels, loosest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binLevels[level] {
+			// Guard: "<" must not swallow the type argument of
+			// random<float>(...) — handled in primary(), which consumes the
+			// generic form before we ever see a bare ident "random" here.
+			if p.at(tkPunct, op) {
+				line := p.cur().line
+				p.pos++
+				rhs, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &Binary{Op: op, L: lhs, R: rhs, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if p.accept(tkPunct, "-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x, Line: t.line}, nil
+	}
+	if p.accept(tkPunct, "!") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x, Line: t.line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tkPunct, "."):
+			p.pos++
+			f, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{X: x, Field: f.text, Line: f.line}
+		case p.at(tkPunct, "["):
+			line := p.cur().line
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, I: idx, Line: line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tkNumber:
+		p.pos++
+		if hasDot(t.text) {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("compll: %d:%d: bad float literal %q", t.line, t.col, t.text)
+			}
+			return &Number{Text: t.text, IsFloat: true, F: f, Line: t.line}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("compll: %d:%d: bad integer literal %q", t.line, t.col, t.text)
+		}
+		return &Number{Text: t.text, I: i, Line: t.line}, nil
+
+	case t.kind == tkIdent:
+		p.pos++
+		// Generic call: ident '<' type '>' '(' args ')'. Only attempted when
+		// the full shape matches, so comparisons still parse.
+		if p.at(tkPunct, "<") && p.toks[p.pos+1].kind == tkIdent {
+			if _, isType := typeFromName(p.toks[p.pos+1].text); isType &&
+				p.toks[p.pos+2].kind == tkPunct && p.toks[p.pos+2].text == ">" &&
+				p.toks[p.pos+3].kind == tkPunct && p.toks[p.pos+3].text == "(" {
+				p.pos++ // <
+				typ, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				p.pos++ // >
+				args, err := p.callArgs()
+				if err != nil {
+					return nil, err
+				}
+				return &Call{Fn: t.text, TypeArg: &typ, Args: args, Line: t.line}, nil
+			}
+		}
+		if p.at(tkPunct, "(") {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Fn: t.text, Args: args, Line: t.line}, nil
+		}
+		return &Ident{Name: t.text, Line: t.line}, nil
+
+	case p.accept(tkPunct, "("):
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+
+	default:
+		return nil, fmt.Errorf("compll: %d:%d: unexpected %s in expression", t.line, t.col, t)
+	}
+}
+
+func (p *parser) callArgs() ([]Expr, error) {
+	if _, err := p.expect(tkPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.accept(tkPunct, ")") {
+		if len(args) > 0 {
+			if _, err := p.expect(tkPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return args, nil
+}
+
+func hasDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package compll
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the runtime surface for CompLL-generated Go code: the code
+// generator translates DSL constructs into calls against these helpers (plus
+// the Op* operator library), so generated compressors link against the same
+// optimized primitives the interpreter uses — the Go analogue of the paper's
+// "substitutes [operator calls] with our highly-optimized CUDA
+// implementation".
+
+// Neg negates a numeric scalar.
+func Neg(v Value) (Value, error) {
+	switch v.Kind {
+	case VFloat:
+		return Float(-v.F), nil
+	case VInt:
+		return Int(-v.I, 32), nil
+	default:
+		return Value{}, fmt.Errorf("compll: cannot negate %v", v.Kind)
+	}
+}
+
+// Not applies C logical negation.
+func Not(v Value) (Value, error) {
+	t, err := v.Truthy()
+	if err != nil {
+		return Value{}, err
+	}
+	return boolVal(!t), nil
+}
+
+// SizeOf returns a vector's length as an int32 value (the DSL's `.size`).
+func SizeOf(v Value) (Value, error) {
+	n, err := v.Len()
+	if err != nil {
+		return Value{}, err
+	}
+	return Int(int64(n), 32), nil
+}
+
+// IndexOf returns element i of a vector value (the DSL's `v[i]`).
+func IndexOf(base, idx Value) (Value, error) {
+	i, err := idx.AsInt()
+	if err != nil {
+		return Value{}, err
+	}
+	return base.Index(int(i))
+}
+
+// SparseIndices returns the index vector of a sparse value.
+func SparseIndices(v Value) (Value, error) {
+	if v.Kind != VSparse {
+		return Value{}, fmt.Errorf("compll: .indices on %v", v.Kind)
+	}
+	return Ints(v.SIdx, 32), nil
+}
+
+// SparseValues returns the value vector of a sparse value.
+func SparseValues(v Value) (Value, error) {
+	if v.Kind != VSparse {
+		return Value{}, fmt.Errorf("compll: .values on %v", v.Kind)
+	}
+	return Floats(v.SVal), nil
+}
+
+// Math1 applies a unary math builtin (floor, abs, sqrt).
+func Math1(fn string, v Value) (Value, error) {
+	f, err := v.AsFloat()
+	if err != nil {
+		return Value{}, err
+	}
+	switch fn {
+	case "floor":
+		return Float(math.Floor(f)), nil
+	case "abs":
+		return Float(math.Abs(f)), nil
+	case "sqrt":
+		return Float(math.Sqrt(f)), nil
+	default:
+		return Value{}, fmt.Errorf("compll: unknown math builtin %q", fn)
+	}
+}
+
+// ParamField reads one algorithm parameter, converted to its declared DSL
+// type (missing parameters default to zero).
+func ParamField(params map[string]float64, field string, kind VKind, bits int) (Value, error) {
+	return ConvertTo(Float(params[field]), kind, bits)
+}
+
+// Builtin resolves a library udf by name (smaller, greater, sum, maxabs,
+// absf).
+func Builtin(name string) (UDF, bool) {
+	f, ok := builtinUDFs[name]
+	return f, ok
+}

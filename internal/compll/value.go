@@ -1,0 +1,331 @@
+// Package compll implements the paper's gradient compression toolkit (§4):
+// a unified encode/decode API abstraction, a library of optimized common
+// operators (Table 4), a C-like domain-specific language, an interpreter,
+// and a Go code generator. Algorithms written in the DSL compile into
+// compressors that register directly with the compress package, giving the
+// "automated integration into DNN systems with little human intervention"
+// the paper claims — a .cll file becomes a CaSync-usable compressor with no
+// glue code.
+package compll
+
+import (
+	"fmt"
+
+	"hipress/internal/tensor"
+)
+
+// VKind enumerates the DSL's runtime value kinds.
+type VKind uint8
+
+// Value kinds. Integer values remember their declared bit width so arrays of
+// sub-byte types pack correctly (§4.3: "CompLL uses consecutive bits of one
+// or more bytes to represent this array compactly").
+const (
+	VInt    VKind = iota // integer scalar (uint1..uint8, int32, bool)
+	VFloat               // float scalar
+	VFloatV              // float vector (float*)
+	VIntV                // integer vector (uintN*/int32*)
+	VBytes               // byte payload (uint8* compressed)
+	VSparse              // sparse (index, value) pairs from filter()
+	VVoid
+)
+
+// String implements fmt.Stringer.
+func (k VKind) String() string {
+	switch k {
+	case VInt:
+		return "int"
+	case VFloat:
+		return "float"
+	case VFloatV:
+		return "float*"
+	case VIntV:
+		return "int*"
+	case VBytes:
+		return "uint8*"
+	case VSparse:
+		return "sparse"
+	case VVoid:
+		return "void"
+	default:
+		return fmt.Sprintf("VKind(%d)", uint8(k))
+	}
+}
+
+// Value is one DSL runtime value. Exactly one payload field is meaningful
+// for a given Kind.
+type Value struct {
+	Kind VKind
+	// Bits is the integer bit width (1, 2, 4, 8, 32) for VInt/VIntV.
+	Bits int
+	I    int64
+	F    float64
+	FV   []float32
+	IV   []int64
+	B    []byte
+	SIdx []int64
+	SVal []float32
+}
+
+// Int builds an integer scalar of the given width.
+func Int(v int64, bits int) Value { return Value{Kind: VInt, Bits: bits, I: v} }
+
+// Float builds a float scalar.
+func Float(v float64) Value { return Value{Kind: VFloat, F: v} }
+
+// Floats builds a float vector value (no copy).
+func Floats(v []float32) Value { return Value{Kind: VFloatV, FV: v} }
+
+// Ints builds an integer vector of the given element width (no copy).
+func Ints(v []int64, bits int) Value { return Value{Kind: VIntV, Bits: bits, IV: v} }
+
+// Bytes builds a payload value.
+func Bytes(b []byte) Value { return Value{Kind: VBytes, B: b} }
+
+// Sparse builds a sparse pair value.
+func Sparse(idx []int64, val []float32) Value {
+	return Value{Kind: VSparse, SIdx: idx, SVal: val}
+}
+
+// Void is the unit value.
+func Void() Value { return Value{Kind: VVoid} }
+
+// AsFloat coerces a numeric scalar to float64.
+func (v Value) AsFloat() (float64, error) {
+	switch v.Kind {
+	case VFloat:
+		return v.F, nil
+	case VInt:
+		return float64(v.I), nil
+	default:
+		return 0, fmt.Errorf("compll: %v is not numeric", v.Kind)
+	}
+}
+
+// AsInt coerces a numeric scalar to int64, truncating floats (C semantics).
+func (v Value) AsInt() (int64, error) {
+	switch v.Kind {
+	case VInt:
+		return v.I, nil
+	case VFloat:
+		return int64(v.F), nil
+	default:
+		return 0, fmt.Errorf("compll: %v is not numeric", v.Kind)
+	}
+}
+
+// Truthy reports C truthiness of a numeric scalar.
+func (v Value) Truthy() (bool, error) {
+	switch v.Kind {
+	case VInt:
+		return v.I != 0, nil
+	case VFloat:
+		return v.F != 0, nil
+	default:
+		return false, fmt.Errorf("compll: %v is not a condition", v.Kind)
+	}
+}
+
+// Len returns the element count of a vector-like value.
+func (v Value) Len() (int, error) {
+	switch v.Kind {
+	case VFloatV:
+		return len(v.FV), nil
+	case VIntV:
+		return len(v.IV), nil
+	case VBytes:
+		return len(v.B), nil
+	case VSparse:
+		return len(v.SIdx), nil
+	default:
+		return 0, fmt.Errorf("compll: %v has no size", v.Kind)
+	}
+}
+
+// Index returns element i of a vector-like value.
+func (v Value) Index(i int) (Value, error) {
+	switch v.Kind {
+	case VFloatV:
+		if i < 0 || i >= len(v.FV) {
+			return Value{}, fmt.Errorf("compll: index %d out of range %d", i, len(v.FV))
+		}
+		return Float(float64(v.FV[i])), nil
+	case VIntV:
+		if i < 0 || i >= len(v.IV) {
+			return Value{}, fmt.Errorf("compll: index %d out of range %d", i, len(v.IV))
+		}
+		return Int(v.IV[i], v.Bits), nil
+	case VBytes:
+		if i < 0 || i >= len(v.B) {
+			return Value{}, fmt.Errorf("compll: index %d out of range %d", i, len(v.B))
+		}
+		return Int(int64(v.B[i]), 8), nil
+	default:
+		return Value{}, fmt.Errorf("compll: cannot index %v", v.Kind)
+	}
+}
+
+// clampInt masks an integer to its declared width (unsigned wrap for uintN;
+// int32 keeps its sign).
+func clampInt(v int64, bits int) int64 {
+	switch bits {
+	case 1, 2, 4, 8:
+		return v & (1<<uint(bits) - 1)
+	default:
+		return v
+	}
+}
+
+// Arith applies a C-like binary operator to two numeric scalars, promoting
+// to float when either side is float.
+func Arith(op string, a, b Value) (Value, error) {
+	if a.Kind == VFloat || b.Kind == VFloat {
+		x, err := a.AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		y, err := b.AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		switch op {
+		case "+":
+			return Float(x + y), nil
+		case "-":
+			return Float(x - y), nil
+		case "*":
+			return Float(x * y), nil
+		case "/":
+			return Float(x / y), nil
+		case "<":
+			return boolVal(x < y), nil
+		case ">":
+			return boolVal(x > y), nil
+		case "<=":
+			return boolVal(x <= y), nil
+		case ">=":
+			return boolVal(x >= y), nil
+		case "==":
+			return boolVal(x == y), nil
+		case "!=":
+			return boolVal(x != y), nil
+		default:
+			return Value{}, fmt.Errorf("compll: operator %q undefined on floats", op)
+		}
+	}
+	x, err := a.AsInt()
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := b.AsInt()
+	if err != nil {
+		return Value{}, err
+	}
+	switch op {
+	case "+":
+		return Int(x+y, 32), nil
+	case "-":
+		return Int(x-y, 32), nil
+	case "*":
+		return Int(x*y, 32), nil
+	case "/":
+		if y == 0 {
+			return Value{}, fmt.Errorf("compll: integer division by zero")
+		}
+		return Int(x/y, 32), nil
+	case "%":
+		if y == 0 {
+			return Value{}, fmt.Errorf("compll: integer modulo by zero")
+		}
+		return Int(x%y, 32), nil
+	case "<<":
+		return Int(x<<uint(y), 32), nil
+	case ">>":
+		return Int(x>>uint(y), 32), nil
+	case "&":
+		return Int(x&y, 32), nil
+	case "|":
+		return Int(x|y, 32), nil
+	case "^":
+		return Int(x^y, 32), nil
+	case "<":
+		return boolVal(x < y), nil
+	case ">":
+		return boolVal(x > y), nil
+	case "<=":
+		return boolVal(x <= y), nil
+	case ">=":
+		return boolVal(x >= y), nil
+	case "==":
+		return boolVal(x == y), nil
+	case "!=":
+		return boolVal(x != y), nil
+	case "&&":
+		return boolVal(x != 0 && y != 0), nil
+	case "||":
+		return boolVal(x != 0 || y != 0), nil
+	default:
+		return Value{}, fmt.Errorf("compll: unknown operator %q", op)
+	}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Int(1, 1)
+	}
+	return Int(0, 1)
+}
+
+// ConvertTo coerces v to the declared DSL type (kind + bit width), applying
+// C-style truncation and masking.
+func ConvertTo(v Value, kind VKind, bits int) (Value, error) {
+	switch kind {
+	case VInt:
+		i, err := v.AsInt()
+		if err != nil {
+			return Value{}, err
+		}
+		return Int(clampInt(i, bits), bits), nil
+	case VFloat:
+		f, err := v.AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(f), nil
+	case VFloatV:
+		if v.Kind != VFloatV {
+			return Value{}, fmt.Errorf("compll: cannot convert %v to float*", v.Kind)
+		}
+		return v, nil
+	case VIntV:
+		if v.Kind != VIntV {
+			return Value{}, fmt.Errorf("compll: cannot convert %v to int vector", v.Kind)
+		}
+		out := make([]int64, len(v.IV))
+		for i, x := range v.IV {
+			out[i] = clampInt(x, bits)
+		}
+		return Ints(out, bits), nil
+	case VBytes:
+		if v.Kind != VBytes {
+			return Value{}, fmt.Errorf("compll: cannot convert %v to uint8*", v.Kind)
+		}
+		return v, nil
+	case VSparse:
+		if v.Kind != VSparse {
+			return Value{}, fmt.Errorf("compll: cannot convert %v to sparse", v.Kind)
+		}
+		return v, nil
+	case VVoid:
+		return Void(), nil
+	default:
+		return Value{}, fmt.Errorf("compll: unknown target kind %v", kind)
+	}
+}
+
+// RNG is re-exported so generated code and the interpreter share the
+// deterministic stream type.
+type RNG = tensor.RNG
+
+// NewRNG seeds a deterministic generator for random<...>() calls.
+func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }

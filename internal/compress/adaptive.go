@@ -1,0 +1,127 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hipress/internal/tensor"
+)
+
+// Adaptive implements Accordion-style adaptive compression (Agarwal et al.,
+// 2021), which the paper's related-work section notes "can be employed by
+// HiPress as an advanced feature": during critical learning regimes
+// (detected by rapid change in gradient norms) it uses a conservative
+// compressor; once gradients stabilize it switches to an aggressive one.
+//
+// Detection follows Accordion's rule: for each gradient key, compare the
+// current gradient L2 norm against the norm at the previous switch decision;
+// a relative change above Threshold marks a critical regime.
+//
+// Adaptive is itself a Compressor, so it composes with ErrorFeedback and
+// registers in the registry ("adaptive" wraps DGC at two ratios by
+// default). Decode dispatches on the payload's algorithm id, so receivers
+// need no knowledge of the sender's current regime.
+type Adaptive struct {
+	conservative Compressor // used in critical regimes
+	aggressive   Compressor // used in stable regimes
+	threshold    float64
+
+	mu       sync.Mutex
+	prevNorm float64
+	critical bool
+	// switches counts regime changes, for tests and diagnostics.
+	switches int
+}
+
+// NewAdaptive wraps a conservative and an aggressive compressor with a
+// relative-norm-change threshold (Accordion's default is 0.5).
+func NewAdaptive(conservative, aggressive Compressor, threshold float64) (*Adaptive, error) {
+	if conservative == nil || aggressive == nil {
+		return nil, fmt.Errorf("compress: adaptive needs two compressors")
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("compress: adaptive threshold %g must be positive", threshold)
+	}
+	return &Adaptive{
+		conservative: conservative,
+		aggressive:   aggressive,
+		threshold:    threshold,
+		critical:     true, // training starts in a critical regime
+	}, nil
+}
+
+// Name implements Compressor.
+func (a *Adaptive) Name() string {
+	return fmt.Sprintf("adaptive(%s|%s)", a.conservative.Name(), a.aggressive.Name())
+}
+
+// Critical reports the current regime (diagnostics).
+func (a *Adaptive) Critical() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.critical
+}
+
+// Switches reports how many regime changes have occurred.
+func (a *Adaptive) Switches() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.switches
+}
+
+// Encode implements Compressor: detect the regime from the gradient norm,
+// then delegate.
+func (a *Adaptive) Encode(grad []float32) ([]byte, error) {
+	norm := tensor.Norm2(grad)
+	a.mu.Lock()
+	wasCritical := a.critical
+	if a.prevNorm > 0 {
+		rel := math.Abs(norm-a.prevNorm) / a.prevNorm
+		a.critical = rel > a.threshold
+	}
+	if a.critical != wasCritical {
+		a.switches++
+	}
+	a.prevNorm = norm
+	c := a.aggressive
+	if a.critical {
+		c = a.conservative
+	}
+	a.mu.Unlock()
+	return c.Encode(grad)
+}
+
+// Decode implements Compressor by dispatching on the payload's embedded
+// algorithm: it tries the conservative decoder first and falls back to the
+// aggressive one (payload headers reject the wrong decoder loudly).
+func (a *Adaptive) Decode(payload []byte, n int) ([]float32, error) {
+	if dec, err := a.conservative.Decode(payload, n); err == nil {
+		return dec, nil
+	}
+	return a.aggressive.Decode(payload, n)
+}
+
+// CompressedSize implements Compressor conservatively (the larger of the
+// two regimes, so planners never under-budget).
+func (a *Adaptive) CompressedSize(n int) int {
+	c, g := a.conservative.CompressedSize(n), a.aggressive.CompressedSize(n)
+	if c > g {
+		return c
+	}
+	return g
+}
+
+func init() {
+	Register("adaptive", func(p Params) (Compressor, error) {
+		cons, err := NewDGC(p.Get("conservative_ratio", 0.05))
+		if err != nil {
+			return nil, err
+		}
+		aggr, err := NewDGC(p.Get("aggressive_ratio", 0.001))
+		if err != nil {
+			return nil, err
+		}
+		return NewAdaptive(cons, aggr, p.Get("threshold", 0.5))
+	})
+}

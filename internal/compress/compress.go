@@ -1,0 +1,197 @@
+// Package compress implements the five gradient compression algorithms the
+// paper builds with CompLL (onebit, TBQ, TernGrad, DGC, GradDrop), plus the
+// deliberately naive "OSS" baselines the evaluation compares against.
+//
+// All algorithms operate on real data: Encode turns a []float32 gradient
+// into a compact byte payload and Decode reconstructs the (lossy) gradient.
+// Compressed gradients are NOT directly aggregatable — exactly the property
+// that motivates CaSync — so the package also provides DecodeAdd, the fused
+// decode+merge the paper's §5 describes.
+//
+// Compressors are stateless; error-feedback residual state (which the
+// quantization/sparsification convergence proofs rely on) lives in the
+// ErrorFeedback wrapper so one compressor instance can serve many gradients
+// and many workers.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Compressor is the unified abstraction mirroring CompLL's encode/decode API
+// (paper Fig. 4): an encode that maps a float gradient to bytes and a decode
+// that unfolds it back.
+type Compressor interface {
+	// Name identifies the algorithm (and its parameterization) in plans,
+	// logs, and benchmark tables.
+	Name() string
+
+	// Encode compresses grad into a fresh payload. The input is not
+	// modified.
+	Encode(grad []float32) ([]byte, error)
+
+	// Decode reconstructs an n-element gradient from payload. n must match
+	// the length passed to Encode.
+	Decode(payload []byte, n int) ([]float32, error)
+
+	// CompressedSize returns the exact payload size in bytes that Encode
+	// produces for an n-element gradient. The simulation plane uses this to
+	// size phantom transfers without touching real data.
+	CompressedSize(n int) int
+}
+
+// DecodeAdder is implemented by compressors that support the fused
+// decode+merge operator: dst[i] += decoded[i] without materializing the
+// intermediate gradient.
+type DecodeAdder interface {
+	DecodeAdd(payload []byte, dst []float32) error
+}
+
+// Ratio returns compressed bytes / uncompressed bytes for an n-element
+// gradient under c. This is the paper's compression rate r (Table 2).
+func Ratio(c Compressor, n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return float64(c.CompressedSize(n)) / float64(4*n)
+}
+
+// DecodeAdd merges the decoded payload into dst, using the fused path when
+// the compressor provides one and falling back to Decode+add otherwise.
+func DecodeAdd(c Compressor, payload []byte, dst []float32) error {
+	if da, ok := c.(DecodeAdder); ok {
+		return da.DecodeAdd(payload, dst)
+	}
+	dec, err := c.Decode(payload, len(dst))
+	if err != nil {
+		return err
+	}
+	for i, x := range dec {
+		dst[i] += x
+	}
+	return nil
+}
+
+// --- payload header helpers -------------------------------------------------
+
+// Every payload starts with a fixed header so that corrupted or mismatched
+// buffers fail loudly instead of silently producing garbage gradients.
+const headerSize = 8 // magic uint16 | algo uint16 | n uint32
+
+func putHeader(buf []byte, magic uint16, algo uint16, n int) {
+	binary.LittleEndian.PutUint16(buf[0:], magic)
+	binary.LittleEndian.PutUint16(buf[2:], algo)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(n))
+}
+
+func checkHeader(payload []byte, magic uint16, algo uint16, n int) error {
+	if len(payload) < headerSize {
+		return fmt.Errorf("compress: payload too short (%d bytes)", len(payload))
+	}
+	if m := binary.LittleEndian.Uint16(payload[0:]); m != magic {
+		return fmt.Errorf("compress: bad magic %#04x", m)
+	}
+	if a := binary.LittleEndian.Uint16(payload[2:]); a != algo {
+		return fmt.Errorf("compress: payload algorithm id %d does not match decoder %d", a, algo)
+	}
+	if pn := int(binary.LittleEndian.Uint32(payload[4:])); pn != n {
+		return fmt.Errorf("compress: payload length %d does not match requested %d", pn, n)
+	}
+	return nil
+}
+
+const payloadMagic = 0xC511 // "CompLL-ish" tag shared by all algorithms
+
+// Algorithm ids embedded in payload headers.
+const (
+	algoOnebit uint16 = iota + 1
+	algoTBQ
+	algoTernGrad
+	algoDGC
+	algoGradDrop
+)
+
+func putF32(buf []byte, x float32) { binary.LittleEndian.PutUint32(buf, math.Float32bits(x)) }
+func getF32(buf []byte) float32    { return math.Float32frombits(binary.LittleEndian.Uint32(buf)) }
+
+// --- registry ----------------------------------------------------------------
+
+// Params carries algorithm-specific knobs (the paper's "algorithm-specific
+// parameters": bitwidth for quantizers, ratio/threshold for sparsifiers).
+type Params map[string]float64
+
+// Get returns the named parameter or def when absent.
+func (p Params) Get(name string, def float64) float64 {
+	if p == nil {
+		return def
+	}
+	if v, ok := p[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Factory builds a compressor from parameters.
+type Factory func(Params) (Compressor, error)
+
+var registry = map[string]Factory{}
+
+// Register installs a factory under name. It panics on duplicates: algorithm
+// registration happens at init time and a collision is a programming error.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic("compress: duplicate registration of " + name)
+	}
+	registry[name] = f
+}
+
+// New builds a compressor by registry name. Registered names include
+// "onebit", "tbq", "terngrad", "dgc", "graddrop" and their "oss-" baseline
+// variants.
+func New(name string, p Params) (Compressor, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown algorithm %q (have %v)", name, Names())
+	}
+	return f(p)
+}
+
+// Names returns the sorted list of registered algorithm names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("onebit", func(p Params) (Compressor, error) { return Onebit{}, nil })
+	Register("tbq", func(p Params) (Compressor, error) {
+		return NewTBQ(p.Get("tau", 0.05)), nil
+	})
+	Register("terngrad", func(p Params) (Compressor, error) {
+		return NewTernGrad(int(p.Get("bitwidth", 2)), uint64(p.Get("seed", 1)))
+	})
+	Register("dgc", func(p Params) (Compressor, error) {
+		return NewDGC(p.Get("ratio", 0.001))
+	})
+	Register("graddrop", func(p Params) (Compressor, error) {
+		return NewGradDrop(p.Get("ratio", 0.01), uint64(p.Get("seed", 1)))
+	})
+	Register("oss-onebit", func(p Params) (Compressor, error) { return OSSOnebit{}, nil })
+	Register("oss-tbq", func(p Params) (Compressor, error) {
+		return OSSTBQ{TBQ: NewTBQ(p.Get("tau", 0.05))}, nil
+	})
+	Register("oss-dgc", func(p Params) (Compressor, error) {
+		d, err := NewDGC(p.Get("ratio", 0.001))
+		if err != nil {
+			return nil, err
+		}
+		return OSSDGC{DGC: d}, nil
+	})
+}

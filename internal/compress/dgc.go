@@ -1,0 +1,142 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hipress/internal/tensor"
+)
+
+// DGC implements Deep Gradient Compression's sparsification core (Lin et
+// al., ICLR 2018): keep exactly the top ratio×n elements by magnitude and
+// transmit them as (index, value) pairs. The momentum-correction and
+// gradient-clipping tricks from the DGC paper are training-loop concerns and
+// live in internal/trainer; the residual accumulation that makes top-k
+// convergent is provided by ErrorFeedback.
+//
+// Selection uses an exact k-th statistic via quickselect (the "hierarchical
+// selection" the paper credits CompLL's optimized operators for), rather than
+// the full sort the OSS baseline uses — that asymptotic gap is a large part
+// of the 5.1× encode speedup reported in §4.4.
+//
+// Payload layout (little-endian):
+//
+//	header(8) | k uint32 | k × (index uint32) | k × (value float32)
+type DGC struct {
+	ratio float64
+}
+
+// NewDGC returns a top-k sparsifier keeping ratio of the elements
+// (0 < ratio <= 1). The paper's default is 0.001 (0.1%).
+func NewDGC(ratio float64) (*DGC, error) {
+	if ratio <= 0 || ratio > 1 {
+		return nil, fmt.Errorf("compress: dgc ratio %g out of (0,1]", ratio)
+	}
+	return &DGC{ratio: ratio}, nil
+}
+
+// Name implements Compressor.
+func (d *DGC) Name() string { return fmt.Sprintf("dgc-%g", d.ratio) }
+
+// Ratio returns the configured keep fraction.
+func (d *DGC) Ratio() float64 { return d.ratio }
+
+// k returns the number of kept elements for an n-element gradient: at least
+// one so every gradient makes some progress.
+func (d *DGC) k(n int) int {
+	if n == 0 {
+		return 0
+	}
+	k := int(d.ratio * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// CompressedSize implements Compressor.
+func (d *DGC) CompressedSize(n int) int { return headerSize + 4 + 8*d.k(n) }
+
+// Encode implements Compressor.
+func (d *DGC) Encode(grad []float32) ([]byte, error) {
+	n := len(grad)
+	k := d.k(n)
+	out := make([]byte, d.CompressedSize(n))
+	putHeader(out, payloadMagic, algoDGC, n)
+	binary.LittleEndian.PutUint32(out[headerSize:], uint32(k))
+	if k == 0 {
+		return out, nil
+	}
+	thr := tensor.KthLargestAbs(grad, k)
+	idxBody := out[headerSize+4:]
+	valBody := out[headerSize+4+4*k:]
+	w := 0
+	// Strictly-above-threshold elements first; ties at the threshold fill the
+	// remaining slots in index order so exactly k survive.
+	for i, g := range grad {
+		a := g
+		if a < 0 {
+			a = -a
+		}
+		if a > thr && w < k {
+			binary.LittleEndian.PutUint32(idxBody[4*w:], uint32(i))
+			putF32(valBody[4*w:], g)
+			w++
+		}
+	}
+	for i, g := range grad {
+		if w >= k {
+			break
+		}
+		a := g
+		if a < 0 {
+			a = -a
+		}
+		if a == thr {
+			binary.LittleEndian.PutUint32(idxBody[4*w:], uint32(i))
+			putF32(valBody[4*w:], g)
+			w++
+		}
+	}
+	if w != k {
+		return nil, fmt.Errorf("compress: dgc selected %d of %d elements (internal error)", w, k)
+	}
+	return out, nil
+}
+
+// Decode implements Compressor.
+func (d *DGC) Decode(payload []byte, n int) ([]float32, error) {
+	out := make([]float32, n)
+	if err := d.DecodeAdd(payload, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeAdd implements DecodeAdder.
+func (d *DGC) DecodeAdd(payload []byte, dst []float32) error {
+	n := len(dst)
+	if err := checkHeader(payload, payloadMagic, algoDGC, n); err != nil {
+		return err
+	}
+	if len(payload) < headerSize+4 {
+		return errSize("dgc", len(payload), headerSize+4)
+	}
+	k := int(binary.LittleEndian.Uint32(payload[headerSize:]))
+	if want := headerSize + 4 + 8*k; len(payload) != want {
+		return errSize("dgc", len(payload), want)
+	}
+	idxBody := payload[headerSize+4:]
+	valBody := payload[headerSize+4+4*k:]
+	for j := 0; j < k; j++ {
+		idx := int(binary.LittleEndian.Uint32(idxBody[4*j:]))
+		if idx >= n {
+			return fmt.Errorf("compress: dgc index %d out of range %d", idx, n)
+		}
+		dst[idx] += getF32(valBody[4*j:])
+	}
+	return nil
+}

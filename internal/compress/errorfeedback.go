@@ -1,0 +1,91 @@
+package compress
+
+import (
+	"sync"
+
+	"hipress/internal/tensor"
+)
+
+// ErrorFeedback maintains per-gradient residual state for error-feedback
+// (memory-compensated) compression. Before compressing, the residual left
+// over from previous iterations is added to the fresh gradient; after
+// compressing, whatever the encoder failed to represent becomes the new
+// residual:
+//
+//	v        = grad + residual
+//	payload  = Encode(v)
+//	residual = v - Decode(payload)
+//
+// This is the standard EF-SGD construction that onebit, TBQ, DGC, and
+// GradDrop all rely on for convergence (TernGrad is unbiased and does not
+// need it, but tolerates it). Residuals are keyed by gradient name because a
+// DNN synchronizes hundreds of named gradients per iteration, each needing
+// its own memory.
+//
+// ErrorFeedback is safe for concurrent use by multiple goroutines, matching
+// the live plane where layer gradients complete out of order.
+type ErrorFeedback struct {
+	c Compressor
+
+	mu        sync.Mutex
+	residuals map[string][]float32
+}
+
+// NewErrorFeedback wraps c with residual accumulation.
+func NewErrorFeedback(c Compressor) *ErrorFeedback {
+	return &ErrorFeedback{c: c, residuals: make(map[string][]float32)}
+}
+
+// Compressor returns the wrapped compressor.
+func (ef *ErrorFeedback) Compressor() Compressor { return ef.c }
+
+// EncodeWithFeedback compresses grad under key, applying and updating the
+// residual. The input slice is not modified.
+func (ef *ErrorFeedback) EncodeWithFeedback(key string, grad []float32) ([]byte, error) {
+	ef.mu.Lock()
+	res := ef.residuals[key]
+	if len(res) != len(grad) {
+		res = make([]float32, len(grad))
+		ef.residuals[key] = res
+	}
+	ef.mu.Unlock()
+
+	v := tensor.Clone(grad)
+	tensor.Add(v, res)
+	payload, err := ef.c.Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := ef.c.Decode(payload, len(v))
+	if err != nil {
+		return nil, err
+	}
+	ef.mu.Lock()
+	// Another goroutine may have replaced the slice (e.g. after a resize);
+	// re-fetch under the lock before writing.
+	res = ef.residuals[key]
+	for i := range res {
+		res[i] = v[i] - dec[i]
+	}
+	ef.mu.Unlock()
+	return payload, nil
+}
+
+// Residual returns a copy of the residual currently stored for key, or nil
+// if none exists. Intended for tests and diagnostics.
+func (ef *ErrorFeedback) Residual(key string) []float32 {
+	ef.mu.Lock()
+	defer ef.mu.Unlock()
+	r, ok := ef.residuals[key]
+	if !ok {
+		return nil
+	}
+	return tensor.Clone(r)
+}
+
+// Reset drops all residual state (e.g. between training runs).
+func (ef *ErrorFeedback) Reset() {
+	ef.mu.Lock()
+	defer ef.mu.Unlock()
+	ef.residuals = make(map[string][]float32)
+}

@@ -1,0 +1,91 @@
+package compress
+
+import (
+	"sync/atomic"
+)
+
+// Instrumented wraps a compressor with operation counters — the kind of
+// observability a production framework exports (encode/decode counts, raw
+// vs. wire bytes, realized compression ratio). All counters are atomic; the
+// wrapper adds no locking to the data path.
+type Instrumented struct {
+	inner Compressor
+
+	encodes, decodes    atomic.Int64
+	rawBytes, wireBytes atomic.Int64
+	errors              atomic.Int64
+}
+
+// NewInstrumented wraps c with counters.
+func NewInstrumented(c Compressor) *Instrumented {
+	return &Instrumented{inner: c}
+}
+
+// Name implements Compressor.
+func (m *Instrumented) Name() string { return m.inner.Name() }
+
+// Encode implements Compressor.
+func (m *Instrumented) Encode(grad []float32) ([]byte, error) {
+	payload, err := m.inner.Encode(grad)
+	if err != nil {
+		m.errors.Add(1)
+		return nil, err
+	}
+	m.encodes.Add(1)
+	m.rawBytes.Add(int64(4 * len(grad)))
+	m.wireBytes.Add(int64(len(payload)))
+	return payload, nil
+}
+
+// Decode implements Compressor.
+func (m *Instrumented) Decode(payload []byte, n int) ([]float32, error) {
+	out, err := m.inner.Decode(payload, n)
+	if err != nil {
+		m.errors.Add(1)
+		return nil, err
+	}
+	m.decodes.Add(1)
+	return out, nil
+}
+
+// CompressedSize implements Compressor.
+func (m *Instrumented) CompressedSize(n int) int { return m.inner.CompressedSize(n) }
+
+// Stats is a snapshot of the counters.
+type Stats struct {
+	Encodes, Decodes    int64
+	RawBytes, WireBytes int64
+	Errors              int64
+}
+
+// Ratio returns realized wire/raw bytes, or 1 before any encode.
+func (s Stats) Ratio() float64 {
+	if s.RawBytes == 0 {
+		return 1
+	}
+	return float64(s.WireBytes) / float64(s.RawBytes)
+}
+
+// Saved returns total bytes kept off the wire so far.
+func (s Stats) Saved() int64 { return s.RawBytes - s.WireBytes }
+
+// Stats returns a consistent-enough snapshot (each counter individually
+// atomic).
+func (m *Instrumented) Stats() Stats {
+	return Stats{
+		Encodes:   m.encodes.Load(),
+		Decodes:   m.decodes.Load(),
+		RawBytes:  m.rawBytes.Load(),
+		WireBytes: m.wireBytes.Load(),
+		Errors:    m.errors.Load(),
+	}
+}
+
+// Reset zeroes the counters.
+func (m *Instrumented) Reset() {
+	m.encodes.Store(0)
+	m.decodes.Store(0)
+	m.rawBytes.Store(0)
+	m.wireBytes.Store(0)
+	m.errors.Store(0)
+}

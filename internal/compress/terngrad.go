@@ -1,0 +1,140 @@
+package compress
+
+import (
+	"fmt"
+
+	"hipress/internal/tensor"
+)
+
+// TernGrad implements the generalized low-bitwidth stochastic quantization of
+// Wen et al. (NeurIPS 2017), following the exact formulation the paper's
+// Fig. 5 expresses in CompLL's DSL:
+//
+//	gap  = (max - min) / (2^bitwidth - 1)
+//	q[i] = floor((g[i]-min)/gap + U[0,1))          // stochastic rounding
+//	g'   = min + q[i]*gap                          // reconstruction
+//
+// bitwidth=2 is classic TernGrad territory (4 levels); Fig. 12b sweeps
+// bitwidth over {2, 4, 8}. Stochastic rounding makes the quantizer unbiased:
+// E[g'] = g, which is what preserves convergence without error feedback
+// (though combining it with ErrorFeedback is harmless and slightly better).
+//
+// Payload layout (little-endian):
+//
+//	header(8) | bitwidth uint8 | pad(3) | min float32 | max float32 |
+//	packed q values, ceil(n*bitwidth/8) bytes
+type TernGrad struct {
+	bitwidth int
+	rng      *tensor.RNG
+}
+
+// NewTernGrad returns a quantizer with the given bitwidth (1..8) and
+// stochastic-rounding seed. The seed makes experiments reproducible; two
+// encoders with the same seed and inputs emit identical payloads.
+func NewTernGrad(bitwidth int, seed uint64) (*TernGrad, error) {
+	if bitwidth < 1 || bitwidth > 8 {
+		return nil, fmt.Errorf("compress: terngrad bitwidth %d out of [1,8]", bitwidth)
+	}
+	return &TernGrad{bitwidth: bitwidth, rng: tensor.NewRNG(seed)}, nil
+}
+
+// Name implements Compressor.
+func (t *TernGrad) Name() string { return fmt.Sprintf("terngrad-%dbit", t.bitwidth) }
+
+// Bitwidth returns the quantization bitwidth.
+func (t *TernGrad) Bitwidth() int { return t.bitwidth }
+
+// CompressedSize implements Compressor.
+func (t *TernGrad) CompressedSize(n int) int {
+	return headerSize + 12 + (n*t.bitwidth+7)/8
+}
+
+// Encode implements Compressor.
+func (t *TernGrad) Encode(grad []float32) ([]byte, error) {
+	n := len(grad)
+	out := make([]byte, t.CompressedSize(n))
+	putHeader(out, payloadMagic, algoTernGrad, n)
+	out[headerSize] = byte(t.bitwidth)
+
+	var mn, mx float32
+	if n > 0 {
+		mn, mx = tensor.Min(grad), tensor.Max(grad)
+	}
+	putF32(out[headerSize+4:], mn)
+	putF32(out[headerSize+8:], mx)
+
+	levels := uint32(1)<<uint(t.bitwidth) - 1
+	gap := (float64(mx) - float64(mn)) / float64(levels)
+	body := out[headerSize+12:]
+	if gap == 0 {
+		// Constant gradient: all q values are zero, body stays zeroed.
+		return out, nil
+	}
+	var acc uint64 // bit accumulator
+	accBits := 0
+	bi := 0
+	for _, g := range grad {
+		r := (float64(g) - float64(mn)) / gap
+		q := uint32(r + t.rng.Float64())
+		if q > levels {
+			q = levels
+		}
+		acc |= uint64(q) << uint(accBits)
+		accBits += t.bitwidth
+		for accBits >= 8 {
+			body[bi] = byte(acc)
+			acc >>= 8
+			accBits -= 8
+			bi++
+		}
+	}
+	if accBits > 0 {
+		body[bi] = byte(acc)
+	}
+	return out, nil
+}
+
+// Decode implements Compressor.
+func (t *TernGrad) Decode(payload []byte, n int) ([]float32, error) {
+	out := make([]float32, n)
+	if err := t.DecodeAdd(payload, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeAdd implements DecodeAdder.
+func (t *TernGrad) DecodeAdd(payload []byte, dst []float32) error {
+	n := len(dst)
+	if err := checkHeader(payload, payloadMagic, algoTernGrad, n); err != nil {
+		return err
+	}
+	if want := t.CompressedSize(n); len(payload) != want {
+		return errSize("terngrad", len(payload), want)
+	}
+	if bw := int(payload[headerSize]); bw != t.bitwidth {
+		return fmt.Errorf("compress: terngrad payload bitwidth %d, decoder has %d", bw, t.bitwidth)
+	}
+	mn := float64(getF32(payload[headerSize+4:]))
+	mx := float64(getF32(payload[headerSize+8:]))
+	levels := uint32(1)<<uint(t.bitwidth) - 1
+	gap := (mx - mn) / float64(levels)
+	body := payload[headerSize+12:]
+
+	mask := uint64(levels)
+	var acc uint64
+	accBits := 0
+	bi := 0
+	for i := 0; i < n; i++ {
+		for accBits < t.bitwidth {
+			acc |= uint64(body[bi]) << uint(accBits)
+			accBits += 8
+			bi++
+		}
+		q := acc & mask
+		acc >>= uint(t.bitwidth)
+		accBits -= t.bitwidth
+		dst[i] += float32(mn + float64(q)*gap)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectNonConflictingBasic(t *testing.T) {
+	queued := map[LinkKey]int64{
+		{0, 1}: 100,
+		{0, 2}: 50, // conflicts with 0→1 on source
+		{1, 2}: 80, // conflicts with 0→2 on destination
+		{2, 0}: 70,
+	}
+	sel := SelectNonConflicting(queued)
+	srcSeen := map[int]bool{}
+	dstSeen := map[int]bool{}
+	for _, l := range sel {
+		if srcSeen[l.Src] || dstSeen[l.Dst] {
+			t.Fatalf("conflicting selection: %v", sel)
+		}
+		srcSeen[l.Src] = true
+		dstSeen[l.Dst] = true
+	}
+	// 0→1 (heaviest) must be chosen; then 1→2 and 2→0 fit.
+	if len(sel) != 3 {
+		t.Fatalf("selected %d links, want 3: %v", len(sel), sel)
+	}
+	if sel[0] != (LinkKey{0, 1}) {
+		t.Fatalf("heaviest link not selected first: %v", sel)
+	}
+}
+
+func TestSelectNonConflictingDeterministic(t *testing.T) {
+	queued := map[LinkKey]int64{{0, 1}: 10, {1, 0}: 10, {2, 3}: 10, {3, 2}: 10}
+	a := SelectNonConflicting(queued)
+	b := SelectNonConflicting(queued)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic selection size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic selection order: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: the selection is maximal — no rejected link could be added
+// without a conflict.
+func TestQuickSelectionMaximal(t *testing.T) {
+	f := func(raw []uint8) bool {
+		queued := map[LinkKey]int64{}
+		for i := 0; i+2 < len(raw); i += 3 {
+			src, dst := int(raw[i]%6), int(raw[i+1]%6)
+			if src == dst {
+				continue
+			}
+			queued[LinkKey{src, dst}] += int64(raw[i+2]) + 1
+		}
+		sel := SelectNonConflicting(queued)
+		srcUsed := map[int]bool{}
+		dstUsed := map[int]bool{}
+		for _, l := range sel {
+			if srcUsed[l.Src] || dstUsed[l.Dst] {
+				return false
+			}
+			srcUsed[l.Src] = true
+			dstUsed[l.Dst] = true
+		}
+		selSet := map[LinkKey]bool{}
+		for _, l := range sel {
+			selSet[l] = true
+		}
+		for l := range queued {
+			if !selSet[l] && !srcUsed[l.Src] && !dstUsed[l.Dst] {
+				return false // could have been added: not maximal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatcherThresholdCloses(t *testing.T) {
+	b := NewBatcher(100, 1.0)
+	l := LinkKey{0, 1}
+	if _, full := b.Add(PendingSend{TaskID: 1, Link: l, Bytes: 60}, 0); full {
+		t.Fatalf("batch closed below threshold")
+	}
+	batch, full := b.Add(PendingSend{TaskID: 2, Link: l, Bytes: 60}, 0.1)
+	if !full {
+		t.Fatalf("batch did not close at threshold")
+	}
+	if batch.Bytes != 120 || len(batch.Sends) != 2 || batch.Link != l {
+		t.Fatalf("batch = %+v", batch)
+	}
+	if len(b.PendingBytes()) != 0 {
+		t.Fatalf("queue not cleared after close")
+	}
+}
+
+func TestBatcherWindowTimeout(t *testing.T) {
+	b := NewBatcher(1<<30, 0.002)
+	b.Add(PendingSend{TaskID: 1, Link: LinkKey{0, 1}, Bytes: 10}, 1.000)
+	b.Add(PendingSend{TaskID: 2, Link: LinkKey{2, 3}, Bytes: 20}, 1.001)
+	if got := b.FlushDue(1.0015); len(got) != 0 {
+		t.Fatalf("flushed before any window expired: %v", got)
+	}
+	due := b.FlushDue(1.0025)
+	if len(due) != 1 || due[0].Link != (LinkKey{0, 1}) {
+		t.Fatalf("first flush = %+v", due)
+	}
+	deadline, ok := b.NextDeadline()
+	if !ok || deadline != 1.003 {
+		t.Fatalf("NextDeadline = %v, %v; want 1.003", deadline, ok)
+	}
+	if got := b.FlushAll(); len(got) != 1 {
+		t.Fatalf("FlushAll = %v", got)
+	}
+	if _, ok := b.NextDeadline(); ok {
+		t.Fatalf("deadline after FlushAll")
+	}
+}
+
+func TestBatcherFlushSpecificLink(t *testing.T) {
+	b := NewBatcher(1<<30, 10)
+	l := LinkKey{1, 2}
+	b.Add(PendingSend{TaskID: 7, Link: l, Bytes: 5}, 0)
+	batch := b.Flush(l)
+	if len(batch.Sends) != 1 || batch.Sends[0].TaskID != 7 {
+		t.Fatalf("Flush = %+v", batch)
+	}
+}
+
+// Property: every send added eventually comes out exactly once through some
+// combination of threshold closes and FlushAll.
+func TestQuickBatcherConservation(t *testing.T) {
+	f := func(raw []uint16) bool {
+		b := NewBatcher(500, 1)
+		seen := map[int]int{}
+		now := 0.0
+		for i, r := range raw {
+			l := LinkKey{int(r % 3), int(r%3) + 3}
+			if batch, full := b.Add(PendingSend{TaskID: i, Link: l, Bytes: int64(r%300) + 1}, now); full {
+				for _, s := range batch.Sends {
+					seen[s.TaskID]++
+				}
+			}
+			now += 0.01
+		}
+		for _, batch := range b.FlushAll() {
+			for _, s := range batch.Sends {
+				seen[s.TaskID]++
+			}
+		}
+		if len(seen) != len(raw) {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

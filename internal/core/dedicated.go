@@ -1,0 +1,105 @@
+package core
+
+import "fmt"
+
+// BuildPSDedicated expands s into a parameter-server synchronization DAG
+// with dedicated aggregator nodes (the paper's general Table 3 case, where
+// α = 2N, β = K+1, γ = N+1): topo must come from PSDedicated(w, s).
+// Partition p is owned by server p mod s; every worker pushes its
+// (compressed) partition over the network — no co-location shortcut — the
+// server decode-merges all w contributions, re-encodes, and pushes the
+// aggregate back to every worker.
+//
+// The returned per-node terminal indices cover workers only; server nodes
+// report the aggregation barrier of the partitions they own.
+func BuildPSDedicated(g *Graph, topo *Topology, s GradSync) ([]int, error) {
+	if topo.Kind != "ps-dedicated" {
+		return nil, fmt.Errorf("core: BuildPSDedicated on %q topology", topo.Kind)
+	}
+	n := topo.N()
+	var workers, servers []int
+	for v := 0; v < n; v++ {
+		switch topo.Roles[v] {
+		case RoleWorker:
+			workers = append(workers, v)
+		case RoleAggregator:
+			servers = append(servers, v)
+		default:
+			return nil, fmt.Errorf("core: dedicated PS node %d has role %v", v, topo.Roles[v])
+		}
+	}
+	if len(workers) == 0 || len(servers) == 0 {
+		return nil, fmt.Errorf("core: dedicated PS needs workers and servers")
+	}
+	if err := s.normalize(n); err != nil {
+		return nil, err
+	}
+	done := make([][]int, n)
+
+	for p := 0; p < s.Parts; p++ {
+		pe := partElems(s.Elems, s.Parts, p)
+		if pe == 0 {
+			continue
+		}
+		rawB := int64(4 * pe)
+		wireB := s.wire(pe)
+		sendB := wireIf(s.compressed(), rawB, wireB) * s.wscale()
+		server := servers[(p+s.Shard)%len(servers)]
+
+		var merges []int
+		for _, w := range workers {
+			var snd int
+			if s.compressed() {
+				enc := s.add(g, &Task{Kind: KEncode, Node: w, Part: p, Step: 0, Bytes: rawB, Algo: s.Algo, Phase: 1})
+				s.depRoot(g, w, enc)
+				snd = s.add(g, &Task{Kind: KSend, Node: w, Peer: server, Part: p, Step: 0, Bytes: sendB, Phase: 1})
+				g.Dep(enc, snd)
+			} else {
+				snd = s.add(g, &Task{Kind: KSend, Node: w, Peer: server, Part: p, Step: 0, Bytes: sendB, Phase: 1})
+				s.depRoot(g, w, snd)
+			}
+			rcv := s.add(g, &Task{Kind: KRecv, Node: server, Peer: w, Part: p, Step: 0, Bytes: sendB, Phase: 1})
+			g.Dep(snd, rcv)
+			mergeDep := rcv
+			if s.compressed() {
+				dec := s.add(g, &Task{Kind: KDecode, Node: server, Peer: w, Part: p, Step: 0, Bytes: rawB, Algo: s.Algo, Phase: 1})
+				g.Dep(rcv, dec)
+				mergeDep = dec
+			}
+			mrg := s.add(g, &Task{Kind: KMerge, Node: server, Peer: w, Part: p, Step: 0, Bytes: rawB, Phase: 1})
+			g.Dep(mergeDep, mrg)
+			merges = append(merges, mrg)
+		}
+
+		aggDone := merges[0]
+		if len(merges) > 1 {
+			bar := s.add(g, &Task{Kind: KMerge, Node: server, Part: p, Step: 1, Bytes: 0, Phase: 1})
+			for _, m := range merges {
+				g.Dep(m, bar)
+			}
+			aggDone = bar
+		}
+		done[server] = append(done[server], aggDone)
+
+		carry := aggDone
+		if s.compressed() {
+			enc := s.add(g, &Task{Kind: KEncode, Node: server, Part: p, Step: 2, Bytes: rawB, Algo: s.Algo, Phase: 2})
+			g.Dep(aggDone, enc)
+			carry = enc
+		}
+		for _, w := range workers {
+			snd := s.add(g, &Task{Kind: KSend, Node: server, Peer: w, Part: p, Step: 2, Bytes: sendB, Phase: 2})
+			g.Dep(carry, snd)
+			rcv := s.add(g, &Task{Kind: KRecv, Node: w, Peer: server, Part: p, Step: 2, Bytes: sendB, Phase: 2})
+			g.Dep(snd, rcv)
+			if s.compressed() {
+				dec := s.add(g, &Task{Kind: KDecode, Node: w, Peer: server, Part: p, Step: 2, Bytes: rawB, Algo: s.Algo, Phase: 2})
+				g.Dep(rcv, dec)
+				done[w] = append(done[w], dec)
+			} else {
+				done[w] = append(done[w], rcv)
+			}
+		}
+	}
+	return joinPerNode(g, &s, done), nil
+}

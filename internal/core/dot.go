@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the task graph in Graphviz format, one cluster per node, for
+// debugging synchronization strategies (inspired by the paper's dependency-
+// graph-driven design, which credits Daydream for the idea of making the
+// dependency graph a first-class, inspectable artifact).
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n", title)
+
+	byNode := map[int][]*Task{}
+	for _, t := range g.Tasks {
+		byNode[t.Node] = append(byNode[t.Node], t)
+	}
+	nodes := make([]int, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  subgraph cluster_node%d {\n    label=\"node %d\";\n", n, n)
+		for _, t := range byNode[n] {
+			label := fmt.Sprintf("%s %s/p%d", t.Kind, t.Grad, t.Part)
+			color := map[Kind]string{
+				KCompute: "lightgrey", KEncode: "lightblue", KDecode: "lightyellow",
+				KMerge: "lightgreen", KSend: "salmon", KRecv: "orange",
+			}[t.Kind]
+			fmt.Fprintf(&b, "    t%d [label=%q, style=filled, fillcolor=%q];\n", t.ID, label, color)
+		}
+		b.WriteString("  }\n")
+	}
+	for i, t := range g.Tasks {
+		for _, o := range t.outs {
+			style := ""
+			if g.Tasks[i].Kind == KSend && g.Tasks[o].Kind == KRecv {
+				style = " [style=dashed]" // network edge
+			}
+			fmt.Fprintf(&b, "  t%d -> t%d%s;\n", i, o, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"hipress/internal/compress"
+	"hipress/internal/gpu"
+	"hipress/internal/netsim"
+)
+
+func TestLog2Exact(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 16: 4, 3: -1, 6: -1, 0: -1, -4: -1}
+	for n, want := range cases {
+		if got := log2Exact(n); got != want {
+			t.Errorf("log2Exact(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestHDCoeffs(t *testing.T) {
+	a, b, g := HDCoeffs(16)
+	if a != 8 || b != 8 || g != 8 {
+		t.Fatalf("HDCoeffs(16) = %v,%v,%v, want 8,8,8 (2·log2 16)", a, b, g)
+	}
+}
+
+func hdGraph(t *testing.T, n, elems, parts int, algo string) *Graph {
+	t.Helper()
+	g := NewGraph()
+	spec := GradSync{Name: "g", Elems: elems, Parts: parts, Algo: algo}
+	if algo != "" {
+		c, err := compress.New(algo, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.WireBytes = func(e int) int64 { return int64(c.CompressedSize(e)) }
+	}
+	if _, err := BuildHalvingDoubling(g, Ring(n), spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid HD graph: %v", err)
+	}
+	return g
+}
+
+func TestHDRejectsNonPowerOfTwo(t *testing.T) {
+	g := NewGraph()
+	if _, err := BuildHalvingDoubling(g, Ring(6), GradSync{Name: "g", Elems: 100}); err == nil {
+		t.Fatal("6 nodes accepted")
+	}
+}
+
+// TestHDStepCount: 2·log2(N) communication rounds — N sends per round.
+func TestHDStepCount(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		g := hdGraph(t, n, 1<<16, 1, "")
+		st := g.Stat()
+		d := log2Exact(n)
+		if want := 2 * d * n; st.Send != want {
+			t.Errorf("n=%d: sends = %d, want %d", n, st.Send, want)
+		}
+	}
+}
+
+// TestHDCompressedCodecCounts: with compression, each round adds one encode
+// per node and one decode per node.
+func TestHDCompressedCodecCounts(t *testing.T) {
+	const n = 8
+	g := hdGraph(t, n, 1<<16, 1, "onebit")
+	st := g.Stat()
+	d := log2Exact(n)
+	if want := 2 * d * n; st.Encode != want {
+		t.Errorf("encodes = %d, want %d", st.Encode, want)
+	}
+	if want := 2 * d * n; st.Decode != want {
+		t.Errorf("decodes = %d, want %d", st.Decode, want)
+	}
+}
+
+// TestHDBeatsRingForLatencyBoundSync: a small compressed gradient is
+// latency-bound; HD's 2·log2(N) serial steps beat Ring's 2(N−1).
+func TestHDBeatsRingForLatencyBoundSync(t *testing.T) {
+	const n = 16
+	cfg := SimConfig{CompDev: gpu.NewDevice(gpu.V100), Fabric: netsim.EC2100G(), Pipeline: true}
+	small := 8 << 10 / 4 // 8 KB gradient
+
+	gHD := hdGraph(t, n, small, 1, "")
+	xHD, _ := NewSimExecutor(n, cfg)
+	hd := xHD.Run(gHD)
+
+	gRing := NewGraph()
+	if _, err := BuildRing(gRing, Ring(n), GradSync{Name: "g", Elems: small, Parts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	xRing, _ := NewSimExecutor(n, cfg)
+	ring := xRing.Run(gRing)
+
+	if hd.Makespan >= ring.Makespan {
+		t.Errorf("HD (%.6fs) should beat Ring (%.6fs) for an 8KB gradient", hd.Makespan, ring.Makespan)
+	}
+}
+
+// TestHDAndRingSameBandwidthClass: for a huge uncompressed gradient both
+// strategies move ~2·M per node, so on a contention-free fabric their
+// makespans are within a small factor (Ring's classic advantage over HD
+// comes from link contention on real topologies, which the α–β model does
+// not penalize); HD's latency advantage must be gone at this size.
+func TestHDAndRingSameBandwidthClass(t *testing.T) {
+	const n = 16
+	cfg := SimConfig{CompDev: gpu.NewDevice(gpu.V100), Fabric: netsim.EC2100G(), Pipeline: true}
+	big := 256 << 20 / 4 // 256 MB
+
+	gHD := hdGraph(t, n, big, 1, "")
+	xHD, _ := NewSimExecutor(n, cfg)
+	hd := xHD.Run(gHD)
+
+	gRing := NewGraph()
+	if _, err := BuildRing(gRing, Ring(n), GradSync{Name: "g", Elems: big, Parts: n}); err != nil {
+		t.Fatal(err)
+	}
+	xRing, _ := NewSimExecutor(n, cfg)
+	ring := xRing.Run(gRing)
+
+	lo, hi := ring.Makespan/2, ring.Makespan*2
+	if hd.Makespan < lo || hd.Makespan > hi {
+		t.Errorf("HD (%.4fs) outside Ring's bandwidth class [%.4f, %.4f]", hd.Makespan, lo, hi)
+	}
+	// And the small-gradient latency advantage must exceed the large-
+	// gradient one: the crossover the strategy exists for.
+	smallHD := hdGraph(t, n, 2048, 1, "")
+	xs, _ := NewSimExecutor(n, cfg)
+	sh := xs.Run(smallHD)
+	gRingS := NewGraph()
+	if _, err := BuildRing(gRingS, Ring(n), GradSync{Name: "g", Elems: 2048, Parts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	xrs, _ := NewSimExecutor(n, cfg)
+	sr := xrs.Run(gRingS)
+	smallAdvantage := sr.Makespan / sh.Makespan
+	bigAdvantage := ring.Makespan / hd.Makespan
+	if smallAdvantage <= bigAdvantage {
+		t.Errorf("HD's advantage should shrink with size: small %.2fx vs big %.2fx", smallAdvantage, bigAdvantage)
+	}
+}
+
+func TestHDCrossNodeEdgesAreSendRecv(t *testing.T) {
+	g := hdGraph(t, 8, 4096, 2, "dgc")
+	for i, task := range g.Tasks {
+		for _, o := range g.Outs(i) {
+			dep := g.Tasks[o]
+			if task.Node != dep.Node && !(task.Kind == KSend && dep.Kind == KRecv) {
+				t.Fatalf("cross-node edge %v@%d -> %v@%d", task.Kind, task.Node, dep.Kind, dep.Node)
+			}
+		}
+	}
+}
+
+func TestHDWithRootDeps(t *testing.T) {
+	g := NewGraph()
+	roots := make([]int, 4)
+	for v := range roots {
+		roots[v] = g.Add(&Task{Kind: KCompute, Node: v, Dur: 0.1})
+	}
+	if _, err := BuildHalvingDoubling(g, Ring(4), GradSync{Name: "g", Elems: 1 << 12, RootDeps: roots}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Roots()); got != 4 {
+		t.Fatalf("roots = %d, want the 4 compute tasks", got)
+	}
+	x, _ := NewSimExecutor(4, SimConfig{CompDev: gpu.NewDevice(gpu.V100), Fabric: netsim.EC2100G(), Pipeline: true})
+	res := x.Run(g)
+	if res.Makespan <= 0.1 {
+		t.Fatalf("makespan %v does not include compute", res.Makespan)
+	}
+}

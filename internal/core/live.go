@@ -1,0 +1,688 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hipress/internal/compress"
+	"hipress/internal/netsim"
+)
+
+// This file is the live execution plane: the same CaSync task DAGs the
+// timing plane simulates, executed for real — gradients are genuine
+// []float32 data, encode/decode run the actual compression algorithms, and
+// send/recv move real bytes through a transport. Each node runs the task
+// manager of §3.1: a computing queue (Q_comp) and a communication queue
+// (Q_commu) drained asynchronously, with the shared dependency graph
+// clearing pending dependencies as tasks finish.
+
+// LiveConfig configures a live cluster.
+type LiveConfig struct {
+	// Strategy selects CaSync-Ring or CaSync-PS.
+	Strategy Strategy
+	// Algo is the compression algorithm registry name, "" for exact
+	// (uncompressed) synchronization.
+	Algo string
+	// Params carries the algorithm's parameters.
+	Params compress.Params
+	// ErrorFeedback enables residual accumulation at worker encodes (the
+	// convergence-preserving construction for biased compressors).
+	ErrorFeedback bool
+	// Parts is the partition count applied to every gradient (live-plane
+	// experiments are small; per-gradient planning belongs to the timing
+	// plane). Zero means 1.
+	Parts int
+	// Transport selects the live wire: "chan" (in-memory channels, the
+	// default) or "tcp" (real loopback sockets).
+	Transport string
+	// Coordinated routes communication tasks through the live global
+	// coordinator (§3.2): per-link queues, non-conflicting link selection
+	// per time slot, batched release. Off, sends transmit as soon as their
+	// dependencies clear.
+	Coordinated bool
+	// Instrument wraps each node's compressor with counters; read them with
+	// LiveCluster.WireStats.
+	Instrument bool
+}
+
+// LiveCluster is a set of in-process training nodes that synchronize
+// gradients through real compression and a channel transport. State that
+// must persist across iterations (error-feedback residuals, stochastic
+// rounding streams) lives here.
+type LiveCluster struct {
+	n    int
+	cfg  LiveConfig
+	topo *Topology
+	// comp[v] is node v's compressor; ef[v] its residual state; meters[v]
+	// the instrumentation wrapper when LiveConfig.Instrument is set.
+	comp   []compress.Compressor
+	ef     []*compress.ErrorFeedback
+	meters []*compress.Instrumented
+}
+
+// NewLiveCluster builds an n-node live cluster.
+func NewLiveCluster(n int, cfg LiveConfig) (*LiveCluster, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: live cluster needs at least 2 nodes, got %d", n)
+	}
+	if cfg.Parts < 1 {
+		cfg.Parts = 1
+	}
+	lc := &LiveCluster{n: n, cfg: cfg}
+	switch cfg.Strategy {
+	case StrategyRing:
+		lc.topo = Ring(n)
+	case StrategyPS:
+		lc.topo = PSBipartite(n)
+	case StrategyHD:
+		return nil, fmt.Errorf("core: halving-doubling is a timing-plane strategy; the live plane supports ring and ps")
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	}
+	if cfg.Algo != "" {
+		lc.comp = make([]compress.Compressor, n)
+		lc.ef = make([]*compress.ErrorFeedback, n)
+		for v := 0; v < n; v++ {
+			// Per-node instances: stochastic algorithms carry per-node RNG
+			// state, like independent CUDA streams would.
+			p := compress.Params{}
+			for k, val := range cfg.Params {
+				p[k] = val
+			}
+			p["seed"] = float64(v + 1)
+			c, err := compress.New(cfg.Algo, p)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Instrument {
+				m := compress.NewInstrumented(c)
+				if lc.meters == nil {
+					lc.meters = make([]*compress.Instrumented, n)
+				}
+				lc.meters[v] = m
+				c = m
+			}
+			lc.comp[v] = c
+			if cfg.ErrorFeedback {
+				lc.ef[v] = compress.NewErrorFeedback(c)
+			}
+		}
+	}
+	return lc, nil
+}
+
+// N returns the cluster size.
+func (lc *LiveCluster) N() int { return lc.n }
+
+// WireStats aggregates instrumentation across nodes (zero value unless the
+// cluster was built with Instrument): real encode/decode counts and the
+// realized bytes kept off the wire.
+func (lc *LiveCluster) WireStats() compress.Stats {
+	var total compress.Stats
+	for _, m := range lc.meters {
+		if m == nil {
+			continue
+		}
+		s := m.Stats()
+		total.Encodes += s.Encodes
+		total.Decodes += s.Decodes
+		total.RawBytes += s.RawBytes
+		total.WireBytes += s.WireBytes
+		total.Errors += s.Errors
+	}
+	return total
+}
+
+// pkey identifies one gradient partition's buffers at one node.
+type pkey struct {
+	grad string
+	part int
+}
+
+// bkey identifies a per-peer payload buffer: a PS aggregator holds one
+// in-flight payload per contributing worker.
+type bkey struct {
+	grad string
+	part int
+	peer int
+}
+
+// mkey matches transport messages to armed recv tasks.
+type mkey struct {
+	grad string
+	part int
+	step int
+	peer int
+}
+
+// nodeRT is the per-node live runtime: buffer state plus the two task
+// queues.
+type nodeRT struct {
+	id        int
+	local     map[string][]float32 // this node's freshly computed gradients
+	acc       map[pkey][]float32   // running aggregate per partition
+	tmp       map[bkey][]float32   // decoded incoming partition, per peer
+	out       map[pkey][]byte      // last locally encoded payload
+	in        map[bkey][]byte      // received payloads, per peer
+	result    map[string][]float32 // fully synchronized gradients
+	qcomp     chan int
+	qcommu    chan int
+	filledSet map[pkey]bool // partitions of result written by phase 2
+	mu        sync.Mutex    // guards this node's buffer maps across its goroutines
+	recvIdx   map[mkey]int
+}
+
+// SyncRound synchronizes one set of gradients: grads[v][name] is node v's
+// local gradient. It returns, per node, the aggregated (summed, not
+// averaged) gradients. All nodes must present identical names and lengths.
+func (lc *LiveCluster) SyncRound(grads []map[string][]float32) ([]map[string][]float32, error) {
+	if len(grads) != lc.n {
+		return nil, fmt.Errorf("core: SyncRound got %d gradient sets for %d nodes", len(grads), lc.n)
+	}
+	names := make([]string, 0, len(grads[0]))
+	for name := range grads[0] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for v := 1; v < lc.n; v++ {
+		if len(grads[v]) != len(names) {
+			return nil, fmt.Errorf("core: node %d has %d gradients, node 0 has %d", v, len(grads[v]), len(names))
+		}
+		for _, name := range names {
+			if len(grads[v][name]) != len(grads[0][name]) {
+				return nil, fmt.Errorf("core: gradient %q length differs between nodes", name)
+			}
+		}
+	}
+
+	// Build one DAG covering every gradient.
+	g := NewGraph()
+	elems := map[string]int{}
+	parts := map[string]int{}
+	for _, name := range names {
+		spec := GradSync{Name: name, Elems: len(grads[0][name]), Parts: lc.cfg.Parts, Algo: lc.cfg.Algo}
+		var err error
+		switch lc.cfg.Strategy {
+		case StrategyRing:
+			_, err = BuildRing(g, lc.topo, spec)
+		case StrategyPS:
+			_, err = BuildPS(g, lc.topo, spec)
+		}
+		if err != nil {
+			return nil, err
+		}
+		elems[name] = len(grads[0][name])
+		p := lc.cfg.Parts
+		if p > elems[name] {
+			p = elems[name]
+		}
+		parts[name] = p
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	return lc.run(g, grads, elems, parts)
+}
+
+// run executes the DAG with real data.
+func (lc *LiveCluster) run(g *Graph, grads []map[string][]float32, elems, parts map[string]int) ([]map[string][]float32, error) {
+	n := lc.n
+	var tr netsim.Transport
+	switch lc.cfg.Transport {
+	case "", "chan":
+		tr = netsim.NewChanTransport(n, len(g.Tasks)/n+16)
+	case "tcp":
+		t, err := netsim.NewTCPTransport(n, len(g.Tasks)/n+16)
+		if err != nil {
+			return nil, err
+		}
+		tr = t
+	default:
+		return nil, fmt.Errorf("core: unknown live transport %q (have chan, tcp)", lc.cfg.Transport)
+	}
+	defer tr.Close()
+
+	nodes := make([]*nodeRT, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = &nodeRT{
+			id:      v,
+			local:   grads[v],
+			acc:     map[pkey][]float32{},
+			tmp:     map[bkey][]float32{},
+			out:     map[pkey][]byte{},
+			in:      map[bkey][]byte{},
+			result:  map[string][]float32{},
+			qcomp:   make(chan int, len(g.Tasks)),
+			qcommu:  make(chan int, len(g.Tasks)),
+			recvIdx: map[mkey]int{},
+		}
+	}
+	// Index recv tasks for message matching, and sanity-check the builder
+	// invariant the live plane relies on: recvs have exactly one dep (their
+	// send).
+	for i, t := range g.Tasks {
+		if t.Kind == KRecv {
+			if t.deps != 1 {
+				return nil, fmt.Errorf("core: recv task %d has %d deps, want 1", i, t.deps)
+			}
+			nodes[t.Node].recvIdx[mkey{t.Grad, t.Part, t.Step, t.Peer}] = i
+		}
+	}
+
+	var (
+		gmu       sync.Mutex // guards graph dependency counters
+		remaining = len(g.Tasks)
+		doneCh    = make(chan struct{})
+		errOnce   sync.Once
+		runErr    error
+		fail      = func(err error) {
+			errOnce.Do(func() {
+				runErr = err
+				tr.Close()
+				close(doneCh)
+			})
+		}
+	)
+
+	// route enqueues a ready task on its node's queue. Cross-node ready
+	// tasks are recvs, whose true trigger is message arrival — drop them.
+	var route func(id int)
+	route = func(id int) {
+		t := g.Tasks[id]
+		if t.Kind == KRecv {
+			return
+		}
+		if t.Kind.IsComm() {
+			nodes[t.Node].qcommu <- id
+		} else {
+			nodes[t.Node].qcomp <- id
+		}
+	}
+	completeTask := func(id int) {
+		gmu.Lock()
+		ready := g.Complete(id)
+		remaining--
+		last := remaining == 0
+		gmu.Unlock()
+		for _, r := range ready {
+			route(r)
+		}
+		if last {
+			errOnce.Do(func() { close(doneCh) })
+		}
+	}
+
+	var coord *liveCoordinator
+	if lc.cfg.Coordinated {
+		coord = newLiveCoordinator()
+	}
+
+	var wg sync.WaitGroup
+	if coord != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lc.runCoordinated(coord, tr, elems, parts, completeTask, fail)
+		}()
+	}
+	// Per-node workers: one compute-queue drainer, one communication-queue
+	// drainer, one receive dispatcher.
+	for v := 0; v < n; v++ {
+		rt := nodes[v]
+		wg.Add(3)
+		go func() { // Q_comp drainer
+			defer wg.Done()
+			for {
+				select {
+				case <-doneCh:
+					return
+				case id := <-rt.qcomp:
+					if err := lc.execComp(rt, g.Tasks[id], elems, parts); err != nil {
+						fail(err)
+						return
+					}
+					completeTask(id)
+				}
+			}
+		}()
+		go func() { // Q_commu drainer (sends)
+			defer wg.Done()
+			for {
+				select {
+				case <-doneCh:
+					return
+				case id := <-rt.qcommu:
+					if coord != nil {
+						// Report metadata to the global coordinator; the
+						// coordinated plan will transmit it (§3.2 steps
+						// ④-⑥).
+						coord.enqueue(liveSend{id: id, rt: rt, t: g.Tasks[id]})
+						continue
+					}
+					if err := lc.execSend(rt, g.Tasks[id], tr, elems, parts); err != nil {
+						fail(err)
+						return
+					}
+					completeTask(id)
+				}
+			}
+		}()
+		go func() { // receive dispatcher
+			defer wg.Done()
+			for {
+				msg, ok := tr.Recv(rt.id)
+				if !ok {
+					return
+				}
+				step, part := unpackStep(msg.Step)
+				key := mkey{msg.Gradient, part, step, msg.From}
+				id, armed := rt.recvIdx[key]
+				if !armed {
+					fail(fmt.Errorf("core: node %d got unexpected message %+v", rt.id, key))
+					return
+				}
+				t := g.Tasks[id]
+				if err := lc.execRecv(rt, t, msg.Payload, elems, parts); err != nil {
+					fail(err)
+					return
+				}
+				completeTask(id)
+			}
+		}()
+	}
+
+	// Kick off the roots.
+	for _, r := range g.Roots() {
+		route(r)
+	}
+	<-doneCh
+	if coord != nil {
+		coord.close()
+	}
+	tr.Close()
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Assemble results: partitions decoded in phase 2 were written into
+	// result directly; the aggregate-holding node copies from acc.
+	out := make([]map[string][]float32, n)
+	for v := 0; v < n; v++ {
+		rt := nodes[v]
+		out[v] = map[string][]float32{}
+		for name, ne := range elems {
+			res, ok := rt.result[name]
+			if !ok {
+				res = make([]float32, ne)
+				rt.result[name] = res
+				// Mark all partitions unfilled.
+			}
+			for p := 0; p < parts[name]; p++ {
+				lo, hi := PartRange(ne, parts[name], p)
+				if lo == hi {
+					continue
+				}
+				if !rt.filled(name, p) {
+					acc := rt.acc[pkey{name, p}]
+					if acc == nil {
+						return nil, fmt.Errorf("core: node %d has neither result nor accumulator for %s/p%d", v, name, p)
+					}
+					copy(res[lo:hi], acc)
+				}
+			}
+			out[v][name] = res
+		}
+	}
+	return out, nil
+}
+
+// markFilled records that a partition of result was written by a phase-2
+// decode (vs needing a copy from the accumulator at assembly time).
+func (rt *nodeRT) markFilled(grad string, part int) {
+	if rt.filledSet == nil {
+		rt.filledSet = map[pkey]bool{}
+	}
+	rt.filledSet[pkey{grad, part}] = true
+}
+
+func (rt *nodeRT) filled(grad string, part int) bool {
+	return rt.filledSet[pkey{grad, part}]
+}
+
+// The partition index travels packed into the high bits of Message.Step so
+// netsim.Message stays strategy-agnostic; steps are small (≤ 2N).
+func packStep(step, part int) int       { return step | part<<20 }
+func unpackStep(s int) (step, part int) { return s & (1<<20 - 1), s >> 20 }
+
+// resultSlice returns the node's result buffer for grad, allocating lazily.
+func (rt *nodeRT) resultSlice(grad string, ne int) []float32 {
+	res, ok := rt.result[grad]
+	if !ok {
+		res = make([]float32, ne)
+		rt.result[grad] = res
+	}
+	return res
+}
+
+// accSlice returns the node's accumulator for a partition, lazily
+// initialized to a copy of the local gradient partition (the node's own
+// contribution).
+func (rt *nodeRT) accSlice(grad string, ne, parts, p int) []float32 {
+	k := pkey{grad, p}
+	if a, ok := rt.acc[k]; ok {
+		return a
+	}
+	lo, hi := PartRange(ne, parts, p)
+	a := make([]float32, hi-lo)
+	copy(a, rt.local[grad][lo:hi])
+	rt.acc[k] = a
+	return a
+}
+
+// execComp performs encode/decode/merge/compute tasks with real data.
+func (lc *LiveCluster) execComp(rt *nodeRT, t *Task, elems, parts map[string]int) error {
+	if t.Exec != nil {
+		return t.Exec()
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ne := elems[t.Grad]
+	np := parts[t.Grad]
+	k := pkey{t.Grad, t.Part}
+	switch t.Kind {
+	case KCompute:
+		return nil // gradients are provided up front on the live plane
+
+	case KEncode:
+		acc := rt.accSlice(t.Grad, ne, np, t.Part)
+		var payload []byte
+		var err error
+		if lc.ef != nil && lc.ef[rt.id] != nil {
+			// Error feedback at every compression point: worker encodes,
+			// mid-ring re-encodes, and aggregator re-encodes each keep
+			// their own residual, keyed by pipeline position (stable
+			// across iterations), so gradient mass is never permanently
+			// dropped — only deferred to later rounds.
+			key := fmt.Sprintf("%s/p%d/ph%d/s%d", t.Grad, t.Part, t.Phase, t.Step)
+			payload, err = lc.ef[rt.id].EncodeWithFeedback(key, acc)
+		} else {
+			payload, err = lc.comp[rt.id].Encode(acc)
+		}
+		if err != nil {
+			return err
+		}
+		rt.out[k] = payload
+		if t.Phase == 2 {
+			// The aggregate holder broadcasts this payload; it must adopt
+			// the same lossy view itself, or nodes would diverge (BSP
+			// requires identical parameters everywhere).
+			lo, hi := PartRange(ne, np, t.Part)
+			dec, err := lc.comp[rt.id].Decode(payload, hi-lo)
+			if err != nil {
+				return err
+			}
+			res := rt.resultSlice(t.Grad, ne)
+			copy(res[lo:hi], dec)
+			rt.markFilled(t.Grad, t.Part)
+		}
+		return nil
+
+	case KDecode:
+		bk := bkey{t.Grad, t.Part, t.Peer}
+		in := rt.in[bk]
+		if in == nil {
+			return fmt.Errorf("core: node %d decode %s/p%d from %d with no received payload", rt.id, t.Grad, t.Part, t.Peer)
+		}
+		lo, hi := PartRange(ne, np, t.Part)
+		dec, err := lc.comp[rt.id].Decode(in, hi-lo)
+		if err != nil {
+			return err
+		}
+		if t.Phase == 2 {
+			res := rt.resultSlice(t.Grad, ne)
+			copy(res[lo:hi], dec)
+			rt.markFilled(t.Grad, t.Part)
+			return nil
+		}
+		rt.tmp[bk] = dec
+		return nil
+
+	case KMerge:
+		if t.Bytes == 0 || t.Part < 0 {
+			return nil // barrier
+		}
+		acc := rt.accSlice(t.Grad, ne, np, t.Part)
+		bk := bkey{t.Grad, t.Part, t.Peer}
+		if lc.cfg.Algo != "" {
+			// The self-merge at a PS server (Peer == Node) initializes the
+			// accumulator from the local gradient, which accSlice already
+			// did; incoming contributions arrive via tmp.
+			if t.Peer == rt.id && lc.cfg.Strategy == StrategyPS {
+				return nil
+			}
+			tmp := rt.tmp[bk]
+			if tmp == nil {
+				return fmt.Errorf("core: node %d merge %s/p%d from %d with no decoded payload", rt.id, t.Grad, t.Part, t.Peer)
+			}
+			for i, x := range tmp {
+				acc[i] += x
+			}
+			delete(rt.tmp, bk)
+			return nil
+		}
+		// Uncompressed: merge the raw received bytes directly.
+		if t.Peer == rt.id && lc.cfg.Strategy == StrategyPS {
+			return nil
+		}
+		in := rt.in[bk]
+		if in == nil {
+			return fmt.Errorf("core: node %d raw merge %s/p%d from %d with no payload", rt.id, t.Grad, t.Part, t.Peer)
+		}
+		vals, err := bytesToF32(in)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(acc) {
+			return fmt.Errorf("core: raw merge size mismatch %d vs %d", len(vals), len(acc))
+		}
+		for i, x := range vals {
+			acc[i] += x
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("core: comp queue got %v task", t.Kind)
+	}
+}
+
+// execSend transmits the appropriate payload for a send task.
+func (lc *LiveCluster) execSend(rt *nodeRT, t *Task, tr netsim.Transport, elems, parts map[string]int) error {
+	if t.Exec != nil {
+		return t.Exec()
+	}
+	rt.mu.Lock()
+	k := pkey{t.Grad, t.Part}
+	var payload []byte
+	switch {
+	case t.Forward:
+		// Forwarding relays the payload received from this node's ring
+		// predecessor (Forward tasks exist only on rings).
+		pred := (t.Node - 1 + lc.n) % lc.n
+		payload = rt.in[bkey{t.Grad, t.Part, pred}]
+		if payload == nil {
+			rt.mu.Unlock()
+			return fmt.Errorf("core: node %d forwarding %s/p%d with no payload", rt.id, t.Grad, t.Part)
+		}
+	case lc.cfg.Algo != "":
+		payload = rt.out[k]
+		if payload == nil {
+			rt.mu.Unlock()
+			return fmt.Errorf("core: node %d sending %s/p%d before encode", rt.id, t.Grad, t.Part)
+		}
+	default:
+		payload = f32ToBytes(rt.accSlice(t.Grad, elems[t.Grad], parts[t.Grad], t.Part))
+	}
+	rt.mu.Unlock()
+	return tr.Send(netsim.Message{
+		From:     rt.id,
+		To:       t.Peer,
+		Gradient: t.Grad,
+		Step:     packStep(t.Step, t.Part),
+		Payload:  payload,
+	})
+}
+
+// execRecv stores a received payload and, for uncompressed dissemination,
+// writes the result directly.
+func (lc *LiveCluster) execRecv(rt *nodeRT, t *Task, payload []byte, elems, parts map[string]int) error {
+	if t.Exec != nil {
+		return t.Exec()
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.in[bkey{t.Grad, t.Part, t.Peer}] = payload
+	if lc.cfg.Algo == "" && t.Phase == 2 {
+		ne := elems[t.Grad]
+		lo, hi := PartRange(ne, parts[t.Grad], t.Part)
+		vals, err := bytesToF32(payload)
+		if err != nil {
+			return err
+		}
+		if len(vals) != hi-lo {
+			return fmt.Errorf("core: raw result size mismatch %d vs %d", len(vals), hi-lo)
+		}
+		res := rt.resultSlice(t.Grad, ne)
+		copy(res[lo:hi], vals)
+		rt.markFilled(t.Grad, t.Part)
+	}
+	return nil
+}
+
+// f32ToBytes serializes a float32 slice little-endian.
+func f32ToBytes(v []float32) []byte {
+	if v == nil {
+		return nil
+	}
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+// bytesToF32 parses a little-endian float32 slice.
+func bytesToF32(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("core: raw payload length %d not a multiple of 4", len(b))
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+
+	"hipress/internal/netsim"
+)
+
+// liveCoordinator is the live-plane realization of §3.2's global
+// coordinator: nodes report queued communication tasks (metadata only — the
+// coordinator never touches payloads); the coordinator groups them into
+// per-link queues, repeatedly selects a non-conflicting link set (each node
+// one uplink, one downlink per slot), and releases each selected link's
+// queue as one coordinated batch. Payload transmission still happens on the
+// owning node's goroutine, preserving the "executor on each node executes
+// these plans" split of Fig. 3.
+type liveCoordinator struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[LinkKey][]liveSend
+	queued  int
+	closed  bool
+}
+
+// liveSend is one queued communication task: the graph task plus the node
+// runtime that will transmit it.
+type liveSend struct {
+	id int
+	rt *nodeRT
+	t  *Task
+}
+
+func newLiveCoordinator() *liveCoordinator {
+	c := &liveCoordinator{pending: map[LinkKey][]liveSend{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// enqueue reports a ready send task to the coordinator.
+func (c *liveCoordinator) enqueue(s liveSend) {
+	c.mu.Lock()
+	link := LinkKey{Src: s.t.Node, Dst: s.t.Peer}
+	c.pending[link] = append(c.pending[link], s)
+	c.queued++
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+// close wakes the coordinator loop for shutdown.
+func (c *liveCoordinator) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// nextPlan blocks until communication tasks are queued (or the coordinator
+// is closed) and returns the batches of a coordinated time slot: one batch
+// per selected non-conflicting link.
+func (c *liveCoordinator) nextPlan() ([][]liveSend, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.queued == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if c.queued == 0 && c.closed {
+		return nil, false
+	}
+	bytesPerLink := make(map[LinkKey]int64, len(c.pending))
+	for link, sends := range c.pending {
+		var total int64
+		for _, s := range sends {
+			total += s.t.Bytes
+		}
+		bytesPerLink[link] = total
+	}
+	selected := SelectNonConflicting(bytesPerLink)
+	plan := make([][]liveSend, 0, len(selected))
+	for _, link := range selected {
+		plan = append(plan, c.pending[link])
+		c.queued -= len(c.pending[link])
+		delete(c.pending, link)
+	}
+	return plan, true
+}
+
+// runCoordinated drains the coordinator until closed, executing each slot's
+// batches: all sends of a batch transmit back to back on their link, then
+// their graph tasks complete.
+func (lc *LiveCluster) runCoordinated(
+	coord *liveCoordinator,
+	tr netsim.Transport,
+	elems, parts map[string]int,
+	completeTask func(int),
+	fail func(error),
+) {
+	for {
+		plan, ok := coord.nextPlan()
+		if !ok {
+			return
+		}
+		for _, batch := range plan {
+			for _, s := range batch {
+				if err := lc.execSend(s.rt, s.t, tr, elems, parts); err != nil {
+					fail(err)
+					return
+				}
+				completeTask(s.id)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the paper's selective compression and partitioning
+// mechanism ("SeCoPa", §3.3): a unified cost model that decides, per
+// gradient, whether compression pays off and how many partitions K to use.
+//
+//	T_sync^orig(m, K) = α · T_send(m/K)                          (Eq. 1)
+//	T_sync^cpr (m, K) = α · T_send(r·m/K) + β · T_enc(m/K)
+//	                  + γ · T_dec(r·m/K)                         (Eq. 2)
+//
+// with α/β/γ from Table 3 (or the §6.1 co-located adjustments), T_enc/T_dec
+// profiled from the device model, T_send from the fabric model, and r the
+// algorithm's compression rate.
+
+// Strategy selects a synchronization strategy for planning and building.
+type Strategy int
+
+// Supported strategies. StrategyHD (recursive halving-doubling) is the
+// beyond-the-paper strategy demonstrating CaSync's generality; it requires a
+// power-of-two node count.
+const (
+	StrategyRing Strategy = iota
+	StrategyPS
+	StrategyHD
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRing:
+		return "casync-ring"
+	case StrategyPS:
+		return "casync-ps"
+	case StrategyHD:
+		return "casync-hd"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Curve is an affine cost curve T(x) = Fixed + PerByte·x, the fitted form
+// the planner works with for encode, decode, and send costs. It mirrors
+// gpu.Curve without importing it, keeping the planner substrate-agnostic.
+type Curve struct {
+	Fixed   float64
+	PerByte float64
+}
+
+// At evaluates the curve at m bytes.
+func (c Curve) At(m float64) float64 { return c.Fixed + c.PerByte*m }
+
+// Coeffs returns (α, β, γ) for the strategy with N nodes and K partitions.
+// CoLocated applies the evaluation's adjustment for PS deployments where
+// every node hosts both a worker and an aggregator: α = 2(N−1), β = K,
+// γ = N (§6.1); the general Table 3 values are α = 2N, β = K+1, γ = N+1.
+func Coeffs(s Strategy, n, k int, coLocated bool) (alpha, beta, gamma float64) {
+	switch s {
+	case StrategyRing:
+		return float64(2 * (n - 1)), float64(n), float64(n)
+	case StrategyPS:
+		if coLocated {
+			return float64(2 * (n - 1)), float64(k), float64(n)
+		}
+		return float64(2 * n), float64(k + 1), float64(n + 1)
+	case StrategyHD:
+		return HDCoeffs(n)
+	default:
+		panic("core: unknown strategy")
+	}
+}
+
+// Planner holds everything needed to evaluate the cost model for one
+// (algorithm, device, fabric, strategy, cluster-size) combination.
+type Planner struct {
+	Strategy  Strategy
+	N         int  // number of workers/aggregators
+	CoLocated bool // PS co-location (§6.1)
+
+	Enc  Curve // T_enc(m): compress an m-byte partition
+	Dec  Curve // T_dec(m'): decompress an m'-byte payload back to a partition
+	Send Curve // T_send(m): move m bytes across one link
+
+	// RatioOf returns the compression rate r for a partition of m raw
+	// bytes: compressed bytes / m. It is size-dependent because headers and
+	// minimum-payload floors matter for small gradients.
+	RatioOf func(m int64) float64
+
+	// MaxParts caps the partition search; 0 means 4N (the paper allows
+	// K > N by grouping partitions into ⌈K/N⌉ serial batches).
+	MaxParts int
+	// MinPartBytes floors the partition size (0 → 128 KiB): Eq. 1 and 2 are
+	// monotone in K for bandwidth terms, but sub-chunk partitions only add
+	// per-message latency and kernel launches in practice — every real
+	// system floors its chunk size (BytePS partitions at 4 MB; NCCL has
+	// minimum chunk sizes).
+	MinPartBytes int64
+}
+
+// minPart returns the effective partition-size floor.
+func (p *Planner) minPart() int64 {
+	if p.MinPartBytes > 0 {
+		return p.MinPartBytes
+	}
+	return 128 << 10
+}
+
+// TsyncOrig evaluates Eq. 1 for an m-byte gradient in K partitions (K ≤ N:
+// beyond N, uncompressed partitions gain nothing and Eq. 1 is undefined in
+// the paper's formulation; Plan never asks for more).
+func (p *Planner) TsyncOrig(m int64, k int) float64 {
+	alpha, _, _ := Coeffs(p.Strategy, p.N, k, p.CoLocated)
+	return alpha * p.Send.At(float64(m)/float64(k))
+}
+
+// TsyncCpr evaluates Eq. 2 for an m-byte gradient in K partitions. For
+// K > N, partitions are grouped into ⌈K/N⌉ batches that run serially
+// (§3.3's relaxation), multiplying the per-batch cost.
+func (p *Planner) TsyncCpr(m int64, k int) float64 {
+	alpha, beta, gamma := Coeffs(p.Strategy, p.N, k, p.CoLocated)
+	part := float64(m) / float64(k)
+	r := p.RatioOf(int64(math.Ceil(part)))
+	cost := alpha*p.Send.At(r*part) + beta*p.Enc.At(part) + gamma*p.Dec.At(r*part)
+	groups := (k + p.N - 1) / p.N
+	return float64(groups) * cost
+}
+
+// Plan is one gradient's selective compression and partitioning decision
+// (the tuples of Table 7).
+type Plan struct {
+	Compress bool
+	Parts    int
+	// Cost is the modeled synchronization time of the chosen configuration
+	// in seconds; AltCost is the best cost of the rejected alternative
+	// (compressed vs not), for diagnostics.
+	Cost, AltCost float64
+}
+
+// String renders the plan as the paper's Table 7 tuples, e.g. "<yes, 12>".
+func (pl Plan) String() string {
+	yn := "no"
+	if pl.Compress {
+		yn = "yes"
+	}
+	return fmt.Sprintf("<%s, %d>", yn, pl.Parts)
+}
+
+// Plan chooses, for an m-byte gradient, whether to compress and the optimal
+// partition count, by exhaustively evaluating both convex cost expressions
+// over the K range (the expressions are cheap; exhaustive search sidesteps
+// convexity edge cases from the size-dependent ratio).
+func (p *Planner) Plan(m int64) Plan {
+	if m <= 0 {
+		return Plan{Compress: false, Parts: 1}
+	}
+	maxK := p.MaxParts
+	if maxK <= 0 {
+		maxK = 4 * p.N
+	}
+	bestOrig, bestOrigK := math.Inf(1), 1
+	for k := 1; k <= p.N; k++ {
+		if k > 1 && m/int64(k) < p.minPart() {
+			break
+		}
+		if c := p.TsyncOrig(m, k); c < bestOrig {
+			bestOrig, bestOrigK = c, k
+		}
+	}
+	bestCpr, bestCprK := math.Inf(1), 1
+	for k := 1; k <= maxK; k++ {
+		if k > 1 && (int64(k) > m/4 || m/int64(k) < p.minPart()) {
+			break // partitions below the chunk floor (or one element)
+		}
+		if c := p.TsyncCpr(m, k); c < bestCpr {
+			bestCpr, bestCprK = c, k
+		}
+	}
+	if bestCpr < bestOrig {
+		return Plan{Compress: true, Parts: bestCprK, Cost: bestCpr, AltCost: bestOrig}
+	}
+	return Plan{Compress: false, Parts: bestOrigK, Cost: bestOrig, AltCost: bestCpr}
+}
+
+// CompressionThreshold returns the smallest gradient size (bytes, within
+// [lo, hi] by binary search at 4 KiB granularity) for which the planner
+// chooses to compress. It reproduces the paper's observation that "CaSync
+// suggests to compress gradients larger than 4MB" on the EC2 setup.
+func (p *Planner) CompressionThreshold(lo, hi int64) int64 {
+	const step = 4096
+	lo, hi = lo/step, hi/step
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.Plan(mid * step).Compress {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo * step
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hipress/internal/compress"
+	"hipress/internal/gpu"
+	"hipress/internal/netsim"
+)
+
+// newPlanner builds a planner for the EC2 V100/100Gbps setup with onebit.
+func newPlanner(t *testing.T, strat Strategy, n int) *Planner {
+	t.Helper()
+	dev := gpu.NewDevice(gpu.V100)
+	fab := netsim.EC2100G()
+	ob, err := compress.New("onebit", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := gpu.ProfileEncode(dev, "onebit")
+	dec := gpu.ProfileDecode(dev, "onebit")
+	return &Planner{
+		Strategy:  strat,
+		N:         n,
+		CoLocated: true,
+		Enc:       Curve{Fixed: enc.Fixed, PerByte: enc.PerByte},
+		Dec:       Curve{Fixed: dec.Fixed, PerByte: dec.PerByte},
+		Send:      Curve{Fixed: fab.Latency, PerByte: 1 / fab.Bandwidth},
+		RatioOf: func(m int64) float64 {
+			elems := int(m / 4)
+			if elems < 1 {
+				elems = 1
+			}
+			return compress.Ratio(ob, elems)
+		},
+	}
+}
+
+// TestCoeffsTable3 pins the paper's Table 3 and the §6.1 co-located values.
+func TestCoeffsTable3(t *testing.T) {
+	cases := []struct {
+		s                  Strategy
+		n, k               int
+		co                 bool
+		alpha, beta, gamma float64
+	}{
+		{StrategyRing, 16, 4, false, 30, 16, 16},
+		{StrategyRing, 16, 4, true, 30, 16, 16}, // co-location irrelevant for ring
+		{StrategyPS, 16, 4, false, 32, 5, 17},
+		{StrategyPS, 16, 4, true, 30, 4, 16},
+		{StrategyPS, 4, 1, false, 8, 2, 5},
+	}
+	for _, c := range cases {
+		a, b, g := Coeffs(c.s, c.n, c.k, c.co)
+		if a != c.alpha || b != c.beta || g != c.gamma {
+			t.Errorf("Coeffs(%v,n=%d,k=%d,co=%v) = (%v,%v,%v), want (%v,%v,%v)",
+				c.s, c.n, c.k, c.co, a, b, g, c.alpha, c.beta, c.gamma)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyRing.String() != "casync-ring" || StrategyPS.String() != "casync-ps" {
+		t.Fatalf("strategy strings wrong")
+	}
+}
+
+// TestLargeGradientsCompress: a 392 MB gradient (VGG19's largest) must plan
+// to compress on both strategies, with several partitions.
+func TestLargeGradientsCompress(t *testing.T) {
+	for _, strat := range []Strategy{StrategyRing, StrategyPS} {
+		p := newPlanner(t, strat, 16)
+		plan := p.Plan(392 << 20)
+		if !plan.Compress {
+			t.Errorf("%v: 392MB gradient not compressed: %v", strat, plan)
+		}
+		if plan.Parts < 2 {
+			t.Errorf("%v: 392MB gradient got only %d partitions", strat, plan.Parts)
+		}
+		if plan.Cost >= plan.AltCost {
+			t.Errorf("%v: chosen cost %v not better than alternative %v", strat, plan.Cost, plan.AltCost)
+		}
+	}
+}
+
+// TestTinyGradientsDoNotCompress: a 16 KB gradient is dominated by kernel
+// launch and per-message latency; compression cannot pay (the Fig. 11
+// SeCoPa analysis: 62.7% of Bert-base gradients are below 16 KB and skipping
+// them removes the over-compression penalty).
+func TestTinyGradientsDoNotCompress(t *testing.T) {
+	for _, strat := range []Strategy{StrategyRing, StrategyPS} {
+		p := newPlanner(t, strat, 16)
+		plan := p.Plan(16 << 10)
+		if plan.Compress {
+			t.Errorf("%v: 16KB gradient compressed: %v", strat, plan)
+		}
+	}
+}
+
+// TestCompressionThresholdOrder: the threshold sits between 16 KB and 16 MB
+// on the EC2 setup (the paper reports ~4 MB for 16 nodes).
+func TestCompressionThresholdOrder(t *testing.T) {
+	p := newPlanner(t, StrategyRing, 16)
+	thr := p.CompressionThreshold(4<<10, 64<<20)
+	if thr <= 16<<10 || thr > 16<<20 {
+		t.Errorf("compression threshold = %d bytes, want in (16KB, 16MB]", thr)
+	}
+}
+
+// TestMorePartitionsForBiggerGradients: K grows (weakly) with size.
+func TestMorePartitionsForBiggerGradients(t *testing.T) {
+	p := newPlanner(t, StrategyPS, 16)
+	small := p.Plan(16 << 20)
+	large := p.Plan(392 << 20)
+	if large.Parts < small.Parts {
+		t.Errorf("partitions shrank with size: 16MB→%d, 392MB→%d", small.Parts, large.Parts)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	if got := (Plan{Compress: true, Parts: 12}).String(); got != "<yes, 12>" {
+		t.Fatalf("Plan.String = %q", got)
+	}
+	if got := (Plan{Compress: false, Parts: 16}).String(); got != "<no, 16>" {
+		t.Fatalf("Plan.String = %q", got)
+	}
+}
+
+func TestPlanDegenerate(t *testing.T) {
+	p := newPlanner(t, StrategyRing, 16)
+	plan := p.Plan(0)
+	if plan.Compress || plan.Parts != 1 {
+		t.Fatalf("Plan(0) = %v", plan)
+	}
+}
+
+// TestTsyncOrigMatchesEq1 hand-computes Eq. 1.
+func TestTsyncOrigMatchesEq1(t *testing.T) {
+	p := newPlanner(t, StrategyRing, 4)
+	m := int64(8 << 20)
+	k := 2
+	want := 6 * p.Send.At(float64(m)/2) // α = 2(N−1) = 6
+	if got := p.TsyncOrig(m, k); got != want {
+		t.Fatalf("TsyncOrig = %v, want %v", got, want)
+	}
+}
+
+// TestTsyncCprGrouping: K > N costs are grouped into ⌈K/N⌉ serial batches,
+// so T(2N partitions) ≈ 2 × T(N partitions of the same per-partition size)
+// ... specifically the cost must never improve superlinearly past K = N.
+func TestTsyncCprGrouping(t *testing.T) {
+	p := newPlanner(t, StrategyRing, 4)
+	m := int64(64 << 20)
+	atN := p.TsyncCpr(m, 4)
+	at2N := p.TsyncCpr(m, 8)
+	// Two groups of half-size partitions: strictly more fixed overhead than
+	// one group of full-size partitions halved.
+	if at2N < atN/2 {
+		t.Fatalf("grouping lost: T(K=8)=%v < T(K=4)/2=%v", at2N, atN/2)
+	}
+}
+
+// Property: Plan's chosen cost is never worse than K=1 of the same mode.
+func TestQuickPlanBeatsNaive(t *testing.T) {
+	p := newPlanner(t, StrategyPS, 8)
+	f := func(mRaw uint32) bool {
+		m := int64(mRaw%(512<<20)) + 1024
+		plan := p.Plan(m)
+		naive := p.TsyncOrig(m, 1)
+		return plan.Cost <= naive+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: costs are positive and monotone in m for fixed K.
+func TestQuickCostMonotone(t *testing.T) {
+	p := newPlanner(t, StrategyRing, 8)
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := int64(aRaw)+1, int64(bRaw)+1
+		if a > b {
+			a, b = b, a
+		}
+		return p.TsyncCpr(a, 4) <= p.TsyncCpr(b, 4)+1e-12 && p.TsyncCpr(a, 4) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanRobustness implements the §3.3 future-work study: with ±10%
+// profiling noise, the overwhelming majority of SeCoPa decisions are
+// unchanged, and the decisions that do change cost almost nothing extra
+// under the true cost model.
+func TestPlanRobustness(t *testing.T) {
+	p := newPlanner(t, StrategyPS, 16)
+	sizes := []int64{16 << 10, 256 << 10, 4 << 20, 16 << 20, 64 << 20, 392 << 20}
+	rep := PlanRobustness(p, sizes, 0.10, 50, 42)
+	if rep.Total != len(sizes)*50 {
+		t.Fatalf("Total = %d", rep.Total)
+	}
+	if sf := rep.StableFraction(); sf < 0.6 {
+		t.Errorf("only %.0f%% of decisions stable under 10%% noise", 100*sf)
+	}
+	if rep.MeanCostPenalty > 0.05 {
+		t.Errorf("mis-profiled plans cost %.1f%% extra on average; should be small (convex cost surface)", 100*rep.MeanCostPenalty)
+	}
+	// Compress/skip decisions flip only near the threshold; far from it,
+	// never.
+	farSizes := []int64{16 << 10, 392 << 20}
+	repFar := PlanRobustness(p, farSizes, 0.10, 50, 43)
+	if repFar.FlippedCompress != 0 {
+		t.Errorf("compress decision flipped %d times for far-from-threshold sizes", repFar.FlippedCompress)
+	}
+	// More noise cannot make plans more stable.
+	repWild := PlanRobustness(p, sizes, 0.5, 50, 42)
+	if repWild.StableFraction() > rep.StableFraction()+0.05 {
+		t.Errorf("50%% noise (%.2f stable) beat 10%% noise (%.2f stable)",
+			repWild.StableFraction(), rep.StableFraction())
+	}
+	if (RobustnessReport{}).StableFraction() != 1 {
+		t.Errorf("empty report should be fully stable")
+	}
+}

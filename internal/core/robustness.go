@@ -1,0 +1,98 @@
+package core
+
+import "hipress/internal/tensor"
+
+// The paper's §3.3 closes with: "our cost model assumes a homogeneous
+// environment ... the profiling results are obtained without considering the
+// variance or interference of network and GPUs. We leave the exploration of
+// the impacts of dynamics on the profiling accuracy of our cost model as
+// future work." This file implements that exploration: perturb the profiled
+// cost curves the way noisy measurements would, re-plan, and quantify how
+// stable the selective compression and partitioning decisions are.
+
+// RobustnessReport summarizes plan stability under profiling noise.
+type RobustnessReport struct {
+	// Trials is the number of perturbed re-plannings per gradient size.
+	Trials int
+	// Total = Trials × len(sizes) decisions examined.
+	Total int
+	// FlippedCompress counts decisions whose compress yes/no flipped
+	// relative to the noise-free plan.
+	FlippedCompress int
+	// ChangedParts counts decisions whose partition count changed (compress
+	// decision unchanged).
+	ChangedParts int
+	// MeanCostPenalty is the average relative cost increase of executing
+	// the perturbed-plan decision under the true (noise-free) cost model —
+	// the real price of mis-profiling.
+	MeanCostPenalty float64
+}
+
+// StableFraction returns the fraction of decisions identical to noise-free
+// planning.
+func (r RobustnessReport) StableFraction() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return 1 - float64(r.FlippedCompress+r.ChangedParts)/float64(r.Total)
+}
+
+// PlanRobustness re-plans each gradient size `trials` times with the
+// planner's Enc/Dec/Send curves multiplicatively perturbed by up to ±jitter
+// (uniform, deterministic under seed), and evaluates every perturbed
+// decision under the unperturbed cost model.
+func PlanRobustness(base *Planner, sizes []int64, jitter float64, trials int, seed uint64) RobustnessReport {
+	rng := tensor.NewRNG(seed)
+	rep := RobustnessReport{Trials: trials}
+	var penaltySum float64
+	var penaltyN int
+
+	trueCost := func(m int64, pl Plan) float64 {
+		if pl.Compress {
+			return base.TsyncCpr(m, pl.Parts)
+		}
+		return base.TsyncOrig(m, clampK(pl.Parts, base.N))
+	}
+
+	for _, m := range sizes {
+		clean := base.Plan(m)
+		for trial := 0; trial < trials; trial++ {
+			noisy := *base
+			noisy.Enc = perturbCurve(base.Enc, jitter, rng)
+			noisy.Dec = perturbCurve(base.Dec, jitter, rng)
+			noisy.Send = perturbCurve(base.Send, jitter, rng)
+			got := noisy.Plan(m)
+			rep.Total++
+			switch {
+			case got.Compress != clean.Compress:
+				rep.FlippedCompress++
+			case got.Parts != clean.Parts:
+				rep.ChangedParts++
+			}
+			// Price of the perturbed decision under reality.
+			if c0 := trueCost(m, clean); c0 > 0 {
+				penaltySum += trueCost(m, got)/c0 - 1
+				penaltyN++
+			}
+		}
+	}
+	if penaltyN > 0 {
+		rep.MeanCostPenalty = penaltySum / float64(penaltyN)
+	}
+	return rep
+}
+
+func perturbCurve(c Curve, jitter float64, rng *tensor.RNG) Curve {
+	f := func(x float64) float64 { return x * (1 + jitter*(2*rng.Float64()-1)) }
+	return Curve{Fixed: f(c.Fixed), PerByte: f(c.PerByte)}
+}
+
+func clampK(k, n int) int {
+	if k < 1 {
+		return 1
+	}
+	if k > n {
+		return n
+	}
+	return k
+}

@@ -1,0 +1,217 @@
+package core
+
+import "fmt"
+
+// Kind is the primitive a task executes — the paper's five general
+// synchronization primitives (§3.1) plus the DNN-compute placeholder that
+// roots a gradient's DAG at its backward-pass completion.
+type Kind uint8
+
+// Task kinds.
+const (
+	KCompute Kind = iota // local DNN backward producing the gradient
+	KEncode              // compress
+	KDecode              // decompress
+	KMerge               // aggregate
+	KSend                // transmit to peer
+	KRecv                // receive from peer
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KCompute:
+		return "compute"
+	case KEncode:
+		return "encode"
+	case KDecode:
+		return "decode"
+	case KMerge:
+		return "merge"
+	case KSend:
+		return "send"
+	case KRecv:
+		return "recv"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsComm reports whether the kind belongs in the communication queue
+// (Q_commu) rather than the computing queue (Q_comp).
+func (k Kind) IsComm() bool { return k == KSend || k == KRecv }
+
+// Task is one node-local unit of work in a gradient synchronization DAG.
+// The metadata fields fully determine the task's simulated cost; Exec, when
+// set by a strategy builder, carries the live-plane semantics (real
+// compression, real channel sends).
+type Task struct {
+	ID   int
+	Kind Kind
+	// Node executes the task. For KSend, Node is the sender and Peer the
+	// receiver; for KRecv, Node is the receiver and Peer the sender.
+	Node int
+	Peer int
+	// Grad names the gradient being synchronized; Part is the partition
+	// index within it; Step disambiguates repeated primitives along the
+	// path (e.g. ring hop number).
+	Grad string
+	Part int
+	Step int
+	// Bytes is the data volume the task touches: wire bytes for send/recv,
+	// input bytes for encode/merge, output bytes for decode. It drives the
+	// timing model.
+	Bytes int64
+	// Algo is the compression algorithm for encode/decode tasks ("" for
+	// uncompressed paths); it selects the kernel cost curve.
+	Algo string
+	// Phase distinguishes the aggregation phase (1) from the dissemination
+	// phase (2) of a synchronization strategy.
+	Phase uint8
+	// Forward marks a send that relays a received payload unchanged
+	// (ring dissemination) rather than transmitting a locally encoded one.
+	Forward bool
+	// Dur, for KCompute tasks, is the explicit duration in seconds (DNN
+	// backward time is an input to the simulation, not derived from Bytes).
+	Dur float64
+	// Exec, if non-nil, performs the task's real work on the live plane.
+	Exec func() error
+
+	// deps counts unfinished prerequisite tasks; outs lists dependents by
+	// graph index.
+	deps int
+	outs []int
+}
+
+// Graph is a per-iteration synchronization DAG over one or more gradients.
+// It is built once and then consumed by exactly one executor (dependency
+// counters are mutated during execution).
+type Graph struct {
+	Tasks []*Task
+}
+
+// NewGraph returns an empty DAG.
+func NewGraph() *Graph { return &Graph{} }
+
+// Add appends a task and returns its graph index.
+func (g *Graph) Add(t *Task) int {
+	t.ID = len(g.Tasks)
+	g.Tasks = append(g.Tasks, t)
+	return t.ID
+}
+
+// Dep records that task `after` cannot start before task `before` finishes.
+func (g *Graph) Dep(before, after int) {
+	g.Tasks[before].outs = append(g.Tasks[before].outs, after)
+	g.Tasks[after].deps++
+}
+
+// Roots returns the indices of tasks with no prerequisites.
+func (g *Graph) Roots() []int {
+	var roots []int
+	for i, t := range g.Tasks {
+		if t.deps == 0 {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// Deps returns the number of unfinished prerequisites of task i (primarily
+// for tests and executors).
+func (g *Graph) Deps(i int) int { return g.Tasks[i].deps }
+
+// Outs returns the dependents of task i.
+func (g *Graph) Outs(i int) []int { return g.Tasks[i].outs }
+
+// Complete marks task i finished and returns the dependents that became
+// ready. Executors call this as their single source of scheduling truth —
+// it is the dependency-graph clearing of §3.1 step ③.
+func (g *Graph) Complete(i int) []int {
+	var ready []int
+	for _, o := range g.Tasks[i].outs {
+		g.Tasks[o].deps--
+		if g.Tasks[o].deps < 0 {
+			panic(fmt.Sprintf("core: task %d completed more than once upstream of %d", i, o))
+		}
+		if g.Tasks[o].deps == 0 {
+			ready = append(ready, o)
+		}
+	}
+	return ready
+}
+
+// Validate checks structural sanity: send/recv pairing, acyclicity, and
+// that every task is reachable from a root. Strategy builders run it in
+// tests; executors trust validated graphs.
+func (g *Graph) Validate() error {
+	// Acyclicity + reachability via Kahn's algorithm on a scratch copy.
+	indeg := make([]int, len(g.Tasks))
+	for i, t := range g.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("core: task %d has mismatched ID %d", i, t.ID)
+		}
+		for _, o := range t.outs {
+			if o < 0 || o >= len(g.Tasks) {
+				return fmt.Errorf("core: task %d has out-of-range dependent %d", i, o)
+			}
+			indeg[o]++
+		}
+	}
+	for i, t := range g.Tasks {
+		if indeg[i] != t.deps {
+			return fmt.Errorf("core: task %d dependency count %d does not match edges %d", i, t.deps, indeg[i])
+		}
+	}
+	queue := make([]int, 0, len(g.Tasks))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		visited++
+		for _, o := range g.Tasks[i].outs {
+			indeg[o]--
+			if indeg[o] == 0 {
+				queue = append(queue, o)
+			}
+		}
+	}
+	if visited != len(g.Tasks) {
+		return fmt.Errorf("core: graph has a cycle or unreachable tasks (%d of %d visited)", visited, len(g.Tasks))
+	}
+	return nil
+}
+
+// Stats summarizes a graph for logs and tests.
+type Stats struct {
+	Total                                   int
+	Encode, Decode, Merge, Send, Recv, Comp int
+}
+
+// Stat counts tasks by kind.
+func (g *Graph) Stat() Stats {
+	var s Stats
+	s.Total = len(g.Tasks)
+	for _, t := range g.Tasks {
+		switch t.Kind {
+		case KEncode:
+			s.Encode++
+		case KDecode:
+			s.Decode++
+		case KMerge:
+			s.Merge++
+		case KSend:
+			s.Send++
+		case KRecv:
+			s.Recv++
+		case KCompute:
+			s.Comp++
+		}
+	}
+	return s
+}

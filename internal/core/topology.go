@@ -1,0 +1,134 @@
+// Package core implements CaSync, the paper's primary contribution: a
+// compression-aware gradient synchronization architecture built from five
+// decoupled primitives (encode, decode, merge, send, recv) composed into
+// per-gradient task DAGs, executed by a dependency-driven task manager, and
+// optimized by compression-aware bulk synchronization (§3.2) and selective
+// compression & partitioning (§3.3).
+//
+// The package is deliberately independent of any particular execution
+// substrate: the same task graphs run on the discrete-event timing plane
+// (SimExecutor) for cluster-scale experiments and on the live goroutine
+// plane (TaskManager + LiveExecutor) for real compressed training.
+package core
+
+import "fmt"
+
+// Role describes what a node does during gradient synchronization (§3.1:
+// "there are fundamentally two node roles, namely, worker and aggregator").
+type Role uint8
+
+// Node roles. A node may hold both (RoleBoth), as in Ring-allreduce or
+// co-located PS deployments.
+const (
+	RoleWorker Role = 1 << iota
+	RoleAggregator
+	RoleBoth = RoleWorker | RoleAggregator
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleWorker:
+		return "worker"
+	case RoleAggregator:
+		return "aggregator"
+	case RoleBoth:
+		return "worker+aggregator"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Topology is the directed communication graph decoupled from the
+// synchronization strategy (§3.1): vertices are training nodes, edges the
+// permitted communication links.
+type Topology struct {
+	// Kind names the shape ("ring", "ps-bipartite") for logs and plans.
+	Kind string
+	// Roles holds each node's role, indexed by node id.
+	Roles []Role
+	// Out lists, for each node, the destinations it may send to.
+	Out [][]int
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return len(t.Roles) }
+
+// HasEdge reports whether src may send directly to dst.
+func (t *Topology) HasEdge(src, dst int) bool {
+	for _, d := range t.Out[src] {
+		if d == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// Successor returns the single outgoing neighbor of node; it panics if the
+// node's out-degree is not 1 (only rings have unique successors).
+func (t *Topology) Successor(node int) int {
+	if len(t.Out[node]) != 1 {
+		panic(fmt.Sprintf("core: node %d has %d successors, not a ring", node, len(t.Out[node])))
+	}
+	return t.Out[node][0]
+}
+
+// Ring builds the clockwise ring of n nodes, each both worker and
+// aggregator, node i sending to (i+1) mod n (Fig. 1b).
+func Ring(n int) *Topology {
+	if n < 2 {
+		panic("core: ring needs at least 2 nodes")
+	}
+	t := &Topology{Kind: "ring", Roles: make([]Role, n), Out: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		t.Roles[i] = RoleBoth
+		t.Out[i] = []int{(i + 1) % n}
+	}
+	return t
+}
+
+// PSBipartite builds a parameter-server topology with co-located workers and
+// aggregators: every node runs a worker and an aggregator (the deployment
+// §6.1 uses, "co-locating aggregators and workers for BytePS and
+// CaSync-PS"), and any worker may exchange with any aggregator.
+func PSBipartite(n int) *Topology {
+	if n < 1 {
+		panic("core: PS needs at least 1 node")
+	}
+	t := &Topology{Kind: "ps-bipartite", Roles: make([]Role, n), Out: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		t.Roles[i] = RoleBoth
+		out := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				out = append(out, j)
+			}
+		}
+		t.Out[i] = out
+	}
+	return t
+}
+
+// PSDedicated builds a classic parameter-server topology with w workers and
+// s dedicated aggregator (server) nodes: workers are nodes [0,w), servers
+// [w, w+s), and edges run both directions between the two sets only.
+func PSDedicated(w, s int) *Topology {
+	if w < 1 || s < 1 {
+		panic("core: dedicated PS needs at least 1 worker and 1 server")
+	}
+	n := w + s
+	t := &Topology{Kind: "ps-dedicated", Roles: make([]Role, n), Out: make([][]int, n)}
+	for i := 0; i < w; i++ {
+		t.Roles[i] = RoleWorker
+		for j := 0; j < s; j++ {
+			t.Out[i] = append(t.Out[i], w+j)
+		}
+	}
+	for j := 0; j < s; j++ {
+		t.Roles[w+j] = RoleAggregator
+		for i := 0; i < w; i++ {
+			t.Out[w+j] = append(t.Out[w+j], i)
+		}
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+package core
+
+import "testing"
+
+func TestRoleString(t *testing.T) {
+	if RoleWorker.String() != "worker" || RoleAggregator.String() != "aggregator" || RoleBoth.String() != "worker+aggregator" {
+		t.Fatalf("role strings wrong")
+	}
+	if Role(8).String() == "" {
+		t.Fatalf("unknown role empty string")
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := Ring(4)
+	if r.N() != 4 || r.Kind != "ring" {
+		t.Fatalf("ring shape wrong: %+v", r)
+	}
+	for i := 0; i < 4; i++ {
+		if r.Roles[i] != RoleBoth {
+			t.Fatalf("ring node %d role %v", i, r.Roles[i])
+		}
+		if got := r.Successor(i); got != (i+1)%4 {
+			t.Fatalf("successor of %d = %d", i, got)
+		}
+		if !r.HasEdge(i, (i+1)%4) {
+			t.Fatalf("missing ring edge %d", i)
+		}
+		if r.HasEdge(i, (i+2)%4) {
+			t.Fatalf("ring has chord edge from %d", i)
+		}
+	}
+}
+
+func TestRingPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Ring(1) did not panic")
+		}
+	}()
+	Ring(1)
+}
+
+func TestPSBipartite(t *testing.T) {
+	p := PSBipartite(3)
+	if p.N() != 3 {
+		t.Fatalf("N = %d", p.N())
+	}
+	for i := 0; i < 3; i++ {
+		if len(p.Out[i]) != 2 {
+			t.Fatalf("node %d out-degree %d", i, len(p.Out[i]))
+		}
+		if p.HasEdge(i, i) {
+			t.Fatalf("self edge at %d", i)
+		}
+	}
+}
+
+func TestPSDedicated(t *testing.T) {
+	p := PSDedicated(3, 2)
+	if p.N() != 5 {
+		t.Fatalf("N = %d", p.N())
+	}
+	for w := 0; w < 3; w++ {
+		if p.Roles[w] != RoleWorker {
+			t.Fatalf("node %d should be worker", w)
+		}
+		for s := 0; s < 2; s++ {
+			if !p.HasEdge(w, 3+s) || !p.HasEdge(3+s, w) {
+				t.Fatalf("missing bipartite edge %d<->%d", w, 3+s)
+			}
+		}
+	}
+	if p.HasEdge(0, 1) {
+		t.Fatalf("worker-worker edge exists")
+	}
+	if p.HasEdge(3, 4) {
+		t.Fatalf("server-server edge exists")
+	}
+}
+
+func TestSuccessorPanicsOffRing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Successor on PS did not panic")
+		}
+	}()
+	PSBipartite(3).Successor(0)
+}

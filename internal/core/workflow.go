@@ -1,0 +1,112 @@
+package core
+
+import "fmt"
+
+// ValidateWorkflow checks the §3.1 order constraints over a built graph:
+// the per-role workflows "define proper data dependencies or order
+// constraints between these primitives". Concretely, for every task:
+//
+//   - a send of locally produced data is preceded (transitively) by the
+//     encode that produced its payload when the gradient is compressed,
+//     unless the send forwards a received payload;
+//   - a decode is preceded by the recv that delivered its payload;
+//   - a phase-1 merge is preceded by a decode (compressed) or recv (raw),
+//     except a PS aggregator's self-merge of its local contribution;
+//   - every recv is preceded by exactly its matching send.
+//
+// Strategy builders are tested against this validator, and user-supplied
+// custom strategies can be linted with it before execution.
+func ValidateWorkflow(g *Graph) error {
+	// pred[i] = direct predecessors of i.
+	pred := make([][]int, len(g.Tasks))
+	for i, t := range g.Tasks {
+		for _, o := range t.outs {
+			pred[o] = append(pred[o], i)
+		}
+	}
+	// precededBy reports whether some ancestor of task i (searching through
+	// same-node tasks plus the immediate cross-node send→recv link)
+	// satisfies want.
+	var precededBy func(i int, want func(*Task) bool, seen map[int]bool) bool
+	precededBy = func(i int, want func(*Task) bool, seen map[int]bool) bool {
+		if seen[i] {
+			return false
+		}
+		seen[i] = true
+		for _, p := range pred[i] {
+			if want(g.Tasks[p]) {
+				return true
+			}
+			if precededBy(p, want, seen) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for i, t := range g.Tasks {
+		switch t.Kind {
+		case KSend:
+			if t.Forward {
+				// A forwarding send must be fed by a recv.
+				if !precededBy(i, func(p *Task) bool { return p.Kind == KRecv && p.Node == t.Node }, map[int]bool{}) {
+					return fmt.Errorf("core: workflow: forwarding send %d has no upstream recv", i)
+				}
+				continue
+			}
+			// Raw sends need no encode. Compressed sends (wire size differs
+			// from 4×elems is not observable here, so use: the gradient has
+			// encodes anywhere in the graph → this send must be downstream
+			// of one on its node, or be a raw-path send).
+			hasEnc := false
+			for _, u := range g.Tasks {
+				if u.Kind == KEncode && u.Grad == t.Grad && u.Part == t.Part {
+					hasEnc = true
+					break
+				}
+			}
+			if hasEnc {
+				if !precededBy(i, func(p *Task) bool {
+					return p.Kind == KEncode && p.Node == t.Node && p.Part == t.Part
+				}, map[int]bool{}) {
+					return fmt.Errorf("core: workflow: send %d (%s/p%d@%d) not preceded by a local encode",
+						i, t.Grad, t.Part, t.Node)
+				}
+			}
+		case KDecode:
+			if !precededBy(i, func(p *Task) bool {
+				return p.Kind == KRecv && p.Node == t.Node && p.Part == t.Part
+			}, map[int]bool{}) {
+				return fmt.Errorf("core: workflow: decode %d (%s/p%d@%d) not preceded by a recv",
+					i, t.Grad, t.Part, t.Node)
+			}
+		case KMerge:
+			if t.Bytes == 0 || t.Part < 0 {
+				continue // barrier
+			}
+			if t.Phase == 1 && t.Peer == t.Node {
+				continue // PS self-merge of the local contribution
+			}
+			if !precededBy(i, func(p *Task) bool {
+				return (p.Kind == KDecode || p.Kind == KRecv) && p.Node == t.Node && p.Part == t.Part
+			}, map[int]bool{}) {
+				return fmt.Errorf("core: workflow: merge %d (%s/p%d@%d) has no upstream decode/recv",
+					i, t.Grad, t.Part, t.Node)
+			}
+		case KRecv:
+			ok := false
+			for _, p := range pred[i] {
+				pp := g.Tasks[p]
+				if pp.Kind == KSend && pp.Node == t.Peer && pp.Peer == t.Node &&
+					pp.Grad == t.Grad && pp.Part == t.Part {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("core: workflow: recv %d (%s/p%d@%d from %d) has no matching send",
+					i, t.Grad, t.Part, t.Node, t.Peer)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,476 @@
+// Package engine is the HiPress framework layer (paper §5): it assembles
+// clusters, models, synchronization strategies, compression algorithms, and
+// the optimization switches into runnable training-iteration simulations,
+// and implements the baselines the evaluation compares against (BytePS,
+// Ring-allreduce/Horovod, and their OSS-compression variants).
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hipress/internal/compress"
+	"hipress/internal/core"
+	"hipress/internal/gpu"
+	"hipress/internal/models"
+	"hipress/internal/netsim"
+
+	// Register the CompLL DSL compressors ("cll-*") with the registry so
+	// engine configs can name them directly — the automated-integration path.
+	_ "hipress/internal/compll"
+)
+
+// Cluster describes a homogeneous training cluster.
+type Cluster struct {
+	Nodes       int
+	GPUsPerNode int
+	Device      gpu.Kind
+	Fabric      *netsim.Fabric
+	// IntraBW is the intra-node GPU↔GPU bandwidth local aggregation uses.
+	IntraBW float64
+	// BatchFrac scales per-GPU batch size relative to the model's default
+	// (the local cluster's 11 GB cards force smaller batches, §6.1's
+	// "light mode" deployments). Zero means 1.0.
+	BatchFrac float64
+	// HostStaged marks clusters whose GPUs lack GPUDirect RDMA (the local
+	// 1080 Ti nodes behind a PCIe switch): every system's transfers bounce
+	// through host memory there.
+	HostStaged bool
+}
+
+// frameworkDispatchSec is the CPU-side cost of scheduling one compression
+// kernel through a DNN framework's execution engine (queueing, callback,
+// stream sync) — the overhead §3.2's single-callback batch compression
+// amortizes. ~150 µs matches MXNet/TF per-op engine costs of the era.
+const frameworkDispatchSec = 150e-6
+
+// batchFrac returns the effective batch fraction.
+func (c Cluster) batchFrac() float64 {
+	if c.BatchFrac <= 0 {
+		return 1
+	}
+	return c.BatchFrac
+}
+
+// TotalGPUs returns the cluster-wide GPU count.
+func (c Cluster) TotalGPUs() int { return c.Nodes * c.GPUsPerNode }
+
+// EC2Cluster is the paper's AWS testbed: p3dn.24xlarge nodes with 8×V100
+// (NVLink) and 100 Gbps networking.
+func EC2Cluster(nodes int) Cluster {
+	return Cluster{
+		Nodes: nodes, GPUsPerNode: 8, Device: gpu.V100,
+		Fabric: netsim.EC2100G(), IntraBW: gpu.NVLinkBW,
+	}
+}
+
+// LocalCluster is the paper's local testbed: 2×1080 Ti behind a PCIe switch
+// per node, 56 Gbps InfiniBand.
+func LocalCluster(nodes int) Cluster {
+	return Cluster{
+		Nodes: nodes, GPUsPerNode: 2, Device: gpu.GTX1080Ti,
+		Fabric: netsim.IB56G(), IntraBW: gpu.PCIeSwitchBW,
+		BatchFrac:  0.25, // 11 GB cards: quarter batches (§6.1 memory limits)
+		HostStaged: true, // consumer cards: no GPUDirect RDMA
+	}
+}
+
+// Config selects a synchronization system: a strategy plus the optimization
+// switches that distinguish HiPress from the baselines. Fig. 11's ablation
+// toggles exactly these flags.
+type Config struct {
+	// System is a display label ("hipress-ps(onebit)").
+	System string
+	// Strategy picks CaSync-Ring or CaSync-PS shaped synchronization.
+	Strategy core.Strategy
+	// Algo is the compression algorithm registry name ("", "onebit",
+	// "oss-dgc", "cll-terngrad", ...).
+	Algo string
+	// Params parameterizes the algorithm (bitwidth, ratio, ...).
+	Params compress.Params
+
+	// Pipeline enables compression-communication overlap (§3.1).
+	Pipeline bool
+	// BulkComm enables the coordinator's batched communication (§3.2).
+	BulkComm bool
+	// BulkComp enables batch compression (§3.2).
+	BulkComp bool
+	// SeCoPa enables selective compression and partitioning (§3.3). When
+	// off and Algo is set, every gradient is compressed with Parts
+	// partitions (the baselines' behavior).
+	SeCoPa bool
+	// FuseDecMerge enables CompLL's fused decode+merge.
+	FuseDecMerge bool
+
+	// LocalAgg aggregates intra-node GPUs first and synchronizes once per
+	// node (§5 "Local aggregation"). When false, every GPU joins the
+	// global synchronization and the node NIC carries GPUsPerNode× traffic
+	// (flat Horovod ring).
+	LocalAgg bool
+	// ExtraCopies charges BytePS's additional pipeline memory copies.
+	ExtraCopies bool
+	// HostStaged routes network transfers through host memory (BytePS).
+	HostStaged bool
+	// NoRDMA derates the fabric (BytePS cannot use EFA on EC2, §6.1).
+	NoRDMA bool
+	// OnCPU runs compression on the host CPU with PCIe crossings (§2.5
+	// ablation).
+	OnCPU bool
+
+	// Parts is the fixed partition count when SeCoPa is off (0 → 1).
+	Parts int
+	// PSChunkBytes, when > 0 and SeCoPa is off, partitions each gradient
+	// into chunks of at most this size spread round-robin across
+	// aggregators — BytePS's 4 MB tensor partitioning.
+	PSChunkBytes int64
+	// FusionBytes coalesces consecutive backward-order gradients into
+	// buckets of up to this size before synchronization (Horovod's fusion
+	// buffer). 0 disables fusion.
+	FusionBytes int64
+	// BatchBytes/BatchWindow override the coordinator's bulk-communication
+	// size threshold and timeout (0 = executor defaults).
+	BatchBytes  int64
+	BatchWindow float64
+}
+
+// Result is one iteration's measured outcome.
+type Result struct {
+	System      string
+	Model       string
+	Nodes, GPUs int
+
+	// IterSec is the full iteration time (compute + exposed
+	// synchronization); ComputeSec the pure single-GPU compute time the
+	// weak-scaling baseline uses.
+	IterSec    float64
+	ComputeSec float64
+	// Throughput is cluster-wide samples/second.
+	Throughput float64
+	// ScalingEff = ComputeSec/IterSec (1.0 = linear scaling).
+	ScalingEff float64
+	// CommRatio is the busiest node's network time over the iteration (the
+	// paper's "communication ratio", which counts hidden communication).
+	CommRatio float64
+	// SyncExposedSec is the synchronization time not hidden behind compute.
+	SyncExposedSec float64
+	// Plans holds the SeCoPa decision per gradient when SeCoPa ran.
+	Plans map[string]core.Plan
+	// Util is the per-node DNN-compute utilization timeline source (Fig. 9).
+	Util *UtilTimeline
+}
+
+// Run simulates one training iteration of model m on cluster cl under cfg.
+func Run(cl Cluster, m *models.Model, cfg Config) (Result, error) {
+	if cl.Nodes < 2 {
+		return Result{}, fmt.Errorf("engine: need at least 2 nodes, got %d", cl.Nodes)
+	}
+	if cl.GPUsPerNode < 1 {
+		return Result{}, fmt.Errorf("engine: need at least 1 GPU per node, got %d", cl.GPUsPerNode)
+	}
+	if cl.Fabric == nil {
+		return Result{}, fmt.Errorf("engine: cluster has no fabric")
+	}
+	if m == nil || m.NumGradients < 1 {
+		return Result{}, fmt.Errorf("engine: invalid model")
+	}
+	dev := gpu.NewDevice(cl.Device)
+	compDev := dev
+	if cfg.OnCPU {
+		compDev = gpu.NewDevice(gpu.CPUXeon)
+	}
+	fabric := cl.Fabric
+	if cfg.NoRDMA {
+		derated := *fabric
+		derated.Name += "-tcp"
+		derated.Bandwidth *= 0.55
+		derated.Latency *= 4
+		fabric = &derated
+	}
+
+	// Smaller batches shrink compute sublinearly (small-batch kernels
+	// underutilize the GPU), which is what keeps memory-limited clusters
+	// communication-bound.
+	computeSec := m.V100IterSec * dev.ComputeScale * math.Pow(cl.batchFrac(), 0.85)
+
+	// The synchronization unit list: raw gradients in backward (reversed)
+	// order, optionally coalesced into fusion buckets.
+	units := syncUnits(m, cfg.FusionBytes)
+
+	// Compression plumbing.
+	var comp compress.Compressor
+	if cfg.Algo != "" {
+		c, err := compress.New(cfg.Algo, cfg.Params)
+		if err != nil {
+			return Result{}, err
+		}
+		comp = c
+	}
+
+	// SeCoPa planning.
+	var planner *core.Planner
+	plans := map[string]core.Plan{}
+	if cfg.SeCoPa && comp != nil {
+		planner = newPlanner(cfg.Strategy, cl.Nodes, compDev, fabric, cfg.Algo, comp)
+	}
+
+	// Build the iteration DAG: per node, a serial backward-compute chain
+	// emitting gradients output-layer-first, each rooted into its sync DAG.
+	g := core.NewGraph()
+	var topo *core.Topology
+	switch cfg.Strategy {
+	case core.StrategyRing, core.StrategyHD:
+		topo = core.Ring(cl.Nodes)
+	case core.StrategyPS:
+		topo = core.PSBipartite(cl.Nodes)
+	default:
+		return Result{}, fmt.Errorf("engine: unknown strategy %v", cfg.Strategy)
+	}
+
+	// Forward pass: roughly a third of the iteration before the first
+	// gradient appears; backward slices split proportional to bytes.
+	const fwdFraction = 1.0 / 3
+	var totalBytes int64
+	for _, u := range units {
+		totalBytes += u.bytes
+	}
+	prevCompute := make([]int, cl.Nodes)
+	for v := 0; v < cl.Nodes; v++ {
+		prevCompute[v] = g.Add(&core.Task{
+			Kind: core.KCompute, Node: v, Grad: "forward",
+			Dur: computeSec * fwdFraction,
+		})
+	}
+	// Flat (non-hierarchical) synchronization sends every GPU's ring/PS
+	// traffic over the node NIC. NCCL's topology-aware multi-channel rings
+	// land between the naive g× and the ideal 1×; g/2 reproduces the
+	// paper's measured baseline orderings (Ring > BytePS on VGG19, the
+	// reverse on Bert-large) and Table 1's Transformer efficiency.
+	wireScale := 1
+	if !cfg.LocalAgg && cl.GPUsPerNode > 1 {
+		wireScale = cl.GPUsPerNode / 2
+		if wireScale < 1 {
+			wireScale = 1
+		}
+	}
+
+	for ui, u := range units {
+		// Backward slice producing this unit, plus local aggregation across
+		// the node's GPUs when hierarchical synchronization is on.
+		slice := computeSec * (1 - fwdFraction) * float64(u.bytes) / float64(totalBytes)
+		if cfg.LocalAgg && cl.GPUsPerNode > 1 {
+			slice += 2 * float64(u.bytes) * float64(cl.GPUsPerNode-1) / float64(cl.GPUsPerNode) / cl.IntraBW
+		}
+		roots := make([]int, cl.Nodes)
+		for v := 0; v < cl.Nodes; v++ {
+			id := g.Add(&core.Task{Kind: core.KCompute, Node: v, Grad: u.name, Dur: slice})
+			g.Dep(prevCompute[v], id)
+			prevCompute[v] = id
+			roots[v] = id
+		}
+
+		spec := core.GradSync{
+			Name:      u.name,
+			Elems:     u.elems,
+			RootDeps:  roots,
+			WireScale: wireScale,
+			Shard:     ui,
+		}
+		useComp := comp != nil
+		parts := cfg.Parts
+		if parts < 1 {
+			parts = 1
+		}
+		if cfg.PSChunkBytes > 0 && !cfg.SeCoPa {
+			parts = int((u.bytes + cfg.PSChunkBytes - 1) / cfg.PSChunkBytes)
+			if parts < 1 {
+				parts = 1
+			}
+			if parts > 4*cl.Nodes {
+				parts = 4 * cl.Nodes
+			}
+		}
+		if planner != nil {
+			plan := planner.Plan(u.bytes)
+			plans[u.name] = plan
+			useComp = plan.Compress
+			parts = plan.Parts
+		}
+		if useComp {
+			spec.Algo = cfg.Algo
+			spec.WireBytes = func(e int) int64 { return int64(comp.CompressedSize(e)) }
+		}
+		spec.Parts = parts
+
+		var err error
+		switch cfg.Strategy {
+		case core.StrategyRing:
+			_, err = core.BuildRing(g, topo, spec)
+		case core.StrategyPS:
+			_, err = core.BuildPS(g, topo, spec)
+		case core.StrategyHD:
+			_, err = core.BuildHalvingDoubling(g, topo, spec)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Launching compression kernels through a DNN framework's execution
+	// engine costs CPU-side scheduling per tensor; HiPress's batch
+	// compression exists to amortize exactly this (§3.2).
+	dispatch := 0.0
+	if cfg.Algo != "" {
+		dispatch = frameworkDispatchSec
+	}
+	x, err := core.NewSimExecutor(cl.Nodes, core.SimConfig{
+		CompDev:      compDev,
+		Fabric:       fabric,
+		Pipeline:     cfg.Pipeline,
+		BulkComm:     cfg.BulkComm,
+		BulkComp:     cfg.BulkComp,
+		PCIeCross:    cfg.OnCPU,
+		ExtraCopies:  cfg.ExtraCopies,
+		FuseDecMerge: cfg.FuseDecMerge,
+		HostStaged:   cfg.HostStaged || cl.HostStaged,
+		Dispatch:     dispatch,
+		BatchBytes:   cfg.BatchBytes,
+		BatchWindow:  cfg.BatchWindow,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := x.Run(g)
+
+	out := Result{
+		System:     cfg.System,
+		Model:      m.Name,
+		Nodes:      cl.Nodes,
+		GPUs:       cl.TotalGPUs(),
+		IterSec:    res.Makespan,
+		ComputeSec: computeSec,
+		Plans:      plans,
+	}
+	batch := int(float64(m.BatchPerGPU) * cl.batchFrac())
+	if batch < 1 {
+		batch = 1
+	}
+	out.Throughput = float64(cl.TotalGPUs()*batch) / out.IterSec
+	out.ScalingEff = computeSec / out.IterSec
+	out.SyncExposedSec = out.IterSec - res.DNNBusy[0]
+	var maxLink float64
+	for _, lb := range res.LinkBusy {
+		if lb > maxLink {
+			maxLink = lb
+		}
+	}
+	out.CommRatio = maxLink / out.IterSec
+	out.Util = &UtilTimeline{Makespan: res.Makespan, Spans: res.DNNSpans}
+	return out, nil
+}
+
+// syncUnit is one unit of synchronization: a gradient or a fusion bucket.
+type syncUnit struct {
+	name  string
+	elems int
+	bytes int64
+}
+
+// syncUnits lists the model's gradients in backward order, coalescing
+// consecutive ones into buckets of at most fusionBytes (0 = no fusion).
+func syncUnits(m *models.Model, fusionBytes int64) []syncUnit {
+	grads := m.Gradients()
+	var units []syncUnit
+	var cur syncUnit
+	flush := func() {
+		if cur.elems > 0 {
+			units = append(units, cur)
+			cur = syncUnit{}
+		}
+	}
+	for i := len(grads) - 1; i >= 0; i-- { // backward order
+		gr := grads[i]
+		if fusionBytes <= 0 {
+			units = append(units, syncUnit{name: gr.Name, elems: gr.Elems, bytes: gr.Bytes()})
+			continue
+		}
+		if cur.elems > 0 && cur.bytes+gr.Bytes() > fusionBytes {
+			flush()
+		}
+		if cur.elems == 0 {
+			cur.name = fmt.Sprintf("fused@%s", gr.Name)
+		}
+		cur.elems += gr.Elems
+		cur.bytes += gr.Bytes()
+	}
+	flush()
+	return units
+}
+
+// newPlanner wires the SeCoPa cost model for one configuration.
+func newPlanner(strat core.Strategy, n int, dev *gpu.Device, fabric *netsim.Fabric, algo string, comp compress.Compressor) *core.Planner {
+	enc := gpu.ProfileEncode(dev, algo)
+	dec := gpu.ProfileDecode(dev, algo)
+	return &core.Planner{
+		Strategy:  strat,
+		N:         n,
+		CoLocated: true,
+		Enc:       core.Curve{Fixed: enc.Fixed, PerByte: enc.PerByte},
+		Dec:       core.Curve{Fixed: dec.Fixed, PerByte: dec.PerByte},
+		Send:      core.Curve{Fixed: fabric.Latency, PerByte: 1 / fabric.Bandwidth},
+		RatioOf: func(m int64) float64 {
+			elems := int(m / 4)
+			if elems < 1 {
+				elems = 1
+			}
+			return compress.Ratio(comp, elems)
+		},
+	}
+}
+
+// UtilTimeline renders Fig. 9-style GPU utilization series from compute
+// spans.
+type UtilTimeline struct {
+	Makespan float64
+	Spans    []*simTrackerView
+}
+
+// simTrackerView decouples Result consumers from internal/sim.
+type simTrackerView = trackerAlias
+
+// Buckets returns, for node, the DNN-compute utilization fraction in each of
+// n equal time buckets across the iteration.
+func (u *UtilTimeline) Buckets(node, n int) []float64 {
+	out := make([]float64, n)
+	if node < 0 || node >= len(u.Spans) || u.Makespan <= 0 {
+		return out
+	}
+	w := u.Makespan / float64(n)
+	for i := 0; i < n; i++ {
+		lo, hi := float64(i)*w, float64(i+1)*w
+		out[i] = u.Spans[node].BusyWithin(lo, hi) / w
+	}
+	return out
+}
+
+// MeanUtilization returns the average compute utilization across nodes.
+func (u *UtilTimeline) MeanUtilization() float64 {
+	if u.Makespan <= 0 || len(u.Spans) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, sp := range u.Spans {
+		sum += sp.BusyWithin(0, u.Makespan) / u.Makespan
+	}
+	return sum / float64(len(u.Spans))
+}
+
+// SortedPlanNames returns plan keys in stable order for table output.
+func (r *Result) SortedPlanNames() []string {
+	names := make([]string, 0, len(r.Plans))
+	for n := range r.Plans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

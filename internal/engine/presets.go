@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"hipress/internal/compress"
+	"hipress/internal/core"
+)
+
+// Presets build the evaluation's system configurations. Baseline flags
+// follow the paper's descriptions:
+//
+//   - BytePS: PS architecture with co-located aggregation, pipelined, but
+//     host-staged (its server path runs through CPU memory), with extra
+//     pipeline copies, and without RDMA on EC2 (§6.1: "BytePS does not
+//     support the Elastic Fabric Adapter"). Local aggregation first.
+//   - Ring: Horovod-style flat ring over all GPUs (every GPU a ring member,
+//     the node NIC carrying GPUsPerNode× traffic), with 64 MB fusion
+//     buffers, coarse-grained (no compression-communication pipelining).
+//   - BytePS(OSS-x) / Ring(OSS-x): the same with the open-source compressor
+//     bolted on: every gradient compressed, no partitioning, no selection.
+//   - HiPress-CaSync-PS / HiPress-CaSync-Ring: local aggregation + CaSync
+//     with CompLL kernels, pipelining, bulk synchronization, fused
+//     decode+merge, and SeCoPa.
+
+// PresetNames lists the recognized preset identifiers.
+func PresetNames() []string {
+	return []string{
+		"byteps", "ring",
+		"byteps-oss", "ring-oss",
+		"hipress-ps", "hipress-ring", "hipress-hd",
+	}
+}
+
+// Preset returns the configuration for one system. algo is required for the
+// compression-enabled presets ("byteps-oss" prefixes it with "oss-" itself)
+// and ignored by the plain baselines. onEC2 selects EC2-specific derating
+// (BytePS without RDMA).
+func Preset(name, algo string, onEC2 bool, params compress.Params) (Config, error) {
+	switch name {
+	case "byteps":
+		return Config{
+			System:   "BytePS",
+			Strategy: core.StrategyPS,
+			Pipeline: true, LocalAgg: true,
+			ExtraCopies: true, HostStaged: true, NoRDMA: onEC2,
+			PSChunkBytes: 4 << 20, // BYTEPS_PARTITION_BYTES
+		}, nil
+	case "ring":
+		return Config{
+			System:   "Ring",
+			Strategy: core.StrategyRing,
+			Pipeline: false, LocalAgg: false,
+			BulkComm: true, FusionBytes: 64 << 20,
+		}, nil
+	case "byteps-oss":
+		if algo == "" {
+			return Config{}, fmt.Errorf("engine: preset byteps-oss needs an algorithm")
+		}
+		ossAlgo := algo
+		if !strings.HasPrefix(algo, "oss-") {
+			ossAlgo = "oss-" + algo
+		}
+		return Config{
+			System:   fmt.Sprintf("BytePS(OSS-%s)", strings.TrimPrefix(ossAlgo, "oss-")),
+			Strategy: core.StrategyPS,
+			Algo:     ossAlgo, Params: params,
+			Pipeline: true, LocalAgg: true,
+			ExtraCopies: true, HostStaged: true, NoRDMA: onEC2,
+			PSChunkBytes: 4 << 20,
+		}, nil
+	case "ring-oss":
+		if algo == "" {
+			return Config{}, fmt.Errorf("engine: preset ring-oss needs an algorithm")
+		}
+		ossAlgo := algo
+		if !strings.HasPrefix(algo, "oss-") {
+			ossAlgo = "oss-" + algo
+		}
+		return Config{
+			System:   fmt.Sprintf("Ring(OSS-%s)", strings.TrimPrefix(ossAlgo, "oss-")),
+			Strategy: core.StrategyRing,
+			Algo:     ossAlgo, Params: params,
+			Pipeline: false, LocalAgg: false,
+			BulkComm: true, FusionBytes: 64 << 20,
+			// Ring-allreduce naturally chunks by ring size; the OSS
+			// integration compresses each chunk without further
+			// partitioning or selection.
+			Parts: 0, // set per cluster in PresetFor
+		}, nil
+	case "hipress-ps":
+		if algo == "" {
+			return Config{}, fmt.Errorf("engine: preset hipress-ps needs an algorithm")
+		}
+		return Config{
+			System:   fmt.Sprintf("HiPress-CaSync-PS(CompLL-%s)", algo),
+			Strategy: core.StrategyPS,
+			Algo:     algo, Params: params,
+			Pipeline: true, BulkComm: true, BulkComp: true,
+			SeCoPa: true, FuseDecMerge: true, LocalAgg: true,
+		}, nil
+	case "hipress-ring":
+		if algo == "" {
+			return Config{}, fmt.Errorf("engine: preset hipress-ring needs an algorithm")
+		}
+		return Config{
+			System:   fmt.Sprintf("HiPress-CaSync-Ring(CompLL-%s)", algo),
+			Strategy: core.StrategyRing,
+			Algo:     algo, Params: params,
+			Pipeline: true, BulkComm: true, BulkComp: true,
+			SeCoPa: true, FuseDecMerge: true, LocalAgg: true,
+		}, nil
+	case "hipress-hd":
+		// Beyond the paper: the halving-doubling strategy composed from the
+		// same CaSync primitives (power-of-two node counts only).
+		if algo == "" {
+			return Config{}, fmt.Errorf("engine: preset hipress-hd needs an algorithm")
+		}
+		return Config{
+			System:   fmt.Sprintf("HiPress-CaSync-HD(CompLL-%s)", algo),
+			Strategy: core.StrategyHD,
+			Algo:     algo, Params: params,
+			Pipeline: true, BulkComm: true, BulkComp: true,
+			SeCoPa: true, FuseDecMerge: true, LocalAgg: true,
+		}, nil
+	default:
+		return Config{}, fmt.Errorf("engine: unknown preset %q (have %v)", name, PresetNames())
+	}
+}
+
+// PresetFor resolves a preset against a concrete cluster (ring chunking
+// needs the node count) and returns the ready-to-run config.
+func PresetFor(name, algo string, cl Cluster, params compress.Params) (Config, error) {
+	onEC2 := cl.Device.String() == "V100"
+	cfg, err := Preset(name, algo, onEC2, params)
+	if err != nil {
+		return Config{}, err
+	}
+	if name == "ring" || name == "ring-oss" {
+		cfg.Parts = cl.Nodes // ring-allreduce's natural chunking
+	}
+	return cfg, nil
+}

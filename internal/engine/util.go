@@ -1,0 +1,7 @@
+package engine
+
+import "hipress/internal/sim"
+
+// trackerAlias re-exports the simulator's span tracker for Result consumers
+// without leaking the sim package into their imports.
+type trackerAlias = sim.Tracker

@@ -1,0 +1,177 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const mb256 = 256 << 20
+
+func TestKindString(t *testing.T) {
+	if V100.String() != "V100" || GTX1080Ti.String() != "1080Ti" || CPUXeon.String() != "CPU-Xeon" {
+		t.Fatalf("Kind strings wrong: %v %v %v", V100, GTX1080Ti, CPUXeon)
+	}
+	if Kind(99).String() == "" {
+		t.Fatalf("unknown kind produced empty string")
+	}
+}
+
+func TestImplOf(t *testing.T) {
+	cases := []struct {
+		in     string
+		family string
+		impl   Impl
+	}{
+		{"onebit", "onebit", CompLL},
+		{"oss-onebit", "onebit", OSS},
+		{"dgc-0.001", "dgc", CompLL},
+		{"oss-dgc-0.001", "dgc", OSS},
+		{"terngrad-4bit", "terngrad", CompLL},
+		{"oss-tbq-0.05", "tbq", OSS},
+	}
+	for _, c := range cases {
+		f, i := ImplOf(c.in)
+		if f != c.family || i != c.impl {
+			t.Errorf("ImplOf(%q) = (%q,%v), want (%q,%v)", c.in, f, i, c.family, c.impl)
+		}
+	}
+}
+
+// TestCalibrationAnchorTBQ: the paper says OSS-TBQ takes 38.2 ms to encode a
+// 256 MB gradient and CompLL-TBQ is over 12× faster.
+func TestCalibrationAnchorTBQ(t *testing.T) {
+	d := NewDevice(V100)
+	oss := d.EncodeTime("oss-tbq", mb256)
+	if math.Abs(oss-0.0382) > 0.004 {
+		t.Errorf("OSS-TBQ encode @256MB = %.4fs, paper says 0.0382s", oss)
+	}
+	opt := d.EncodeTime("tbq", mb256)
+	if ratio := oss / opt; ratio < 11.5 || ratio > 12.5 {
+		t.Errorf("OSS/CompLL TBQ ratio = %.1f, paper says over 12×", ratio)
+	}
+}
+
+// TestCalibrationAnchorCPUOnebit: §2.5 says the CPU onebit runs 35.6× slower
+// than the GPU implementation.
+func TestCalibrationAnchorCPUOnebit(t *testing.T) {
+	gpuT := NewDevice(V100).EncodeTime("onebit", mb256)
+	cpuT := NewDevice(CPUXeon).EncodeTime("onebit", mb256)
+	if ratio := cpuT / gpuT; ratio < 33 || ratio > 38 {
+		t.Errorf("CPU/GPU onebit ratio = %.1f, paper says 35.6×", ratio)
+	}
+}
+
+// TestCalibrationAnchorDGC: §4.4 says CompLL-DGC outperforms the manually
+// optimized OSS-DGC encode by up to 5.1×.
+func TestCalibrationAnchorDGC(t *testing.T) {
+	d := NewDevice(V100)
+	ratio := d.EncodeTime("oss-dgc", mb256) / d.EncodeTime("dgc", mb256)
+	if ratio < 4.8 || ratio > 5.4 {
+		t.Errorf("OSS/CompLL DGC ratio = %.1f, paper says up to 5.1×", ratio)
+	}
+}
+
+func TestEncodeTimeMonotoneInSize(t *testing.T) {
+	d := NewDevice(V100)
+	for _, algo := range []string{"onebit", "tbq", "terngrad", "dgc", "graddrop"} {
+		prev := -1.0
+		for _, m := range []int64{1 << 10, 1 << 16, 1 << 22, 1 << 28} {
+			tt := d.EncodeTime(algo, m)
+			if tt <= prev {
+				t.Errorf("%s: EncodeTime not increasing at m=%d", algo, m)
+			}
+			prev = tt
+		}
+	}
+}
+
+func TestLaunchOverheadDominatesSmallKernels(t *testing.T) {
+	// The motivation for batch compression (§3.2): tiny gradients pay almost
+	// pure launch overhead, so T(1KB) must be close to T(16KB).
+	d := NewDevice(V100)
+	small := d.EncodeTime("onebit", 1<<10)
+	mid := d.EncodeTime("onebit", 16<<10)
+	if mid > small*1.5 {
+		t.Errorf("launch overhead not dominant: T(1KB)=%.2gs vs T(16KB)=%.2gs", small, mid)
+	}
+}
+
+func Test1080TiSlowerThanV100(t *testing.T) {
+	v := NewDevice(V100)
+	ti := NewDevice(GTX1080Ti)
+	if ti.EncodeTime("dgc", mb256) <= v.EncodeTime("dgc", mb256) {
+		t.Errorf("1080Ti compression not slower than V100")
+	}
+	if ti.ComputeScale <= v.ComputeScale {
+		t.Errorf("1080Ti ComputeScale %v not greater than V100 %v", ti.ComputeScale, v.ComputeScale)
+	}
+}
+
+func TestDecodeCheaperThanEncodeForSparsifiers(t *testing.T) {
+	d := NewDevice(V100)
+	for _, algo := range []string{"dgc", "graddrop", "tbq"} {
+		if d.DecodeTime(algo, mb256) >= d.EncodeTime(algo, mb256) {
+			t.Errorf("%s: sparse decode should be cheaper than selection-based encode", algo)
+		}
+	}
+}
+
+func TestMergeAndCopyTimes(t *testing.T) {
+	d := NewDevice(V100)
+	if d.MergeTime(mb256) <= d.Launch {
+		t.Errorf("MergeTime ignores size")
+	}
+	if d.CopyTime(mb256) >= d.MergeTime(mb256) {
+		t.Errorf("CopyTime should be cheaper than MergeTime (single stream vs read+add+write)")
+	}
+}
+
+func TestUnknownAlgoGetsDefaultShape(t *testing.T) {
+	d := NewDevice(V100)
+	if tt := d.EncodeTime("future-algo", 1<<20); tt <= 0 {
+		t.Errorf("unknown algorithm produced non-positive time %v", tt)
+	}
+}
+
+func TestProfileCurvesMatchModel(t *testing.T) {
+	d := NewDevice(V100)
+	for _, algo := range []string{"onebit", "dgc", "oss-tbq"} {
+		enc := ProfileEncode(d, algo)
+		dec := ProfileDecode(d, algo)
+		for _, m := range []int64{1 << 12, 1 << 20, 1 << 26, 1 << 28} {
+			if got, want := enc.At(float64(m)), d.EncodeTime(algo, m); math.Abs(got-want) > want*1e-9+1e-12 {
+				t.Errorf("%s: encode curve at %d = %v, model %v", algo, m, got, want)
+			}
+			if got, want := dec.At(float64(m)), d.DecodeTime(algo, m); math.Abs(got-want) > want*1e-9+1e-12 {
+				t.Errorf("%s: decode curve at %d = %v, model %v", algo, m, got, want)
+			}
+		}
+	}
+}
+
+func TestNewDevicePanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewDevice(99) did not panic")
+		}
+	}()
+	NewDevice(Kind(99))
+}
+
+// Property: all modeled times are positive and OSS is never faster than
+// CompLL for the same algorithm/size.
+func TestQuickOSSNeverFaster(t *testing.T) {
+	d := NewDevice(V100)
+	algos := []string{"onebit", "tbq", "terngrad", "dgc", "graddrop"}
+	f := func(mRaw uint32, ai uint8) bool {
+		m := int64(mRaw%(1<<28)) + 1
+		algo := algos[int(ai)%len(algos)]
+		opt := d.EncodeTime(algo, m)
+		oss := d.EncodeTime("oss-"+algo, m)
+		return opt > 0 && oss >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

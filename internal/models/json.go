@@ -1,0 +1,128 @@
+package models
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON model specs let users simulate their own DNNs without recompiling:
+// either list every gradient explicitly, or give Table 6-style statistics
+// (total/max/count) and let the synthetic distribution fill in the layers.
+//
+// Explicit form:
+//
+//	{
+//	  "name": "mymodel", "framework": "custom",
+//	  "batch_per_gpu": 32, "sample_unit": "images", "v100_iter_sec": 0.12,
+//	  "gradients": [{"name": "fc", "elems": 1048576}, ...]
+//	}
+//
+// Statistical form replaces "gradients" with:
+//
+//	"total_mb": 420.0, "max_gradient_mb": 89.4, "num_gradients": 207
+
+type jsonModel struct {
+	Name        string  `json:"name"`
+	Framework   string  `json:"framework,omitempty"`
+	BatchPerGPU int     `json:"batch_per_gpu"`
+	SampleUnit  string  `json:"sample_unit,omitempty"`
+	V100IterSec float64 `json:"v100_iter_sec"`
+	Algo        string  `json:"algo,omitempty"`
+
+	Gradients []jsonGradient `json:"gradients,omitempty"`
+
+	TotalMB      float64 `json:"total_mb,omitempty"`
+	MaxMB        float64 `json:"max_gradient_mb,omitempty"`
+	NumGradients int     `json:"num_gradients,omitempty"`
+}
+
+type jsonGradient struct {
+	Name  string `json:"name"`
+	Elems int    `json:"elems"`
+}
+
+// FromJSON reads one model spec.
+func FromJSON(r io.Reader) (*Model, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var jm jsonModel
+	if err := dec.Decode(&jm); err != nil {
+		return nil, fmt.Errorf("models: parsing model JSON: %w", err)
+	}
+	if jm.Name == "" {
+		return nil, fmt.Errorf("models: model spec needs a name")
+	}
+	if jm.BatchPerGPU < 1 {
+		return nil, fmt.Errorf("models: %s: batch_per_gpu must be ≥ 1", jm.Name)
+	}
+	if jm.V100IterSec <= 0 {
+		return nil, fmt.Errorf("models: %s: v100_iter_sec must be positive", jm.Name)
+	}
+	if jm.SampleUnit == "" {
+		jm.SampleUnit = "samples"
+	}
+	m := &Model{
+		Name:        jm.Name,
+		Framework:   jm.Framework,
+		BatchPerGPU: jm.BatchPerGPU,
+		SampleUnit:  jm.SampleUnit,
+		V100IterSec: jm.V100IterSec,
+		Algo:        jm.Algo,
+	}
+	if len(jm.Gradients) > 0 {
+		if jm.TotalMB != 0 || jm.MaxMB != 0 || jm.NumGradients != 0 {
+			return nil, fmt.Errorf("models: %s: give either explicit gradients or statistics, not both", jm.Name)
+		}
+		grads := make([]Gradient, len(jm.Gradients))
+		var total, maxB int64
+		for i, g := range jm.Gradients {
+			if g.Elems < 1 {
+				return nil, fmt.Errorf("models: %s: gradient %q has %d elements", jm.Name, g.Name, g.Elems)
+			}
+			name := g.Name
+			if name == "" {
+				name = fmt.Sprintf("%s.layer%03d", jm.Name, i)
+			}
+			grads[i] = Gradient{Name: name, Elems: g.Elems}
+			total += grads[i].Bytes()
+			if grads[i].Bytes() > maxB {
+				maxB = grads[i].Bytes()
+			}
+		}
+		m.grads = grads
+		m.TotalBytes = total
+		m.MaxBytes = maxB
+		m.NumGradients = len(grads)
+		return m, nil
+	}
+	if jm.NumGradients < 1 || jm.TotalMB <= 0 || jm.MaxMB <= 0 {
+		return nil, fmt.Errorf("models: %s: statistical spec needs total_mb, max_gradient_mb, num_gradients", jm.Name)
+	}
+	if jm.MaxMB > jm.TotalMB {
+		return nil, fmt.Errorf("models: %s: max gradient exceeds total size", jm.Name)
+	}
+	m.TotalBytes = mb(jm.TotalMB)
+	m.MaxBytes = mb(jm.MaxMB)
+	m.NumGradients = jm.NumGradients
+	return m, nil
+}
+
+// WriteJSON serializes the model with its explicit gradient list, so a
+// synthesized model can be inspected, edited, and re-loaded.
+func (m *Model) WriteJSON(w io.Writer) error {
+	jm := jsonModel{
+		Name:        m.Name,
+		Framework:   m.Framework,
+		BatchPerGPU: m.BatchPerGPU,
+		SampleUnit:  m.SampleUnit,
+		V100IterSec: m.V100IterSec,
+		Algo:        m.Algo,
+	}
+	for _, g := range m.Gradients() {
+		jm.Gradients = append(jm.Gradients, jsonGradient{Name: g.Name, Elems: g.Elems})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jm)
+}

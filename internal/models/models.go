@@ -1,0 +1,263 @@
+// Package models is the DNN model zoo of the paper's Table 6: the eight
+// trained models with their gradient statistics (total size, largest
+// gradient, gradient count), batch sizes, and single-GPU iteration times.
+//
+// The evaluation never needs real weights — weak-scaling throughput is
+// fully determined by (a) how long one GPU computes per iteration and (b)
+// the sizes and emission order of the gradients the backward pass produces.
+// Each model here synthesizes a deterministic per-gradient size distribution
+// matching Table 6's totals exactly, and carries compute-time calibration
+// for the two testbeds.
+package models
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Gradient is one named gradient tensor (a layer's parameters).
+type Gradient struct {
+	Name  string
+	Elems int
+}
+
+// Bytes returns the fp32 size of the gradient.
+func (g Gradient) Bytes() int64 { return int64(4 * g.Elems) }
+
+// Model describes one Table 6 entry.
+type Model struct {
+	// Name as in Table 6.
+	Name string
+	// Framework the paper trains it on (MXNet/TensorFlow/PyTorch) — for
+	// labels only; the engine is framework-agnostic.
+	Framework string
+	// TotalBytes, MaxBytes, NumGradients mirror Table 6 columns.
+	TotalBytes   int64
+	MaxBytes     int64
+	NumGradients int
+	// BatchPerGPU is the per-GPU batch size in Samples units.
+	BatchPerGPU int
+	// SampleUnit names what a sample is ("images", "sequences", "tokens").
+	SampleUnit string
+	// V100IterSec is the single-V100 fp32 time per iteration (forward +
+	// backward), the quantity weak scaling normalizes against.
+	V100IterSec float64
+	// Algo is the compression algorithm the paper pairs with this model in
+	// its end-to-end experiments.
+	Algo string
+
+	grads []Gradient // lazily built
+}
+
+// Zoo returns the eight models of Table 6. Values are the paper's, with
+// compute times fitted from public fp32 V100 benchmarks of the era (the
+// paper does not state absolute single-GPU times; only relative shapes
+// matter for scaling efficiency).
+func Zoo() []*Model {
+	return []*Model{
+		{
+			Name: "vgg19", Framework: "MXNet", Algo: "onebit",
+			TotalBytes: mb(548.05), MaxBytes: mb(392), NumGradients: 38,
+			BatchPerGPU: 32, SampleUnit: "images", V100IterSec: 0.190,
+		},
+		{
+			Name: "resnet50", Framework: "TensorFlow", Algo: "dgc",
+			TotalBytes: mb(97.46), MaxBytes: mb(9), NumGradients: 155,
+			BatchPerGPU: 32, SampleUnit: "images", V100IterSec: 0.095,
+		},
+		{
+			Name: "ugatit", Framework: "PyTorch", Algo: "terngrad",
+			TotalBytes: mb(2558.75), MaxBytes: mb(1024), NumGradients: 148,
+			BatchPerGPU: 2, SampleUnit: "images", V100IterSec: 1.05,
+		},
+		{
+			Name: "ugatit-light", Framework: "PyTorch", Algo: "terngrad",
+			TotalBytes: mb(511.25), MaxBytes: mb(128), NumGradients: 148,
+			BatchPerGPU: 2, SampleUnit: "images", V100IterSec: 0.36,
+		},
+		{
+			Name: "bert-base", Framework: "MXNet", Algo: "onebit",
+			TotalBytes: mb(420.02), MaxBytes: mb(89.42), NumGradients: 207,
+			BatchPerGPU: 32, SampleUnit: "sequences", V100IterSec: 0.34,
+		},
+		{
+			Name: "bert-large", Framework: "MXNet", Algo: "onebit",
+			TotalBytes: mb(1282.60), MaxBytes: mb(119.23), NumGradients: 399,
+			BatchPerGPU: 32, SampleUnit: "sequences", V100IterSec: 1.02,
+		},
+		{
+			Name: "lstm", Framework: "PyTorch", Algo: "terngrad",
+			TotalBytes: mb(327.97), MaxBytes: mb(190.42), NumGradients: 10,
+			BatchPerGPU: 80, SampleUnit: "sequences", V100IterSec: 0.145,
+		},
+		{
+			Name: "transformer", Framework: "TensorFlow", Algo: "dgc",
+			TotalBytes: mb(234.08), MaxBytes: mb(65.84), NumGradients: 185,
+			BatchPerGPU: 2048, SampleUnit: "tokens", V100IterSec: 0.105,
+		},
+	}
+}
+
+func mb(x float64) int64 { return int64(x * (1 << 20)) }
+
+// ByName returns the named model from the zoo.
+func ByName(name string) (*Model, error) {
+	for _, m := range Zoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("models: unknown model %q", name)
+}
+
+// Names lists zoo model names.
+func Names() []string {
+	var out []string
+	for _, m := range Zoo() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// Gradients returns the model's synthetic per-gradient size list, built
+// deterministically so every run sees the same model. The construction
+// places one gradient at MaxBytes, then fills the remainder with a geometric
+// spread between ~1 KB and ~max/3 (matching real DNNs, where a few embedding
+// or FC layers dominate and hundreds of bias/norm tensors are tiny),
+// rescaled so the total matches Table 6 exactly.
+//
+// Gradients are returned in forward-pass order; the backward pass emits them
+// reversed (output layer first), which is the order the engine's compute
+// timeline uses.
+func (m *Model) Gradients() []Gradient {
+	if m.grads != nil {
+		return m.grads
+	}
+	n := m.NumGradients
+	sizes := make([]int64, n)
+	sizes[n-1] = m.MaxBytes &^ 3 // the dominant tensor sits near the output
+	if n > 1 {
+		// Real DNNs pair every weight matrix with tiny bias/norm tensors:
+		// most gradients by count are a few KB, while a handful carry the
+		// mass (§6.3: 62.7% of Bert-base's gradients are below 16 KB).
+		tinyFrac := 0.55
+		switch {
+		case m.NumGradients >= 200: // transformer-family: norm+bias heavy
+			tinyFrac = 0.63
+		case m.NumGradients <= 12: // lstm: few, mostly large tensors
+			tinyFrac = 0.2
+		}
+		nTiny := int(tinyFrac * float64(n-1))
+		nLarge := n - 1 - nTiny
+		var assigned int64
+		// Tiny gradients: 1-12 KB, varied deterministically.
+		for i := 0; i < nTiny; i++ {
+			sz := int64(1024 + (i*1412)%11264)
+			sz &^= 3
+			sizes[i] = sz
+			assigned += sz
+		}
+		// Large gradients: geometric ramp over ~2.5 decades sharing the
+		// remaining mass.
+		remaining := m.TotalBytes - sizes[n-1] - assigned
+		if nLarge > 0 {
+			weights := make([]float64, nLarge)
+			var wsum float64
+			for i := range weights {
+				weights[i] = pow(300, float64(i)/float64(max(1, nLarge-1)))
+				wsum += weights[i]
+			}
+			var largeAssigned int64
+			for i := range weights {
+				sz := int64(float64(remaining) * weights[i] / wsum)
+				sz &^= 3
+				if sz < 4 {
+					sz = 4
+				}
+				sizes[nTiny+i] = sz
+				largeAssigned += sz
+			}
+			// Rounding slack lands on the last (largest) ramp gradient so
+			// totals match Table 6 to fp32-element precision.
+			slack := (remaining - largeAssigned) &^ 3
+			sizes[nTiny+nLarge-1] += slack
+			if sizes[nTiny+nLarge-1] < 4 {
+				sizes[nTiny+nLarge-1] = 4
+			}
+		}
+		// Interleave tiny and large so the backward pass mixes them the way
+		// a real layer sequence does: a coprime-stride shuffle is a
+		// deterministic permutation.
+		stride := coprimeStride(n - 1)
+		body := append([]int64(nil), sizes[:n-1]...)
+		for i := range body {
+			sizes[(i*stride)%(n-1)] = body[i]
+		}
+	}
+	grads := make([]Gradient, n)
+	for i, sz := range sizes {
+		grads[i] = Gradient{Name: fmt.Sprintf("%s.layer%03d", m.Name, i), Elems: int(sz / 4)}
+	}
+	m.grads = grads
+	return grads
+}
+
+// TotalElems returns the model's parameter count.
+func (m *Model) TotalElems() int {
+	var total int
+	for _, g := range m.Gradients() {
+		total += g.Elems
+	}
+	return total
+}
+
+// FractionBelow returns the fraction of gradients smaller than thr bytes —
+// the statistic behind "62.7% of [Bert-base's] gradients are below 16KB"
+// (§6.3).
+func (m *Model) FractionBelow(thr int64) float64 {
+	grads := m.Gradients()
+	n := 0
+	for _, g := range grads {
+		if g.Bytes() < thr {
+			n++
+		}
+	}
+	return float64(n) / float64(len(grads))
+}
+
+// SizePercentiles returns the p-th percentile gradient sizes for diagnostics.
+func (m *Model) SizePercentiles(ps ...float64) []int64 {
+	grads := m.Gradients()
+	sizes := make([]int64, len(grads))
+	for i, g := range grads {
+		sizes[i] = g.Bytes()
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	out := make([]int64, len(ps))
+	for i, p := range ps {
+		idx := int(p * float64(len(sizes)-1))
+		out[i] = sizes[idx]
+	}
+	return out
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }
+
+// coprimeStride returns a small stride coprime to n, so i → i*stride mod n
+// is a permutation.
+func coprimeStride(n int) int {
+	for _, s := range []int{7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if gcd(s, n) == 1 {
+			return s
+		}
+	}
+	return 1
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,228 @@
+package models
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTable6Exact pins every model's gradient statistics to Table 6.
+func TestTable6Exact(t *testing.T) {
+	want := []struct {
+		name      string
+		totalMB   float64
+		maxMB     float64
+		gradients int
+	}{
+		{"vgg19", 548.05, 392, 38},
+		{"resnet50", 97.46, 9, 155},
+		{"ugatit", 2558.75, 1024, 148},
+		{"ugatit-light", 511.25, 128, 148},
+		{"bert-base", 420.02, 89.42, 207},
+		{"bert-large", 1282.60, 119.23, 399},
+		{"lstm", 327.97, 190.42, 10},
+		{"transformer", 234.08, 65.84, 185},
+	}
+	for _, w := range want {
+		m, err := ByName(w.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grads := m.Gradients()
+		if len(grads) != w.gradients {
+			t.Errorf("%s: %d gradients, want %d", w.name, len(grads), w.gradients)
+		}
+		var total, maxB int64
+		for _, g := range grads {
+			total += g.Bytes()
+			if g.Bytes() > maxB {
+				maxB = g.Bytes()
+			}
+		}
+		// Totals match Table 6 to within fp32-element rounding.
+		if math.Abs(float64(total)-w.totalMB*(1<<20)) > 16 {
+			t.Errorf("%s: total %.3f MB, want %.2f MB", w.name, float64(total)/(1<<20), w.totalMB)
+		}
+		if math.Abs(float64(maxB)-w.maxMB*(1<<20)) > 16 {
+			t.Errorf("%s: max gradient %.3f MB, want %.2f MB", w.name, float64(maxB)/(1<<20), w.maxMB)
+		}
+	}
+}
+
+func TestGradientsDeterministic(t *testing.T) {
+	a, _ := ByName("bert-large")
+	b, _ := ByName("bert-large")
+	ga, gb := a.Gradients(), b.Gradients()
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("gradient list not deterministic at %d", i)
+		}
+	}
+	// Cached second call returns the same slice.
+	if &a.Gradients()[0] != &ga[0] {
+		t.Fatalf("Gradients not cached")
+	}
+}
+
+func TestGradientsAllPositive(t *testing.T) {
+	for _, m := range Zoo() {
+		for _, g := range m.Gradients() {
+			if g.Elems < 1 {
+				t.Fatalf("%s: gradient %s has %d elements", m.Name, g.Name, g.Elems)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("alexnet"); err == nil {
+		t.Fatalf("unknown model accepted")
+	}
+	if len(Names()) != 8 {
+		t.Fatalf("zoo has %d models, want 8", len(Names()))
+	}
+}
+
+// TestBertBaseSmallGradientFraction: §6.3 says 62.7% of Bert-base gradients
+// are below 16 KB; our synthetic distribution must land in that regime for
+// the SeCoPa ablation to reproduce.
+func TestBertBaseSmallGradientFraction(t *testing.T) {
+	m, _ := ByName("bert-base")
+	frac := m.FractionBelow(16 << 10)
+	if frac < 0.45 || frac > 0.80 {
+		t.Errorf("bert-base fraction below 16KB = %.3f, want ~0.627", frac)
+	}
+}
+
+func TestVGG19DominatedByLargestGradient(t *testing.T) {
+	m, _ := ByName("vgg19")
+	if frac := float64(m.MaxBytes) / float64(m.TotalBytes); frac < 0.6 {
+		t.Errorf("vgg19 max/total = %.2f, the FC layer should dominate", frac)
+	}
+}
+
+func TestTotalElems(t *testing.T) {
+	m, _ := ByName("resnet50")
+	want := int(m.TotalBytes / 4)
+	if got := m.TotalElems(); got < want-8 || got > want+8 {
+		t.Errorf("TotalElems = %d, want ~%d", got, want)
+	}
+}
+
+func TestSizePercentilesMonotone(t *testing.T) {
+	m, _ := ByName("transformer")
+	ps := m.SizePercentiles(0, 0.5, 0.9, 1)
+	for i := 1; i < len(ps); i++ {
+		if ps[i] < ps[i-1] {
+			t.Fatalf("percentiles not monotone: %v", ps)
+		}
+	}
+	grads := m.Gradients()
+	var maxB int64
+	for _, g := range grads {
+		if g.Bytes() > maxB {
+			maxB = g.Bytes()
+		}
+	}
+	if ps[3] != maxB {
+		t.Fatalf("p100 = %d, want max %d", ps[3], maxB)
+	}
+}
+
+func TestIterationTimesOrdering(t *testing.T) {
+	// Sanity: heavier models take longer per iteration.
+	get := func(name string) float64 {
+		m, _ := ByName(name)
+		return m.V100IterSec
+	}
+	if !(get("resnet50") < get("vgg19") && get("vgg19") < get("bert-large") && get("bert-base") < get("bert-large")) {
+		t.Fatalf("iteration time ordering implausible")
+	}
+}
+
+func TestFromJSONExplicit(t *testing.T) {
+	src := `{"name":"tiny","batch_per_gpu":8,"v100_iter_sec":0.05,
+	  "gradients":[{"name":"fc","elems":1000},{"elems":24}]}`
+	m, err := FromJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := m.Gradients()
+	if len(grads) != 2 || grads[0].Elems != 1000 {
+		t.Fatalf("gradients = %+v", grads)
+	}
+	if grads[1].Name == "" {
+		t.Fatalf("unnamed gradient not auto-named")
+	}
+	if m.TotalBytes != 4096 || m.MaxBytes != 4000 {
+		t.Fatalf("stats = total %d max %d", m.TotalBytes, m.MaxBytes)
+	}
+	if m.SampleUnit != "samples" {
+		t.Fatalf("default sample unit = %q", m.SampleUnit)
+	}
+}
+
+func TestFromJSONStatistical(t *testing.T) {
+	src := `{"name":"synth","batch_per_gpu":4,"v100_iter_sec":0.2,
+	  "total_mb":100,"max_gradient_mb":40,"num_gradients":20}`
+	m, err := FromJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := m.Gradients()
+	if len(grads) != 20 {
+		t.Fatalf("synthesized %d gradients", len(grads))
+	}
+	var total int64
+	for _, g := range grads {
+		total += g.Bytes()
+	}
+	if math.Abs(float64(total)-100*(1<<20)) > 32 {
+		t.Fatalf("synthesized total = %d", total)
+	}
+}
+
+func TestFromJSONValidation(t *testing.T) {
+	cases := []string{
+		`{"batch_per_gpu":8,"v100_iter_sec":0.05,"gradients":[{"elems":10}]}`,                                                               // no name
+		`{"name":"x","v100_iter_sec":0.05,"gradients":[{"elems":10}]}`,                                                                      // no batch
+		`{"name":"x","batch_per_gpu":8,"gradients":[{"elems":10}]}`,                                                                         // no iter time
+		`{"name":"x","batch_per_gpu":8,"v100_iter_sec":0.05,"gradients":[{"elems":0}]}`,                                                     // empty gradient
+		`{"name":"x","batch_per_gpu":8,"v100_iter_sec":0.05}`,                                                                               // neither form
+		`{"name":"x","batch_per_gpu":8,"v100_iter_sec":0.05,"total_mb":10,"max_gradient_mb":20,"num_gradients":3}`,                          // max>total
+		`{"name":"x","batch_per_gpu":8,"v100_iter_sec":0.05,"gradients":[{"elems":10}],"total_mb":5,"max_gradient_mb":1,"num_gradients":1}`, // both forms
+		`{"name":"x","batch_per_gpu":8,"v100_iter_sec":0.05,"bogus_field":1,"gradients":[{"elems":10}]}`,                                    // unknown field
+	}
+	for i, src := range cases {
+		if _, err := FromJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted: %s", i, src)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m, _ := ByName("lstm")
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TotalBytes is recomputed from whole-element gradients, so fp32
+	// rounding may shave a few bytes off the Table 6 headline number.
+	if diff := back.TotalBytes - m.TotalBytes; diff < -8 || diff > 8 {
+		t.Fatalf("round trip changed total: %d vs %d", back.TotalBytes, m.TotalBytes)
+	}
+	if back.NumGradients != m.NumGradients {
+		t.Fatalf("round trip changed gradient count")
+	}
+	ga, gb := m.Gradients(), back.Gradients()
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("round trip changed gradient %d", i)
+		}
+	}
+}

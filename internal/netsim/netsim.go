@@ -1,0 +1,165 @@
+// Package netsim models the paper's interconnects (100/25 Gbps EC2, 56/10
+// Gbps local InfiniBand) and provides the live in-memory transport used by
+// the real-execution training plane.
+//
+// The timing side is a classic α–β model: sending m bytes over a link takes
+// Latency + m/Bandwidth seconds, with full-duplex links (independent uplink
+// and downlink capacity), matching how the paper counts communication steps
+// (§2.2: "each worker simultaneously sends a partition to its successor and
+// receives another partition from its predecessor, to best utilize its
+// bi-directional network bandwidth").
+package netsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Gbps converts a link rate in gigabits/second to effective bytes/second.
+// The factor 0.92 accounts for protocol framing and the gap between line
+// rate and achievable goodput on a tuned RDMA fabric.
+func Gbps(g float64) float64 { return g * 1e9 / 8 * 0.92 }
+
+// Fabric describes a homogeneous cluster interconnect.
+type Fabric struct {
+	Name string
+	// Bandwidth is per-direction effective bytes/second of one node's NIC.
+	Bandwidth float64
+	// Latency is the one-way small-message latency in seconds.
+	Latency float64
+}
+
+// SendTime returns T_send(m): the modeled time to move m bytes across one
+// link of the fabric (paper Table 2's T_send).
+func (f *Fabric) SendTime(m int64) float64 {
+	return f.Latency + float64(m)/f.Bandwidth
+}
+
+// EC2100G is the paper's primary fabric: 100 Gbps EC2 networking with EFA.
+func EC2100G() *Fabric { return &Fabric{Name: "ec2-100g", Bandwidth: Gbps(100), Latency: 20e-6} }
+
+// EC225G is the reduced-bandwidth EC2 configuration of Fig. 12a.
+func EC225G() *Fabric { return &Fabric{Name: "ec2-25g", Bandwidth: Gbps(25), Latency: 25e-6} }
+
+// IB56G is the local cluster's 56 Gbps InfiniBand fabric.
+func IB56G() *Fabric { return &Fabric{Name: "ib-56g", Bandwidth: Gbps(56), Latency: 5e-6} }
+
+// Eth10G is the local cluster's reduced 10 Gbps configuration of Fig. 12a.
+func Eth10G() *Fabric { return &Fabric{Name: "eth-10g", Bandwidth: Gbps(10), Latency: 30e-6} }
+
+// ByName resolves a preset fabric name.
+func ByName(name string) (*Fabric, error) {
+	switch name {
+	case "ec2-100g":
+		return EC2100G(), nil
+	case "ec2-25g":
+		return EC225G(), nil
+	case "ib-56g":
+		return IB56G(), nil
+	case "eth-10g":
+		return Eth10G(), nil
+	default:
+		return nil, fmt.Errorf("netsim: unknown fabric %q", name)
+	}
+}
+
+// --- live transport -----------------------------------------------------------
+
+// Message is one unit of live communication: a payload tagged with enough
+// metadata for the receiver's task manager to route it.
+type Message struct {
+	From, To int
+	// Gradient names the gradient (or gradient partition) this payload
+	// belongs to, e.g. "layer3.weight/p2".
+	Gradient string
+	// Step disambiguates multiple transfers of the same gradient within one
+	// synchronization round (e.g. ring hop number).
+	Step int
+	// Payload is the (possibly compressed) bytes on the wire.
+	Payload []byte
+}
+
+// Transport is the live-plane communication substrate: reliable, ordered
+// per-sender delivery, addressed by dense node ids [0, N).
+type Transport interface {
+	// Send delivers msg to msg.To. It blocks only if the destination's
+	// inbox is full (providing natural backpressure) and returns an error
+	// if the transport is closed or the address invalid.
+	Send(msg Message) error
+	// Recv returns the next message addressed to node. It blocks until a
+	// message arrives or the transport closes, in which case ok is false.
+	Recv(node int) (msg Message, ok bool)
+	// Close shuts the transport down and unblocks all receivers.
+	Close()
+}
+
+// ChanTransport is an in-memory Transport built on buffered channels: the
+// live-plane stand-in for NCCL/MPI point-to-point primitives. One channel
+// per destination preserves per-destination FIFO order from each sender's
+// perspective (sufficient for CaSync, which tags messages with step ids).
+type ChanTransport struct {
+	inboxes []chan Message
+	once    sync.Once
+	done    chan struct{}
+}
+
+// NewChanTransport creates a transport connecting n nodes with the given
+// per-node inbox capacity.
+func NewChanTransport(n, capacity int) *ChanTransport {
+	t := &ChanTransport{
+		inboxes: make([]chan Message, n),
+		done:    make(chan struct{}),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan Message, capacity)
+	}
+	return t
+}
+
+// Nodes returns the number of endpoints.
+func (t *ChanTransport) Nodes() int { return len(t.inboxes) }
+
+// Send implements Transport.
+func (t *ChanTransport) Send(msg Message) error {
+	if msg.To < 0 || msg.To >= len(t.inboxes) {
+		return fmt.Errorf("netsim: send to invalid node %d (have %d)", msg.To, len(t.inboxes))
+	}
+	// Check for shutdown before attempting the send: when both the done
+	// channel and the inbox are ready, select would pick randomly and could
+	// accept a message after Close.
+	select {
+	case <-t.done:
+		return fmt.Errorf("netsim: transport closed")
+	default:
+	}
+	select {
+	case <-t.done:
+		return fmt.Errorf("netsim: transport closed")
+	case t.inboxes[msg.To] <- msg:
+		return nil
+	}
+}
+
+// Recv implements Transport.
+func (t *ChanTransport) Recv(node int) (Message, bool) {
+	if node < 0 || node >= len(t.inboxes) {
+		return Message{}, false
+	}
+	select {
+	case <-t.done:
+		// Drain any messages that raced with Close so shutdown is clean.
+		select {
+		case m := <-t.inboxes[node]:
+			return m, true
+		default:
+			return Message{}, false
+		}
+	case m := <-t.inboxes[node]:
+		return m, true
+	}
+}
+
+// Close implements Transport. It is safe to call multiple times.
+func (t *ChanTransport) Close() {
+	t.once.Do(func() { close(t.done) })
+}

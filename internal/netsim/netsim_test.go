@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGbps(t *testing.T) {
+	// 100 Gbps → 12.5 GB/s line rate × 0.92 efficiency.
+	if got, want := Gbps(100), 11.5e9; got != want {
+		t.Fatalf("Gbps(100) = %v, want %v", got, want)
+	}
+}
+
+func TestSendTimeComponents(t *testing.T) {
+	f := EC2100G()
+	if got := f.SendTime(0); got != f.Latency {
+		t.Fatalf("SendTime(0) = %v, want latency %v", got, f.Latency)
+	}
+	// 1 GB over 100 Gbps ≈ 87 ms plus latency.
+	oneGB := f.SendTime(1 << 30)
+	if oneGB < 0.08 || oneGB > 0.11 {
+		t.Fatalf("SendTime(1GB) = %v, want ~0.093s", oneGB)
+	}
+}
+
+func TestFabricOrdering(t *testing.T) {
+	m := int64(64 << 20)
+	t100, t56, t25, t10 := EC2100G().SendTime(m), IB56G().SendTime(m), EC225G().SendTime(m), Eth10G().SendTime(m)
+	if !(t100 < t56 && t56 < t25 && t25 < t10) {
+		t.Fatalf("fabric speed ordering broken: %v %v %v %v", t100, t56, t25, t10)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ec2-100g", "ec2-25g", "ib-56g", "eth-10g"} {
+		f, err := ByName(name)
+		if err != nil || f.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, f, err)
+		}
+	}
+	if _, err := ByName("carrier-pigeon"); err == nil {
+		t.Fatalf("unknown fabric accepted")
+	}
+}
+
+func TestChanTransportRoundTrip(t *testing.T) {
+	tr := NewChanTransport(3, 4)
+	defer tr.Close()
+	if tr.Nodes() != 3 {
+		t.Fatalf("Nodes() = %d", tr.Nodes())
+	}
+	want := Message{From: 0, To: 2, Gradient: "g/p0", Step: 1, Payload: []byte{1, 2, 3}}
+	if err := tr.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.Recv(2)
+	if !ok || got.Gradient != want.Gradient || got.Step != 1 || string(got.Payload) != string(want.Payload) {
+		t.Fatalf("Recv = %+v, %v", got, ok)
+	}
+}
+
+func TestChanTransportInvalidAddress(t *testing.T) {
+	tr := NewChanTransport(2, 1)
+	defer tr.Close()
+	if err := tr.Send(Message{To: 5}); err == nil {
+		t.Fatalf("send to invalid node accepted")
+	}
+	if _, ok := tr.Recv(-1); ok {
+		t.Fatalf("recv on invalid node returned ok")
+	}
+}
+
+func TestChanTransportFIFOPerSender(t *testing.T) {
+	tr := NewChanTransport(2, 16)
+	defer tr.Close()
+	for i := 0; i < 10; i++ {
+		if err := tr.Send(Message{From: 0, To: 1, Step: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, ok := tr.Recv(1)
+		if !ok || m.Step != i {
+			t.Fatalf("message %d arrived out of order: %+v ok=%v", i, m, ok)
+		}
+	}
+}
+
+func TestChanTransportCloseUnblocksReceivers(t *testing.T) {
+	tr := NewChanTransport(1, 1)
+	done := make(chan struct{})
+	go func() {
+		_, ok := tr.Recv(0)
+		if ok {
+			t.Errorf("Recv returned ok after close with empty inbox")
+		}
+		close(done)
+	}()
+	tr.Close()
+	<-done
+	// Double close must be safe.
+	tr.Close()
+	if err := tr.Send(Message{To: 0}); err == nil {
+		t.Fatalf("send after close accepted")
+	}
+}
+
+func TestChanTransportConcurrentAllToAll(t *testing.T) {
+	const n, per = 8, 50
+	tr := NewChanTransport(n, n*per)
+	defer tr.Close()
+	var wg sync.WaitGroup
+	for src := 0; src < n; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				for dst := 0; dst < n; dst++ {
+					if err := tr.Send(Message{From: src, To: dst, Step: k}); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+				}
+			}
+		}(src)
+	}
+	counts := make([]int, n)
+	var rg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		rg.Add(1)
+		go func(node int) {
+			defer rg.Done()
+			for i := 0; i < n*per; i++ {
+				if _, ok := tr.Recv(node); !ok {
+					t.Errorf("node %d: transport closed early", node)
+					return
+				}
+				counts[node]++
+			}
+		}(node)
+	}
+	wg.Wait()
+	rg.Wait()
+	for node, c := range counts {
+		if c != n*per {
+			t.Fatalf("node %d received %d messages, want %d", node, c, n*per)
+		}
+	}
+}
+
+// Property: SendTime is affine and monotone in m for every preset fabric.
+func TestQuickSendTimeMonotone(t *testing.T) {
+	fabrics := []*Fabric{EC2100G(), EC225G(), IB56G(), Eth10G()}
+	f := func(aRaw, bRaw uint32, fi uint8) bool {
+		fab := fabrics[int(fi)%len(fabrics)]
+		a, b := int64(aRaw), int64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return fab.SendTime(a) <= fab.SendTime(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPTransport implements Transport over real loopback TCP sockets: each
+// node owns a listener, connections are dialed lazily per (src, dst) pair,
+// and messages travel as length-prefixed frames. It is the
+// closest-to-production live substrate — the same CaSync task graphs that
+// run over channels run unchanged over genuine sockets (see
+// core.LiveConfig.Transport).
+//
+// Frame layout (little-endian):
+//
+//	u32 frameLen | i32 from | i32 to | i64 step | u16 gradLen | grad | payload
+type TCPTransport struct {
+	listeners []net.Listener
+	inboxes   []chan Message
+
+	mu    sync.Mutex
+	conns map[[2]int]net.Conn // (src,dst) → connection, lazily dialed
+	wmu   map[[2]int]*sync.Mutex
+
+	once sync.Once
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewTCPTransport starts listeners for n nodes on loopback and returns the
+// connected transport. Callers must Close it to release sockets.
+func NewTCPTransport(n, capacity int) (*TCPTransport, error) {
+	t := &TCPTransport{
+		listeners: make([]net.Listener, n),
+		inboxes:   make([]chan Message, n),
+		conns:     map[[2]int]net.Conn{},
+		wmu:       map[[2]int]*sync.Mutex{},
+		done:      make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("netsim: listen for node %d: %w", i, err)
+		}
+		t.listeners[i] = l
+		t.inboxes[i] = make(chan Message, capacity)
+		t.wg.Add(1)
+		go t.acceptLoop(i, l)
+	}
+	return t, nil
+}
+
+// Nodes returns the endpoint count.
+func (t *TCPTransport) Nodes() int { return len(t.listeners) }
+
+// Addr returns node i's listen address (tests and diagnostics).
+func (t *TCPTransport) Addr(i int) net.Addr { return t.listeners[i].Addr() }
+
+func (t *TCPTransport) acceptLoop(node int, l net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(node, conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(node int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		frameLen := binary.LittleEndian.Uint32(hdr[:])
+		if frameLen < 18 || frameLen > 1<<30 {
+			return // corrupt frame; drop the connection
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		msg, ok := decodeFrame(frame)
+		if !ok {
+			return
+		}
+		select {
+		case <-t.done:
+			return
+		case t.inboxes[node] <- msg:
+		}
+	}
+}
+
+func encodeFrame(msg Message) []byte {
+	grad := []byte(msg.Gradient)
+	frameLen := 4 + 4 + 8 + 2 + len(grad) + len(msg.Payload)
+	out := make([]byte, 4+frameLen)
+	binary.LittleEndian.PutUint32(out[0:], uint32(frameLen))
+	binary.LittleEndian.PutUint32(out[4:], uint32(int32(msg.From)))
+	binary.LittleEndian.PutUint32(out[8:], uint32(int32(msg.To)))
+	binary.LittleEndian.PutUint64(out[12:], uint64(int64(msg.Step)))
+	binary.LittleEndian.PutUint16(out[20:], uint16(len(grad)))
+	copy(out[22:], grad)
+	copy(out[22+len(grad):], msg.Payload)
+	return out
+}
+
+func decodeFrame(frame []byte) (Message, bool) {
+	if len(frame) < 18 {
+		return Message{}, false
+	}
+	from := int(int32(binary.LittleEndian.Uint32(frame[0:])))
+	to := int(int32(binary.LittleEndian.Uint32(frame[4:])))
+	step := int(int64(binary.LittleEndian.Uint64(frame[8:])))
+	gradLen := int(binary.LittleEndian.Uint16(frame[16:]))
+	if 18+gradLen > len(frame) {
+		return Message{}, false
+	}
+	grad := string(frame[18 : 18+gradLen])
+	payload := append([]byte(nil), frame[18+gradLen:]...)
+	return Message{From: from, To: to, Gradient: grad, Step: step, Payload: payload}, true
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(msg Message) error {
+	select {
+	case <-t.done:
+		return fmt.Errorf("netsim: tcp transport closed")
+	default:
+	}
+	if msg.To < 0 || msg.To >= len(t.listeners) {
+		return fmt.Errorf("netsim: tcp send to invalid node %d", msg.To)
+	}
+	conn, lock, err := t.connTo(msg.From, msg.To)
+	if err != nil {
+		return err
+	}
+	frame := encodeFrame(msg)
+	lock.Lock()
+	defer lock.Unlock()
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("netsim: tcp send %d→%d: %w", msg.From, msg.To, err)
+	}
+	return nil
+}
+
+// connTo returns (dialing if needed) the connection for a sender/receiver
+// pair plus its write lock (frames must not interleave).
+func (t *TCPTransport) connTo(from, to int) (net.Conn, *sync.Mutex, error) {
+	key := [2]int{from, to}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[key]; ok {
+		return c, t.wmu[key], nil
+	}
+	c, err := net.Dial("tcp", t.listeners[to].Addr().String())
+	if err != nil {
+		return nil, nil, fmt.Errorf("netsim: tcp dial %d→%d: %w", from, to, err)
+	}
+	t.conns[key] = c
+	t.wmu[key] = &sync.Mutex{}
+	return c, t.wmu[key], nil
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(node int) (Message, bool) {
+	if node < 0 || node >= len(t.inboxes) {
+		return Message{}, false
+	}
+	select {
+	case <-t.done:
+		select {
+		case m := <-t.inboxes[node]:
+			return m, true
+		default:
+			return Message{}, false
+		}
+	case m := <-t.inboxes[node]:
+		return m, true
+	}
+}
+
+// Close implements Transport: shuts listeners and connections down and
+// unblocks receivers. Safe to call multiple times.
+func (t *TCPTransport) Close() {
+	t.once.Do(func() {
+		close(t.done)
+		for _, l := range t.listeners {
+			if l != nil {
+				l.Close()
+			}
+		}
+		t.mu.Lock()
+		for _, c := range t.conns {
+			c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+	})
+}

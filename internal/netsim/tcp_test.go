@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	tr, err := NewTCPTransport(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Nodes() != 3 {
+		t.Fatalf("Nodes = %d", tr.Nodes())
+	}
+	want := Message{From: 0, To: 2, Gradient: "layer7/p3", Step: 42, Payload: []byte{9, 8, 7, 6}}
+	if err := tr.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.Recv(2)
+	if !ok {
+		t.Fatal("Recv returned !ok")
+	}
+	if got.From != 0 || got.To != 2 || got.Gradient != want.Gradient || got.Step != 42 ||
+		string(got.Payload) != string(want.Payload) {
+		t.Fatalf("Recv = %+v", got)
+	}
+}
+
+func TestTCPTransportEmptyPayloadAndGradient(t *testing.T) {
+	tr, err := NewTCPTransport(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Send(Message{From: 0, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.Recv(1)
+	if !ok || got.Gradient != "" || len(got.Payload) != 0 {
+		t.Fatalf("empty message mangled: %+v ok=%v", got, ok)
+	}
+}
+
+func TestTCPTransportFIFOPerPair(t *testing.T) {
+	tr, err := NewTCPTransport(2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 32; i++ {
+		if err := tr.Send(Message{From: 0, To: 1, Step: i, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		m, ok := tr.Recv(1)
+		if !ok || m.Step != i {
+			t.Fatalf("out of order at %d: %+v ok=%v", i, m, ok)
+		}
+	}
+}
+
+func TestTCPTransportConcurrentMesh(t *testing.T) {
+	const n, per = 4, 25
+	tr, err := NewTCPTransport(n, n*per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var wg sync.WaitGroup
+	for src := 0; src < n; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				for dst := 0; dst < n; dst++ {
+					msg := Message{From: src, To: dst, Gradient: fmt.Sprintf("g%d", src), Step: k,
+						Payload: []byte{byte(src), byte(k)}}
+					if err := tr.Send(msg); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+				}
+			}
+		}(src)
+	}
+	counts := make([]int, n)
+	var rg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		rg.Add(1)
+		go func(node int) {
+			defer rg.Done()
+			for i := 0; i < n*per; i++ {
+				m, ok := tr.Recv(node)
+				if !ok {
+					t.Errorf("node %d closed early", node)
+					return
+				}
+				if m.To != node {
+					t.Errorf("node %d got message for %d", node, m.To)
+					return
+				}
+				counts[node]++
+			}
+		}(node)
+	}
+	wg.Wait()
+	rg.Wait()
+	for node, c := range counts {
+		if c != n*per {
+			t.Fatalf("node %d got %d messages, want %d", node, c, n*per)
+		}
+	}
+}
+
+func TestTCPTransportInvalidAddressAndClose(t *testing.T) {
+	tr, err := NewTCPTransport(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{From: 0, To: 9}); err == nil {
+		t.Fatal("send to invalid node accepted")
+	}
+	if _, ok := tr.Recv(-1); ok {
+		t.Fatal("recv on invalid node returned ok")
+	}
+	tr.Close()
+	tr.Close() // double close must be safe
+	if err := tr.Send(Message{From: 0, To: 1}); err == nil {
+		t.Fatal("send after close accepted")
+	}
+	if _, ok := tr.Recv(0); ok {
+		t.Fatal("recv after close with empty inbox returned ok")
+	}
+}
+
+func TestTCPTransportLargePayload(t *testing.T) {
+	tr, err := NewTCPTransport(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := tr.Send(Message{From: 0, To: 1, Gradient: "big", Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.Recv(1)
+	if !ok || len(got.Payload) != len(payload) {
+		t.Fatalf("large payload: len=%d ok=%v", len(got.Payload), ok)
+	}
+	for i := range payload {
+		if got.Payload[i] != payload[i] {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestFrameCodecProperties(t *testing.T) {
+	cases := []Message{
+		{From: 0, To: 1},
+		{From: 3, To: 2, Gradient: "w", Step: 1 << 30, Payload: []byte{1}},
+		{From: 15, To: 0, Gradient: string(make([]byte, 300)), Payload: make([]byte, 5000)},
+	}
+	for i, msg := range cases {
+		frame := encodeFrame(msg)
+		dec, ok := decodeFrame(frame[4:])
+		if !ok {
+			t.Fatalf("case %d: decode failed", i)
+		}
+		if dec.From != msg.From || dec.To != msg.To || dec.Step != msg.Step ||
+			dec.Gradient != msg.Gradient || string(dec.Payload) != string(msg.Payload) {
+			t.Fatalf("case %d: round trip mismatch", i)
+		}
+	}
+	if _, ok := decodeFrame([]byte{1, 2}); ok {
+		t.Fatal("short frame accepted")
+	}
+	// Header claiming a longer gradient than the frame holds.
+	bad := encodeFrame(Message{From: 0, To: 1, Gradient: "abc"})
+	bad[20] = 0xFF // corrupt gradLen
+	if _, ok := decodeFrame(bad[4:]); ok {
+		t.Fatal("corrupt gradLen accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package sim is a small discrete-event simulation kernel. The cluster-scale
+// experiments execute CaSync task graphs in virtual time on top of it: GPU
+// streams and network links are modeled as serial resources, and every
+// encode/decode/merge/send/recv task becomes a timed occupation of one.
+//
+// The kernel is deliberately minimal — a time-ordered event heap plus serial
+// resources — because the paper's timing questions (what overlaps with what,
+// where the critical path runs) are entirely questions of ordering and
+// occupancy, not of queueing-theoretic detail.
+package sim
+
+import "container/heap"
+
+// Time is simulated seconds since the start of the run.
+type Time = float64
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  func(Time)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending event set.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time. During Run it is the timestamp of
+// the event being executed.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality, which in a task-graph
+// simulation always indicates a bug upstream.
+func (e *Engine) At(t Time, fn func(Time)) {
+	if t < e.now {
+		panic("sim: scheduling into the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func(Time)) { e.At(e.now+d, fn) }
+
+// Run executes events in timestamp order until none remain, returning the
+// final clock value (the makespan of whatever was simulated).
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn(ev.at)
+	}
+	return e.now
+}
+
+// Pending returns the number of not-yet-executed events; useful for tests
+// asserting quiescence.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Resource is a serial FIFO resource (a GPU stream, one direction of a
+// network link): work items occupy it back to back, each for its duration.
+type Resource struct {
+	Name string
+	// freeAt is the time at which the resource finishes everything accepted
+	// so far.
+	freeAt Time
+	// busy accumulates total occupied seconds, for utilization accounting
+	// (Fig. 9's GPU-utilization comparison).
+	busy float64
+}
+
+// NewResource returns an idle resource.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// Acquire books the resource for dur seconds starting no earlier than `from`
+// and returns the work's start and end times. The caller typically schedules
+// its completion callback at the returned end time.
+func (r *Resource) Acquire(from Time, dur float64) (start, end Time) {
+	if dur < 0 {
+		panic("sim: negative duration")
+	}
+	start = from
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busy += dur
+	return start, end
+}
+
+// FreeAt returns when the resource becomes idle given work accepted so far.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// BusyTime returns the total seconds of occupation accepted so far.
+func (r *Resource) BusyTime() float64 { return r.busy }
+
+// Exec is the canonical "run work on a resource" helper: it books dur
+// seconds on r no earlier than `from`, and schedules done(end) at the work's
+// completion. It returns the booked (start, end).
+func Exec(e *Engine, r *Resource, from Time, dur float64, done func(Time)) (Time, Time) {
+	start, end := r.Acquire(from, dur)
+	if done != nil {
+		e.At(end, done)
+	}
+	return start, end
+}
+
+// Span records one occupied interval, used to build utilization timelines.
+type Span struct {
+	Start, End Time
+	Label      string
+}
+
+// Tracker collects spans for one resource so experiments can render
+// utilization timelines (Fig. 9).
+type Tracker struct {
+	Spans []Span
+}
+
+// Add appends a span.
+func (t *Tracker) Add(start, end Time, label string) {
+	t.Spans = append(t.Spans, Span{Start: start, End: end, Label: label})
+}
+
+// BusyWithin returns the total occupied time intersected with [lo, hi),
+// counting overlapping spans once... spans from a serial resource never
+// overlap, so a plain sum of clamped spans is exact.
+func (t *Tracker) BusyWithin(lo, hi Time) float64 {
+	var sum float64
+	for _, s := range t.Spans {
+		a, b := s.Start, s.End
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if b > a {
+			sum += b - a
+		}
+	}
+	return sum
+}

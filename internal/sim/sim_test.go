@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func(Time) { order = append(order, 3) })
+	e.At(1, func(Time) { order = append(order, 1) })
+	e.At(2, func(Time) { order = append(order, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("Run returned %v, want 3", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-timestamp events reordered: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.At(1, func(now Time) {
+		hits = append(hits, now)
+		e.After(2, func(now Time) { hits = append(hits, now) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("nested scheduling produced %v", hits)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func(Time) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("scheduling into the past did not panic")
+			}
+		}()
+		e.At(1, func(Time) {})
+	})
+	e.Run()
+}
+
+func TestPending(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func(Time) {})
+	e.At(2, func(Time) {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d", e.Pending())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource("gpu0")
+	s1, e1 := r.Acquire(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first acquire = (%v,%v)", s1, e1)
+	}
+	// Requested at t=5 but the resource is busy until 10.
+	s2, e2 := r.Acquire(5, 3)
+	if s2 != 10 || e2 != 13 {
+		t.Fatalf("second acquire = (%v,%v), want (10,13)", s2, e2)
+	}
+	// Requested after the resource is already free: starts immediately.
+	s3, e3 := r.Acquire(20, 1)
+	if s3 != 20 || e3 != 21 {
+		t.Fatalf("third acquire = (%v,%v), want (20,21)", s3, e3)
+	}
+	if r.BusyTime() != 14 {
+		t.Fatalf("BusyTime = %v, want 14", r.BusyTime())
+	}
+	if r.FreeAt() != 21 {
+		t.Fatalf("FreeAt = %v, want 21", r.FreeAt())
+	}
+}
+
+func TestResourceNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("negative duration accepted")
+		}
+	}()
+	NewResource("x").Acquire(0, -1)
+}
+
+func TestExecSchedulesCompletion(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("link")
+	var completions []Time
+	Exec(e, r, 0, 5, func(now Time) { completions = append(completions, now) })
+	Exec(e, r, 0, 5, func(now Time) { completions = append(completions, now) })
+	end := e.Run()
+	if end != 10 {
+		t.Fatalf("makespan %v, want 10 (serialized)", end)
+	}
+	if len(completions) != 2 || completions[0] != 5 || completions[1] != 10 {
+		t.Fatalf("completions %v, want [5 10]", completions)
+	}
+}
+
+func TestExecNilDone(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("x")
+	if _, end := Exec(e, r, 1, 2, nil); end != 3 {
+		t.Fatalf("Exec end = %v, want 3", end)
+	}
+	e.Run()
+}
+
+func TestTrackerBusyWithin(t *testing.T) {
+	var tr Tracker
+	tr.Add(0, 10, "a")
+	tr.Add(20, 30, "b")
+	if got := tr.BusyWithin(5, 25); got != 10 {
+		t.Fatalf("BusyWithin(5,25) = %v, want 10 (5 from each span)", got)
+	}
+	if got := tr.BusyWithin(100, 200); got != 0 {
+		t.Fatalf("BusyWithin outside spans = %v", got)
+	}
+}
+
+// Property: for any set of (request time, duration) pairs issued in
+// nondecreasing request order, a resource never overlaps bookings and its
+// busy time equals the sum of durations.
+func TestQuickResourceNoOverlap(t *testing.T) {
+	f := func(reqRaw []uint16) bool {
+		r := NewResource("q")
+		var prevEnd Time = -1
+		var cursor Time
+		var total float64
+		for _, raw := range reqRaw {
+			at := cursor + float64(raw%7)
+			dur := float64(raw % 11)
+			cursor = at
+			s, e := r.Acquire(at, dur)
+			if s < at || e != s+dur {
+				return false
+			}
+			if s < prevEnd { // overlap with previous booking
+				return false
+			}
+			prevEnd = e
+			total += dur
+		}
+		return r.BusyTime() == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine executes exactly the number of events scheduled.
+func TestQuickAllEventsExecute(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		count := 0
+		for _, tm := range times {
+			e.At(Time(tm), func(Time) { count++ })
+		}
+		e.Run()
+		return count == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

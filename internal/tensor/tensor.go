@@ -1,0 +1,244 @@
+// Package tensor provides the small dense-vector math kernel used by the
+// gradient compression algorithms and the training plane.
+//
+// Gradients in this codebase are flat []float32 slices ("tensors" of rank 1);
+// layer shape information lives with the model descriptions, not here. All
+// functions are allocation-conscious: operations that can work in place do,
+// and the handful that must allocate say so in their doc comments.
+package tensor
+
+import "math"
+
+// Clone returns a copy of v in freshly allocated storage.
+func Clone(v []float32) []float32 {
+	out := make([]float32, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element of v to 0 in place.
+func Zero(v []float32) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to x in place.
+func Fill(v []float32, x float32) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Add accumulates src into dst element-wise. dst and src must be the same
+// length; Add panics otherwise because a silent size mismatch during gradient
+// aggregation corrupts training.
+func Add(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Add length mismatch")
+	}
+	for i, s := range src {
+		dst[i] += s
+	}
+}
+
+// Sub subtracts src from dst element-wise.
+func Sub(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Sub length mismatch")
+	}
+	for i, s := range src {
+		dst[i] -= s
+	}
+}
+
+// Scale multiplies every element of v by a in place.
+func Scale(v []float32, a float32) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// AXPY computes dst += a*src element-wise.
+func AXPY(dst []float32, a float32, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: AXPY length mismatch")
+	}
+	for i, s := range src {
+		dst[i] += a * s
+	}
+}
+
+// Dot returns the inner product of a and b, accumulated in float64 for
+// stability.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var acc float64
+	for i := range a {
+		acc += float64(a[i]) * float64(b[i])
+	}
+	return acc
+}
+
+// Sum returns the sum of v accumulated in float64.
+func Sum(v []float32) float64 {
+	var acc float64
+	for _, x := range v {
+		acc += float64(x)
+	}
+	return acc
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float32) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float32) float64 {
+	var acc float64
+	for _, x := range v {
+		acc += float64(x) * float64(x)
+	}
+	return math.Sqrt(acc)
+}
+
+// Min returns the minimum element of v. It panics on an empty slice.
+func Min(v []float32) float32 {
+	if len(v) == 0 {
+		panic("tensor: Min of empty slice")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum element of v. It panics on an empty slice.
+func Max(v []float32) float32 {
+	if len(v) == 0 {
+		panic("tensor: Max of empty slice")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MaxAbs returns the maximum absolute value in v, or 0 for an empty slice.
+func MaxAbs(v []float32) float32 {
+	var m float32
+	for _, x := range v {
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MeanAbs returns the mean absolute value of v, or 0 for an empty slice.
+func MeanAbs(v []float32) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, x := range v {
+		acc += math.Abs(float64(x))
+	}
+	return acc / float64(len(v))
+}
+
+// L1Diff returns the mean absolute difference between a and b.
+func L1Diff(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: L1Diff length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var acc float64
+	for i := range a {
+		acc += math.Abs(float64(a[i]) - float64(b[i]))
+	}
+	return acc / float64(len(a))
+}
+
+// KthLargestAbs returns the k-th largest absolute value in v (k is
+// 1-indexed: k=1 is the max). It is used by top-k sparsifiers to derive a
+// selection threshold. The input is not modified; the function allocates a
+// scratch copy. It panics if k is out of [1, len(v)].
+func KthLargestAbs(v []float32, k int) float32 {
+	if k < 1 || k > len(v) {
+		panic("tensor: KthLargestAbs k out of range")
+	}
+	scratch := make([]float32, len(v))
+	for i, x := range v {
+		if x < 0 {
+			scratch[i] = -x
+		} else {
+			scratch[i] = x
+		}
+	}
+	// Iterative quickselect for the (len-k)-th smallest == k-th largest.
+	target := len(scratch) - k
+	lo, hi := 0, len(scratch)-1
+	rng := NewRNG(uint64(len(v))*2654435761 + uint64(k))
+	for lo < hi {
+		p := partitionAbs(scratch, lo, hi, lo+int(rng.Uint64n(uint64(hi-lo+1))))
+		switch {
+		case p == target:
+			return scratch[p]
+		case p < target:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return scratch[target]
+}
+
+// partitionAbs partitions scratch[lo:hi+1] around the pivot value at index
+// pivot, returning the pivot's final index.
+func partitionAbs(s []float32, lo, hi, pivot int) int {
+	pv := s[pivot]
+	s[pivot], s[hi] = s[hi], s[pivot]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if s[i] < pv {
+			s[i], s[store] = s[store], s[i]
+			store++
+		}
+	}
+	s[store], s[hi] = s[hi], s[store]
+	return store
+}
+
+// CountAbsAtLeast reports how many elements of v have |x| >= thr.
+func CountAbsAtLeast(v []float32, thr float32) int {
+	n := 0
+	for _, x := range v {
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a >= thr {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,271 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	v := []float32{1, 2, 3}
+	c := Clone(v)
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("Clone shares storage with source")
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	v := []float32{1, 2, 3}
+	Fill(v, 7)
+	for i, x := range v {
+		if x != 7 {
+			t.Fatalf("Fill: v[%d] = %v, want 7", i, x)
+		}
+	}
+	Zero(v)
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("Zero: v[%d] = %v, want 0", i, x)
+		}
+	}
+}
+
+func TestAddSubScaleAXPY(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{10, 20, 30}
+	Add(a, b)
+	want := []float32{11, 22, 33}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("Add: got %v want %v", a, want)
+		}
+	}
+	Sub(a, b)
+	want = []float32{1, 2, 3}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("Sub: got %v want %v", a, want)
+		}
+	}
+	Scale(a, 2)
+	want = []float32{2, 4, 6}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("Scale: got %v want %v", a, want)
+		}
+	}
+	AXPY(a, 0.5, b)
+	want = []float32{7, 14, 21}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("AXPY: got %v want %v", a, want)
+		}
+	}
+}
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Add did not panic on length mismatch")
+		}
+	}()
+	Add([]float32{1}, []float32{1, 2})
+}
+
+func TestDotSumMean(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Sum(a); got != 6 {
+		t.Fatalf("Sum = %v, want 6", got)
+	}
+	if got := Mean(a); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float32{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	v := []float32{-7, 2, 5, -1}
+	if got := Min(v); got != -7 {
+		t.Fatalf("Min = %v, want -7", got)
+	}
+	if got := Max(v); got != 5 {
+		t.Fatalf("Max = %v, want 5", got)
+	}
+	if got := MaxAbs(v); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Fatalf("MaxAbs(nil) = %v, want 0", got)
+	}
+}
+
+func TestMeanAbsAndL1Diff(t *testing.T) {
+	if got := MeanAbs([]float32{-2, 2}); got != 2 {
+		t.Fatalf("MeanAbs = %v, want 2", got)
+	}
+	if got := L1Diff([]float32{1, 2}, []float32{2, 4}); got != 1.5 {
+		t.Fatalf("L1Diff = %v, want 1.5", got)
+	}
+}
+
+func TestKthLargestAbsAgainstSort(t *testing.T) {
+	rng := NewRNG(42)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		v := make([]float32, n)
+		rng.FillNormal(v, 3)
+		abs := make([]float64, n)
+		for i, x := range v {
+			abs[i] = math.Abs(float64(x))
+		}
+		sort.Float64s(abs)
+		k := 1 + rng.Intn(n)
+		want := float32(abs[n-k])
+		if got := KthLargestAbs(v, k); got != want {
+			t.Fatalf("trial %d: KthLargestAbs(n=%d,k=%d) = %v, want %v", trial, n, k, got, want)
+		}
+	}
+}
+
+func TestKthLargestAbsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic for k out of range")
+		}
+	}()
+	KthLargestAbs([]float32{1}, 2)
+}
+
+func TestCountAbsAtLeast(t *testing.T) {
+	v := []float32{-3, 1, 2, -0.5}
+	if got := CountAbsAtLeast(v, 2); got != 2 {
+		t.Fatalf("CountAbsAtLeast = %d, want 2", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(8)
+	if NewRNG(7).Uint64() == c.Uint64() {
+		t.Fatalf("different seeds produced identical first draw")
+	}
+}
+
+func TestRNGFloatRanges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if f := r.Float32(); f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n = 10000
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-400 || c > n/10+400 {
+			t.Fatalf("bucket %d count %d deviates from uniform", i, c)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(3)
+	const n = 50000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(64)
+	seen := make([]bool, 64)
+	for _, i := range p {
+		if i < 0 || i >= 64 || seen[i] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[i] = true
+	}
+}
+
+// Property: KthLargestAbs(v, 1) == MaxAbs(v) for all non-empty v.
+func TestQuickKthLargestMatchesMaxAbs(t *testing.T) {
+	f := func(raw []float32) bool {
+		v := make([]float32, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(float64(x)) && !math.IsInf(float64(x), 0) {
+				v = append(v, x)
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		return KthLargestAbs(v, 1) == MaxAbs(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot(v, v) == Norm2(v)^2 within floating-point tolerance.
+func TestQuickDotNormConsistency(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%256) + 1
+		v := make([]float32, n)
+		NewRNG(seed).FillNormal(v, 1)
+		d := Dot(v, v)
+		nn := Norm2(v)
+		return math.Abs(d-nn*nn) <= 1e-6*(1+math.Abs(d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nRejectsBias(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(3); v > 2 {
+			t.Fatalf("Uint64n(3) returned %d", v)
+		}
+	}
+}
