@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled test run; the live fault-plane tests are the main
+# beneficiaries (retry/dedup/degradation paths are heavily concurrent).
+race:
+	$(GO) test -race ./...
+
+# The gate used before committing: vet + full race-enabled test suite.
+check: vet race
+
+bench:
+	$(GO) run ./cmd/hipress-bench all
+
+clean:
+	$(GO) clean ./...

@@ -11,7 +11,16 @@
 //
 // Experiment ids: table1 table3 table5 table6 table7 fig7a fig7b fig7c
 // fig8a fig8b fig8c fig9 fig10 fig11 fig12a fig12b fig13 micro, plus the
-// beyond-the-paper studies jitter, strategies, and wire.
+// beyond-the-paper studies jitter, strategies, wire, chaos, and
+// plan-robustness.
+//
+// The chaos experiment accepts a fault schedule via -chaos, e.g.
+//
+//	hipress-bench -chaos "slow:1x2@0+10;link:0-1@0.02+0.05" chaos
+//
+// with items slow:<node>x<factor>@<start>+<dur> (straggler),
+// link:<src>-<dst>@<start>+<dur> (directed link outage), and
+// down:<node>@<start>+<dur> (all links touching node down).
 package main
 
 import (
@@ -35,8 +44,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	scale := fs.Float64("scale", 1.0, "shrink iteration-heavy experiments (0..1]")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of text tables")
+	chaosSpec := fs.String("chaos", "", "fault schedule for the chaos experiment (see sim.ParseSchedule grammar)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+	if *chaosSpec != "" {
+		// Validate up front so a typo fails before minutes of experiments.
+		if _, err := hipress.ParseChaosSchedule(*chaosSpec); err != nil {
+			fmt.Fprintln(stderr, "hipress-bench:", err)
+			return 2
+		}
 	}
 	args := fs.Args()
 	if len(args) == 0 {
@@ -57,7 +74,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	enc.SetIndent("", "  ")
 	for _, id := range args {
 		start := time.Now()
-		tab, err := hipress.RunExperiment(id, *scale)
+		var tab *hipress.Table
+		var err error
+		if id == "chaos" && *chaosSpec != "" {
+			tab, err = hipress.ChaosExperiment(*chaosSpec)
+		} else {
+			tab, err = hipress.RunExperiment(id, *scale)
+		}
 		if err != nil {
 			fmt.Fprintf(stderr, "hipress-bench: %s: %v\n", id, err)
 			failed++
@@ -84,6 +107,6 @@ func run(argv []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: hipress-bench [-scale 0.3] [-json] {list|all|<experiment-id>...}")
+	fmt.Fprintln(w, "usage: hipress-bench [-scale 0.3] [-json] [-chaos <schedule>] {list|all|<experiment-id>...}")
 	fmt.Fprintln(w, "experiments:", hipress.Experiments())
 }

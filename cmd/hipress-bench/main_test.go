@@ -38,6 +38,37 @@ func TestRunTextAndJSON(t *testing.T) {
 	}
 }
 
+func TestRunChaosFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-chaos", "slow:1x2@0+10", "chaos"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "slow:1x2@0+10") || !strings.Contains(out.String(), "slowdown") {
+		t.Fatalf("chaos output:\n%s", out.String())
+	}
+	// A malformed schedule must fail fast with a usage-style exit code.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-chaos", "not-a-schedule", "chaos"}, &out, &errw); code != 2 {
+		t.Fatalf("bad chaos spec exit = %d (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "chaos item") {
+		t.Fatalf("bad chaos spec stderr:\n%s", errw.String())
+	}
+}
+
+func TestRunPlanRobustness(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"plan-robustness"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"flipped-compress", "changed-K", "casync-ps", "casync-ring"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("plan-robustness output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run([]string{"no-such-exp"}, &out, &errw); code != 1 {

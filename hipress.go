@@ -32,6 +32,8 @@ import (
 	"hipress/internal/core"
 	"hipress/internal/engine"
 	"hipress/internal/models"
+	"hipress/internal/netsim"
+	"hipress/internal/sim"
 	"hipress/internal/trainer"
 )
 
@@ -92,6 +94,57 @@ func Experiments() []string { return engine.Experiments() }
 func RunExperiment(id string, scale float64) (*Table, error) {
 	return engine.RunExperiment(id, scale)
 }
+
+// --- fault plane ---------------------------------------------------------------
+
+// ChaosSchedule is a timing-plane fault plan: stragglers and link outages
+// scheduled in virtual time, attached via Config.Chaos.
+type ChaosSchedule = sim.ChaosSchedule
+
+// ParseChaosSchedule parses a compact fault-schedule spec, e.g.
+// "slow:1x2@0+10;link:0-2@0.01+0.05;down:3@0.2+0.1".
+func ParseChaosSchedule(spec string) (*ChaosSchedule, error) { return sim.ParseSchedule(spec) }
+
+// ChaosExperiment runs the fault-injection study under a custom schedule
+// (the "chaos" experiment id uses a default one).
+func ChaosExperiment(spec string) (*Table, error) { return engine.ChaosExp(spec) }
+
+// ChaosConfig injects deterministic faults (drops, duplicates, corruption,
+// delays, reorders, blackouts) into a live cluster's transport; attach via
+// LiveConfig.Chaos.
+type ChaosConfig = netsim.ChaosConfig
+
+// LinkFaults is the per-link fault mix of a ChaosConfig.
+type LinkFaults = netsim.LinkFaults
+
+// Link names a directed (src, dst) transport pair in ChaosConfig.Links.
+type Link = netsim.Link
+
+// ChaosStats counts what a chaotic transport actually did to traffic.
+type ChaosStats = netsim.ChaosStats
+
+// RetryPolicy bounds the reliable live plane's per-transfer retransmission.
+type RetryPolicy = core.RetryPolicy
+
+// DegradePolicy selects what a live round does when a peer is diagnosed
+// dead: abort with a typed error, or exclude its contribution.
+type DegradePolicy = core.DegradePolicy
+
+// Degradation policies for LiveConfig.OnPeerFail.
+const (
+	DegradeAbort   = core.DegradeAbort
+	DegradeExclude = core.DegradeExclude
+)
+
+// RoundHealth reports one live round's fault-plane telemetry: retries,
+// duplicates, corrupt drops, excluded peers, renormalization.
+type RoundHealth = core.RoundHealth
+
+// RoundTimeoutError is returned when a live round exceeds its deadline.
+type RoundTimeoutError = core.RoundTimeoutError
+
+// PeerFailureError is returned when retries against a peer are exhausted.
+type PeerFailureError = core.PeerFailureError
 
 // --- compression (real data plane) --------------------------------------------
 

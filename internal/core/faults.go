@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hipress/internal/netsim"
+)
+
+// This file is the live plane's fault model: retry policies, typed failure
+// errors, per-round health reporting, and the shared failure-detector state
+// that reliable rounds use to decide which endpoint of a broken link is
+// actually at fault.
+
+// DegradePolicy selects what a reliable round does when a peer is declared
+// failed mid-round.
+type DegradePolicy int
+
+const (
+	// DegradeAbort fails the round with a *PeerFailureError (the default:
+	// BSP semantics are preserved, the training driver decides what next).
+	DegradeAbort DegradePolicy = iota
+	// DegradeExclude drops the failed peer's contribution and finishes the
+	// round with the survivors (PS only — a ring cannot route around a dead
+	// hop). The merge renormalizes when LiveConfig.Renormalize is set, and
+	// the exclusion is reported in RoundHealth.
+	DegradeExclude
+)
+
+// String implements fmt.Stringer.
+func (p DegradePolicy) String() string {
+	switch p {
+	case DegradeAbort:
+		return "abort"
+	case DegradeExclude:
+		return "exclude"
+	default:
+		return fmt.Sprintf("DegradePolicy(%d)", int(p))
+	}
+}
+
+// RetryPolicy bounds the acknowledged-or-retried send loop of reliable
+// rounds: capped exponential backoff, then the failure detector.
+type RetryPolicy struct {
+	// MaxAttempts is the number of transmission attempts before the sender
+	// suspects the link (≥ 1). After suspicion, up to the same number of
+	// grace attempts run while the failure detector is inconclusive.
+	MaxAttempts int
+	// BaseBackoff is the wait after the first unacknowledged attempt;
+	// subsequent waits double, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// withDefaults fills zero fields: 5 attempts, 10ms base, 100ms cap.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the wait after 0-based attempt i failed.
+func (p RetryPolicy) backoff(i int) time.Duration {
+	d := p.BaseBackoff
+	for k := 0; k < i; k++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
+}
+
+// RoundTimeoutError reports that a live round exceeded its deadline
+// (LiveConfig.RoundTimeout or the caller's context): SyncRound returns it
+// instead of hanging.
+type RoundTimeoutError struct {
+	// Timeout is the configured round budget (zero when the caller's own
+	// context expired first).
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *RoundTimeoutError) Error() string {
+	if e.Timeout > 0 {
+		return fmt.Sprintf("core: live round exceeded its %v deadline", e.Timeout)
+	}
+	return "core: live round context expired"
+}
+
+// PeerFailureError reports that communication with a peer failed
+// permanently (retries exhausted, failure detector confirmed or
+// inconclusive) and the degradation policy was abort.
+type PeerFailureError struct {
+	// Node observed the failure; Peer is the endpoint it could not reach.
+	Node, Peer int
+	// Attempts is the number of transmission attempts made.
+	Attempts int
+	// Reason describes the detector's verdict.
+	Reason string
+}
+
+// Error implements error.
+func (e *PeerFailureError) Error() string {
+	return fmt.Sprintf("core: node %d lost peer %d after %d attempts: %s", e.Node, e.Peer, e.Attempts, e.Reason)
+}
+
+// RoundHealth reports how a live round actually went: the fault plane's
+// observability surface.
+type RoundHealth struct {
+	// Reliable records whether ack/retry/dedup was active.
+	Reliable bool
+	// Elapsed is wall-clock round duration.
+	Elapsed time.Duration
+	// Retries counts retransmissions (attempts beyond the first).
+	Retries int64
+	// Duplicates counts received messages discarded by idempotent dedup.
+	Duplicates int64
+	// CorruptDrops counts received messages discarded for checksum
+	// mismatch (reliable mode; the sender retries them).
+	CorruptDrops int64
+	// SkippedTasks counts DAG tasks completed without executing because a
+	// dead peer made them moot.
+	SkippedTasks int64
+	// ExcludedPeers lists nodes declared dead by the failure detector,
+	// ascending.
+	ExcludedPeers []int
+	// ExcludedContribs counts per-partition contributions dropped from
+	// aggregates.
+	ExcludedContribs int64
+	// UnsyncedParts lists "node<v>:<grad>/p<k>" partitions that fell back
+	// to the node's local gradient because no aggregate reached them.
+	UnsyncedParts []string
+	// Renormalized records whether surviving aggregates were rescaled by
+	// n/(n-excluded).
+	Renormalized bool
+	// Chaos carries the injector's counters when the round ran over a
+	// ChaosTransport.
+	Chaos *netsim.ChaosStats
+}
+
+// Degraded reports whether the round deviated from full participation.
+func (h *RoundHealth) Degraded() bool {
+	return len(h.ExcludedPeers) > 0 || len(h.UnsyncedParts) > 0
+}
+
+// String renders a one-line summary for logs.
+func (h *RoundHealth) String() string {
+	return fmt.Sprintf("round{reliable=%v elapsed=%v retries=%d dups=%d corrupt=%d skipped=%d excluded=%v unsynced=%d renorm=%v}",
+		h.Reliable, h.Elapsed.Round(time.Millisecond), h.Retries, h.Duplicates, h.CorruptDrops,
+		h.SkippedTasks, h.ExcludedPeers, len(h.UnsyncedParts), h.Renormalized)
+}
+
+// ackKey identifies one logical transfer awaiting acknowledgement. Acks are
+// keyed without the attempt number: an ack for any attempt settles the
+// transfer.
+type ackKey struct {
+	src, dst int
+	grad     string
+	step     int // packed (step, part)
+}
+
+// roundState is the shared fault bookkeeping of one reliable round: ack
+// rendezvous, per-node success counters, and death verdicts.
+//
+// The failure detector is the "judge by the scoreboard" rule: when a
+// sender exhausts its retries against a peer, the endpoint with strictly
+// fewer acknowledged transfers so far is declared dead. A blacked-out node
+// has zero successes while healthy nodes accumulate them, so the rule
+// correctly convicts the isolated endpoint even when the suspector is the
+// isolated node itself (self-diagnosis). A tie is inconclusive: the sender
+// keeps retrying through a grace phase and eventually surfaces a typed
+// error.
+type roundState struct {
+	mu   sync.Mutex
+	acks map[ackKey]chan struct{}
+	succ []int  // acknowledged transfers credited to each endpoint
+	dead []bool // failure-detector verdicts
+
+	// Counters (atomic): see RoundHealth.
+	retries          int64
+	duplicates       int64
+	corruptDrops     int64
+	skipped          int64
+	excludedContribs int64
+	renormalized     int32
+
+	// onDead fires once per newly convicted node, outside rs.mu.
+	onDead func(victim int)
+}
+
+func newRoundState(n int) *roundState {
+	return &roundState{
+		acks: map[ackKey]chan struct{}{},
+		succ: make([]int, n),
+		dead: make([]bool, n),
+	}
+}
+
+// ackChan returns (creating if needed) the rendezvous channel for one
+// transfer. The channel is closed by ackArrived.
+func (rs *roundState) ackChan(k ackKey) chan struct{} {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	ch, ok := rs.acks[k]
+	if !ok {
+		ch = make(chan struct{})
+		rs.acks[k] = ch
+	}
+	return ch
+}
+
+// ackArrived settles a transfer: wakes the waiting sender and credits both
+// endpoints on the success scoreboard. Duplicate acks are ignored.
+func (rs *roundState) ackArrived(k ackKey) {
+	rs.mu.Lock()
+	ch := rs.acks[k]
+	if ch != nil {
+		delete(rs.acks, k)
+		if k.src >= 0 && k.src < len(rs.succ) {
+			rs.succ[k.src]++
+		}
+		if k.dst >= 0 && k.dst < len(rs.succ) {
+			rs.succ[k.dst]++
+		}
+	}
+	rs.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// isDead reports the detector's verdict on node v.
+func (rs *roundState) isDead(v int) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return v >= 0 && v < len(rs.dead) && rs.dead[v]
+}
+
+// anyDead reports whether any node has been convicted.
+func (rs *roundState) anyDead() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, d := range rs.dead {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// deadList returns the convicted nodes, ascending.
+func (rs *roundState) deadList() []int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var out []int
+	for v, d := range rs.dead {
+		if d {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// suspect is called by a sender that exhausted its retries on from→to. It
+// convicts the endpoint with strictly fewer scoreboard successes and
+// returns the victim, or -1 when the evidence is tied (inconclusive). The
+// onDead hook fires outside the lock, exactly once per conviction.
+func (rs *roundState) suspect(from, to int) int {
+	rs.mu.Lock()
+	victim := -1
+	switch {
+	case rs.dead[from]:
+		victim = from
+	case rs.dead[to]:
+		victim = to
+	case rs.succ[from] < rs.succ[to]:
+		victim = from
+	case rs.succ[to] < rs.succ[from]:
+		victim = to
+	}
+	newly := false
+	if victim >= 0 && !rs.dead[victim] {
+		rs.dead[victim] = true
+		newly = true
+	}
+	hook := rs.onDead
+	rs.mu.Unlock()
+	if newly && hook != nil {
+		hook(victim)
+	}
+	return victim
+}
+
+// health snapshots the counters into a RoundHealth.
+func (rs *roundState) health(reliable bool, elapsed time.Duration) *RoundHealth {
+	return &RoundHealth{
+		Reliable:         reliable,
+		Elapsed:          elapsed,
+		Retries:          atomic.LoadInt64(&rs.retries),
+		Duplicates:       atomic.LoadInt64(&rs.duplicates),
+		CorruptDrops:     atomic.LoadInt64(&rs.corruptDrops),
+		SkippedTasks:     atomic.LoadInt64(&rs.skipped),
+		ExcludedPeers:    rs.deadList(),
+		ExcludedContribs: atomic.LoadInt64(&rs.excludedContribs),
+		Renormalized:     atomic.LoadInt32(&rs.renormalized) != 0,
+	}
+}

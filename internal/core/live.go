@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hipress/internal/compress"
 	"hipress/internal/netsim"
@@ -18,6 +22,13 @@ import (
 // manager of §3.1: a computing queue (Q_comp) and a communication queue
 // (Q_commu) drained asynchronously, with the shared dependency graph
 // clearing pending dependencies as tasks finish.
+//
+// The fault plane (faults.go) extends this with deadline-aware reliable
+// delivery: sends are acknowledged-or-retried with capped exponential
+// backoff, receivers deduplicate idempotently, payloads are checksummed,
+// rounds carry a context deadline, and a peer that stops responding is
+// convicted by a success-scoreboard failure detector and either excluded
+// (renormalized merge) or surfaced as a typed error per policy.
 
 // LiveConfig configures a live cluster.
 type LiveConfig struct {
@@ -46,6 +57,30 @@ type LiveConfig struct {
 	// Instrument wraps each node's compressor with counters; read them with
 	// LiveCluster.WireStats.
 	Instrument bool
+
+	// --- fault plane ---
+
+	// Reliable turns on acknowledged-or-retried delivery with idempotent
+	// receiver dedup and checksummed payloads. Required to survive lossy
+	// transports (chaos injection, real networks).
+	Reliable bool
+	// Retry bounds the reliable send loop; zero fields take defaults
+	// (5 attempts, 10ms base backoff, 100ms cap).
+	Retry RetryPolicy
+	// RoundTimeout bounds one SyncRound; on expiry the round unwinds and
+	// returns a *RoundTimeoutError instead of hanging. Zero means no
+	// deadline beyond the caller's context.
+	RoundTimeout time.Duration
+	// OnPeerFail selects degradation when the failure detector convicts a
+	// peer: abort (default) or exclude (PS only).
+	OnPeerFail DegradePolicy
+	// Renormalize rescales surviving aggregates by n/(n-excluded) when
+	// contributions are excluded, keeping the expected gradient magnitude.
+	Renormalize bool
+	// Chaos, when non-nil, wraps the round transport in a fault injector
+	// (netsim.WrapChaos). Requires Reliable or RoundTimeout, otherwise a
+	// dropped message would hang the round.
+	Chaos *netsim.ChaosConfig
 }
 
 // LiveCluster is a set of in-process training nodes that synchronize
@@ -71,6 +106,13 @@ func NewLiveCluster(n int, cfg LiveConfig) (*LiveCluster, error) {
 	if cfg.Parts < 1 {
 		cfg.Parts = 1
 	}
+	if cfg.Chaos != nil && !cfg.Reliable && cfg.RoundTimeout == 0 {
+		return nil, fmt.Errorf("core: live chaos injection requires Reliable delivery or a RoundTimeout (a dropped message would hang the round)")
+	}
+	if cfg.OnPeerFail == DegradeExclude && cfg.Strategy == StrategyRing {
+		return nil, fmt.Errorf("core: DegradeExclude requires the PS strategy (a ring cannot route around a dead hop); use DegradeAbort")
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
 	lc := &LiveCluster{n: n, cfg: cfg}
 	switch cfg.Strategy {
 	case StrategyRing:
@@ -171,16 +213,29 @@ type nodeRT struct {
 	qcomp     chan int
 	qcommu    chan int
 	filledSet map[pkey]bool // partitions of result written by phase 2
+	aggSet    map[pkey]bool // partitions whose aggregation completed on this node
 	mu        sync.Mutex    // guards this node's buffer maps across its goroutines
 	recvIdx   map[mkey]int
+	seen      map[mkey]bool // dispatcher-only: idempotent dedup of transfers
 }
 
 // SyncRound synchronizes one set of gradients: grads[v][name] is node v's
 // local gradient. It returns, per node, the aggregated (summed, not
 // averaged) gradients. All nodes must present identical names and lengths.
 func (lc *LiveCluster) SyncRound(grads []map[string][]float32) ([]map[string][]float32, error) {
+	out, _, err := lc.SyncRoundContext(context.Background(), grads)
+	return out, err
+}
+
+// SyncRoundContext is SyncRound with a deadline and health reporting: the
+// round unwinds when ctx expires (or LiveConfig.RoundTimeout, whichever is
+// sooner), returning a typed *RoundTimeoutError or *PeerFailureError
+// instead of hanging, and the RoundHealth describes retries, dedup,
+// exclusions, and chaos counters. The health report is non-nil whenever
+// the round started executing, even on error.
+func (lc *LiveCluster) SyncRoundContext(ctx context.Context, grads []map[string][]float32) ([]map[string][]float32, *RoundHealth, error) {
 	if len(grads) != lc.n {
-		return nil, fmt.Errorf("core: SyncRound got %d gradient sets for %d nodes", len(grads), lc.n)
+		return nil, nil, fmt.Errorf("core: SyncRound got %d gradient sets for %d nodes", len(grads), lc.n)
 	}
 	names := make([]string, 0, len(grads[0]))
 	for name := range grads[0] {
@@ -189,11 +244,11 @@ func (lc *LiveCluster) SyncRound(grads []map[string][]float32) ([]map[string][]f
 	sort.Strings(names)
 	for v := 1; v < lc.n; v++ {
 		if len(grads[v]) != len(names) {
-			return nil, fmt.Errorf("core: node %d has %d gradients, node 0 has %d", v, len(grads[v]), len(names))
+			return nil, nil, fmt.Errorf("core: node %d has %d gradients, node 0 has %d", v, len(grads[v]), len(names))
 		}
 		for _, name := range names {
 			if len(grads[v][name]) != len(grads[0][name]) {
-				return nil, fmt.Errorf("core: gradient %q length differs between nodes", name)
+				return nil, nil, fmt.Errorf("core: gradient %q length differs between nodes", name)
 			}
 		}
 	}
@@ -212,7 +267,7 @@ func (lc *LiveCluster) SyncRound(grads []map[string][]float32) ([]map[string][]f
 			_, err = BuildPS(g, lc.topo, spec)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		elems[name] = len(grads[0][name])
 		p := lc.cfg.Parts
@@ -222,29 +277,185 @@ func (lc *LiveCluster) SyncRound(grads []map[string][]float32) ([]map[string][]f
 		parts[name] = p
 	}
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	return lc.run(g, grads, elems, parts)
+	return lc.run(ctx, g, grads, elems, parts)
+}
+
+// liveRound is the state of one executing round: the graph, the transport,
+// completion bookkeeping, and the fault plane.
+type liveRound struct {
+	lc    *LiveCluster
+	ctx   context.Context
+	g     *Graph
+	tr    netsim.Transport
+	rs    *roundState
+	nodes []*nodeRT
+	elems map[string]int
+	parts map[string]int
+
+	reliable bool
+	retry    RetryPolicy
+	timeout  time.Duration
+
+	gmu       sync.Mutex // guards graph dependency counters + completed
+	remaining int
+	completed []bool
+
+	doneCh  chan struct{}
+	errOnce sync.Once
+	runErr  error
+	ackWG   sync.WaitGroup
+}
+
+// fail terminates the round with err: first caller wins, the transport
+// closes so every blocked goroutine unwinds.
+func (r *liveRound) fail(err error) {
+	r.errOnce.Do(func() {
+		r.runErr = err
+		r.tr.Close()
+		close(r.doneCh)
+	})
+}
+
+// finish closes the round cleanly (all tasks completed).
+func (r *liveRound) finish() {
+	r.errOnce.Do(func() { close(r.doneCh) })
+}
+
+// isCompleted reads the completion flag under the graph lock.
+func (r *liveRound) isCompleted(id int) bool {
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
+	return r.completed[id]
+}
+
+// completeTask marks id done (idempotently) and routes newly ready tasks.
+func (r *liveRound) completeTask(id int) {
+	r.gmu.Lock()
+	if r.completed[id] {
+		r.gmu.Unlock()
+		return
+	}
+	r.completed[id] = true
+	ready := r.g.Complete(id)
+	r.remaining--
+	last := r.remaining == 0
+	r.gmu.Unlock()
+	for _, nx := range ready {
+		r.route(nx)
+	}
+	if last {
+		r.finish()
+	}
+}
+
+// completeSkipped completes a task without executing it (dead peer made it
+// moot) and counts the skip.
+func (r *liveRound) completeSkipped(id int) {
+	atomic.AddInt64(&r.rs.skipped, 1)
+	r.completeTask(id)
+}
+
+// skippable reports whether a task should complete without executing
+// because the failure detector convicted its node or its peer. Barriers
+// (Bytes == 0) skip only when their own node is dead: the PS partition
+// barrier is where exclusion is actually accounted.
+func (r *liveRound) skippable(t *Task) bool {
+	if !r.reliable || !r.rs.anyDead() {
+		return false
+	}
+	if r.rs.isDead(t.Node) {
+		return true
+	}
+	switch t.Kind {
+	case KSend, KRecv, KDecode:
+		return t.Peer != t.Node && r.rs.isDead(t.Peer)
+	case KMerge:
+		return t.Bytes > 0 && t.Peer != t.Node && r.rs.isDead(t.Peer)
+	}
+	return false
+}
+
+// route enqueues a ready task on its node's queue. Cross-node ready tasks
+// are recvs, whose true trigger is message arrival — drop them unless a
+// dead peer means no message will ever come.
+func (r *liveRound) route(id int) {
+	t := r.g.Tasks[id]
+	if r.skippable(t) {
+		r.completeSkipped(id)
+		return
+	}
+	if t.Kind == KRecv {
+		return
+	}
+	if t.Kind.IsComm() {
+		r.nodes[t.Node].qcommu <- id
+	} else {
+		r.nodes[t.Node].qcomp <- id
+	}
+}
+
+// onPeerDead is the failure detector's conviction hook: per policy it
+// either aborts the round with a typed error or sweeps the victim's armed
+// recvs so the surviving DAG drains (their downstream tasks skip via
+// route/drainer checks and the merge barrier accounts the exclusion).
+func (r *liveRound) onPeerDead(victim int) {
+	if r.lc.cfg.OnPeerFail != DegradeExclude || r.lc.cfg.Strategy != StrategyPS {
+		r.fail(&PeerFailureError{Node: -1, Peer: victim, Attempts: r.retry.MaxAttempts,
+			Reason: fmt.Sprintf("failure detector convicted node %d (policy %v)", victim, r.lc.cfg.OnPeerFail)})
+		return
+	}
+	r.gmu.Lock()
+	var sweep []int
+	for id, t := range r.g.Tasks {
+		if r.completed[id] || t.deps != 0 || t.Kind != KRecv {
+			continue
+		}
+		if t.Node == victim || t.Peer == victim {
+			sweep = append(sweep, id)
+		}
+	}
+	r.gmu.Unlock()
+	for _, id := range sweep {
+		r.completeSkipped(id)
+	}
 }
 
 // run executes the DAG with real data.
-func (lc *LiveCluster) run(g *Graph, grads []map[string][]float32, elems, parts map[string]int) ([]map[string][]float32, error) {
+func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]float32, elems, parts map[string]int) ([]map[string][]float32, *RoundHealth, error) {
 	n := lc.n
+	started := time.Now()
+	capacity := len(g.Tasks)/n + 16
+	if lc.cfg.Reliable {
+		capacity *= 4 // duplicates and retries need headroom
+	}
 	var tr netsim.Transport
 	switch lc.cfg.Transport {
 	case "", "chan":
-		tr = netsim.NewChanTransport(n, len(g.Tasks)/n+16)
+		tr = netsim.NewChanTransport(n, capacity)
 	case "tcp":
-		t, err := netsim.NewTCPTransport(n, len(g.Tasks)/n+16)
+		t, err := netsim.NewTCPTransport(n, capacity)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		tr = t
 	default:
-		return nil, fmt.Errorf("core: unknown live transport %q (have chan, tcp)", lc.cfg.Transport)
+		return nil, nil, fmt.Errorf("core: unknown live transport %q (have chan, tcp)", lc.cfg.Transport)
+	}
+	var chaosTr *netsim.ChaosTransport
+	if lc.cfg.Chaos != nil {
+		chaosTr = netsim.WrapChaos(tr, lc.cfg.Chaos)
+		tr = chaosTr
 	}
 	defer tr.Close()
+
+	cancel := func() {}
+	if lc.cfg.RoundTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, lc.cfg.RoundTimeout)
+	}
+	defer cancel()
 
 	nodes := make([]*nodeRT, n)
 	for v := 0; v < n; v++ {
@@ -259,6 +470,7 @@ func (lc *LiveCluster) run(g *Graph, grads []map[string][]float32, elems, parts 
 			qcomp:   make(chan int, len(g.Tasks)),
 			qcommu:  make(chan int, len(g.Tasks)),
 			recvIdx: map[mkey]int{},
+			seen:    map[mkey]bool{},
 		}
 	}
 	// Index recv tasks for message matching, and sanity-check the builder
@@ -267,54 +479,29 @@ func (lc *LiveCluster) run(g *Graph, grads []map[string][]float32, elems, parts 
 	for i, t := range g.Tasks {
 		if t.Kind == KRecv {
 			if t.deps != 1 {
-				return nil, fmt.Errorf("core: recv task %d has %d deps, want 1", i, t.deps)
+				return nil, nil, fmt.Errorf("core: recv task %d has %d deps, want 1", i, t.deps)
 			}
 			nodes[t.Node].recvIdx[mkey{t.Grad, t.Part, t.Step, t.Peer}] = i
 		}
 	}
 
-	var (
-		gmu       sync.Mutex // guards graph dependency counters
-		remaining = len(g.Tasks)
-		doneCh    = make(chan struct{})
-		errOnce   sync.Once
-		runErr    error
-		fail      = func(err error) {
-			errOnce.Do(func() {
-				runErr = err
-				tr.Close()
-				close(doneCh)
-			})
-		}
-	)
-
-	// route enqueues a ready task on its node's queue. Cross-node ready
-	// tasks are recvs, whose true trigger is message arrival — drop them.
-	var route func(id int)
-	route = func(id int) {
-		t := g.Tasks[id]
-		if t.Kind == KRecv {
-			return
-		}
-		if t.Kind.IsComm() {
-			nodes[t.Node].qcommu <- id
-		} else {
-			nodes[t.Node].qcomp <- id
-		}
+	r := &liveRound{
+		lc:        lc,
+		ctx:       ctx,
+		g:         g,
+		tr:        tr,
+		rs:        newRoundState(n),
+		nodes:     nodes,
+		elems:     elems,
+		parts:     parts,
+		reliable:  lc.cfg.Reliable,
+		retry:     lc.cfg.Retry.withDefaults(),
+		timeout:   lc.cfg.RoundTimeout,
+		remaining: len(g.Tasks),
+		completed: make([]bool, len(g.Tasks)),
+		doneCh:    make(chan struct{}),
 	}
-	completeTask := func(id int) {
-		gmu.Lock()
-		ready := g.Complete(id)
-		remaining--
-		last := remaining == 0
-		gmu.Unlock()
-		for _, r := range ready {
-			route(r)
-		}
-		if last {
-			errOnce.Do(func() { close(doneCh) })
-		}
-	}
+	r.rs.onDead = r.onPeerDead
 
 	var coord *liveCoordinator
 	if lc.cfg.Coordinated {
@@ -326,7 +513,7 @@ func (lc *LiveCluster) run(g *Graph, grads []map[string][]float32, elems, parts 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lc.runCoordinated(coord, tr, elems, parts, completeTask, fail)
+			r.runCoordinated(coord)
 		}()
 	}
 	// Per-node workers: one compute-queue drainer, one communication-queue
@@ -338,14 +525,21 @@ func (lc *LiveCluster) run(g *Graph, grads []map[string][]float32, elems, parts 
 			defer wg.Done()
 			for {
 				select {
-				case <-doneCh:
+				case <-r.doneCh:
 					return
 				case id := <-rt.qcomp:
-					if err := lc.execComp(rt, g.Tasks[id], elems, parts); err != nil {
-						fail(err)
+					if r.isCompleted(id) {
+						continue
+					}
+					if r.skippable(g.Tasks[id]) {
+						r.completeSkipped(id)
+						continue
+					}
+					if err := r.execComp(rt, g.Tasks[id]); err != nil {
+						r.fail(err)
 						return
 					}
-					completeTask(id)
+					r.completeTask(id)
 				}
 			}
 		}()
@@ -353,9 +547,16 @@ func (lc *LiveCluster) run(g *Graph, grads []map[string][]float32, elems, parts 
 			defer wg.Done()
 			for {
 				select {
-				case <-doneCh:
+				case <-r.doneCh:
 					return
 				case id := <-rt.qcommu:
+					if r.isCompleted(id) {
+						continue
+					}
+					if r.skippable(g.Tasks[id]) {
+						r.completeSkipped(id)
+						continue
+					}
 					if coord != nil {
 						// Report metadata to the global coordinator; the
 						// coordinated plan will transmit it (§3.2 steps
@@ -363,54 +564,51 @@ func (lc *LiveCluster) run(g *Graph, grads []map[string][]float32, elems, parts 
 						coord.enqueue(liveSend{id: id, rt: rt, t: g.Tasks[id]})
 						continue
 					}
-					if err := lc.execSend(rt, g.Tasks[id], tr, elems, parts); err != nil {
-						fail(err)
+					if err := r.execSend(rt, g.Tasks[id]); err != nil {
+						r.fail(err)
 						return
 					}
-					completeTask(id)
+					r.completeTask(id)
 				}
 			}
 		}()
 		go func() { // receive dispatcher
 			defer wg.Done()
-			for {
-				msg, ok := tr.Recv(rt.id)
-				if !ok {
-					return
-				}
-				step, part := unpackStep(msg.Step)
-				key := mkey{msg.Gradient, part, step, msg.From}
-				id, armed := rt.recvIdx[key]
-				if !armed {
-					fail(fmt.Errorf("core: node %d got unexpected message %+v", rt.id, key))
-					return
-				}
-				t := g.Tasks[id]
-				if err := lc.execRecv(rt, t, msg.Payload, elems, parts); err != nil {
-					fail(err)
-					return
-				}
-				completeTask(id)
-			}
+			r.dispatch(rt)
 		}()
 	}
 
 	// Kick off the roots.
-	for _, r := range g.Roots() {
-		route(r)
+	for _, root := range g.Roots() {
+		r.route(root)
 	}
-	<-doneCh
+	select {
+	case <-r.doneCh:
+	case <-ctx.Done():
+		r.fail(&RoundTimeoutError{Timeout: lc.cfg.RoundTimeout})
+		<-r.doneCh
+	}
 	if coord != nil {
 		coord.close()
 	}
 	tr.Close()
+	r.ackWG.Wait()
 	wg.Wait()
-	if runErr != nil {
-		return nil, runErr
+
+	health := r.rs.health(r.reliable, time.Since(started))
+	if chaosTr != nil {
+		st := chaosTr.Stats()
+		health.Chaos = &st
+	}
+	if r.runErr != nil {
+		return nil, health, r.runErr
 	}
 
 	// Assemble results: partitions decoded in phase 2 were written into
-	// result directly; the aggregate-holding node copies from acc.
+	// result directly; the aggregate-holding node copies from acc. In a
+	// degraded round, a partition no aggregate ever reached falls back to
+	// the node's own local gradient (scaled to sum magnitude when
+	// renormalizing) and is reported as unsynced.
 	out := make([]map[string][]float32, n)
 	for v := 0; v < n; v++ {
 		rt := nodes[v]
@@ -429,8 +627,23 @@ func (lc *LiveCluster) run(g *Graph, grads []map[string][]float32, elems, parts 
 				}
 				if !rt.filled(name, p) {
 					acc := rt.acc[pkey{name, p}]
+					// In a degraded round, an accumulator is only trustworthy
+					// when the partition barrier completed on this node (it
+					// holds the true aggregate); otherwise acc is just the
+					// local contribution staged by a send attempt.
+					if r.reliable && r.rs.anyDead() && !rt.aggSet[pkey{name, p}] {
+						copy(res[lo:hi], rt.local[name][lo:hi])
+						if lc.cfg.Renormalize {
+							for i := lo; i < hi; i++ {
+								res[i] *= float32(n)
+							}
+						}
+						health.UnsyncedParts = append(health.UnsyncedParts,
+							fmt.Sprintf("node%d:%s/p%d", v, name, p))
+						continue
+					}
 					if acc == nil {
-						return nil, fmt.Errorf("core: node %d has neither result nor accumulator for %s/p%d", v, name, p)
+						return nil, health, fmt.Errorf("core: node %d has neither result nor accumulator for %s/p%d", v, name, p)
 					}
 					copy(res[lo:hi], acc)
 				}
@@ -438,7 +651,129 @@ func (lc *LiveCluster) run(g *Graph, grads []map[string][]float32, elems, parts 
 			out[v][name] = res
 		}
 	}
-	return out, nil
+	sort.Strings(health.UnsyncedParts)
+	return out, health, nil
+}
+
+// dispatch is the per-node receive loop: it routes acks to waiting
+// senders, verifies checksums, deduplicates idempotently (keyed by
+// gradient/partition/step/peer), acknowledges, and executes the matched
+// recv task.
+func (r *liveRound) dispatch(rt *nodeRT) {
+	for {
+		msg, ok := r.tr.Recv(rt.id)
+		if !ok {
+			return
+		}
+		if msg.Ack {
+			// The ack flows receiver→sender: the original transfer ran
+			// msg.To → msg.From.
+			r.rs.ackArrived(ackKey{src: msg.To, dst: msg.From, grad: msg.Gradient, step: msg.Step})
+			continue
+		}
+		if sum := crc32.ChecksumIEEE(msg.Payload); sum != msg.Sum {
+			if r.reliable {
+				// Drop silently: no ack means the sender retransmits.
+				atomic.AddInt64(&r.rs.corruptDrops, 1)
+				continue
+			}
+			r.fail(fmt.Errorf("core: node %d received corrupted payload for %q from %d (checksum %08x != header %08x, %d bytes)",
+				rt.id, msg.Gradient, msg.From, sum, msg.Sum, len(msg.Payload)))
+			return
+		}
+		step, part := unpackStep(msg.Step)
+		key := mkey{msg.Gradient, part, step, msg.From}
+		if r.reliable && rt.seen[key] {
+			// Duplicate (retransmission or injected dup): re-ack, discard.
+			atomic.AddInt64(&r.rs.duplicates, 1)
+			r.sendAck(rt.id, msg)
+			continue
+		}
+		id, armed := rt.recvIdx[key]
+		if !armed {
+			r.fail(fmt.Errorf("core: node %d got unexpected message %+v", rt.id, key))
+			return
+		}
+		if r.reliable {
+			rt.seen[key] = true
+			r.sendAck(rt.id, msg)
+		}
+		if r.isCompleted(id) {
+			continue // force-completed by degradation; too late to matter
+		}
+		t := r.g.Tasks[id]
+		if err := r.execRecv(rt, t, msg.Payload); err != nil {
+			r.fail(err)
+			return
+		}
+		r.completeTask(id)
+	}
+}
+
+// sendAck acknowledges a transfer asynchronously (a blocked ack must not
+// stall the dispatcher, or two full inboxes could deadlock each other).
+func (r *liveRound) sendAck(node int, msg netsim.Message) {
+	ack := netsim.Message{From: node, To: msg.From, Gradient: msg.Gradient,
+		Step: msg.Step, Attempt: msg.Attempt, Ack: true}
+	r.ackWG.Add(1)
+	go func() {
+		defer r.ackWG.Done()
+		_ = r.tr.Send(ack) // a lost ack is recovered by the sender's retry
+	}()
+}
+
+// reliableSend is the acknowledged-or-retried delivery loop: transmit,
+// wait for the ack with capped exponential backoff, retransmit with a
+// fresh attempt number. After MaxAttempts the failure detector is
+// consulted; if it convicts a node the send resolves per policy, if the
+// evidence is tied a grace phase of equal length runs before a typed
+// *PeerFailureError.
+func (r *liveRound) reliableSend(msg netsim.Message) error {
+	key := ackKey{src: msg.From, dst: msg.To, grad: msg.Gradient, step: msg.Step}
+	ackCh := r.rs.ackChan(key)
+	maxTotal := 2 * r.retry.MaxAttempts
+	for attempt := 0; attempt < maxTotal; attempt++ {
+		if r.rs.isDead(msg.To) || r.rs.isDead(msg.From) {
+			return nil // degraded: the merge barrier accounts the exclusion
+		}
+		msg.Attempt = attempt
+		if attempt > 0 {
+			atomic.AddInt64(&r.rs.retries, 1)
+		}
+		if err := r.tr.Send(msg); err != nil {
+			select {
+			case <-r.doneCh:
+				return nil // round already unwinding
+			default:
+				// Transient transport error (e.g. TCP write timeout against
+				// a stalled peer): count it as a failed attempt and back off.
+			}
+		}
+		timer := time.NewTimer(r.retry.backoff(attempt))
+		select {
+		case <-ackCh:
+			timer.Stop()
+			return nil
+		case <-r.doneCh:
+			timer.Stop()
+			return nil
+		case <-r.ctx.Done():
+			timer.Stop()
+			return &RoundTimeoutError{Timeout: r.timeout}
+		case <-timer.C:
+		}
+		if attempt == r.retry.MaxAttempts-1 {
+			if victim := r.rs.suspect(msg.From, msg.To); victim >= 0 {
+				// Conviction: degradation (or abort, via onPeerDead→fail)
+				// is already in motion; this send resolves.
+				return nil
+			}
+			// Tie: inconclusive evidence, keep retrying through the grace
+			// phase.
+		}
+	}
+	return &PeerFailureError{Node: msg.From, Peer: msg.To, Attempts: maxTotal,
+		Reason: "no acknowledgement after retries and grace phase (failure detector inconclusive)"}
 }
 
 // markFilled records that a partition of result was written by a phase-2
@@ -485,14 +820,15 @@ func (rt *nodeRT) accSlice(grad string, ne, parts, p int) []float32 {
 }
 
 // execComp performs encode/decode/merge/compute tasks with real data.
-func (lc *LiveCluster) execComp(rt *nodeRT, t *Task, elems, parts map[string]int) error {
+func (r *liveRound) execComp(rt *nodeRT, t *Task) error {
 	if t.Exec != nil {
 		return t.Exec()
 	}
+	lc := r.lc
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	ne := elems[t.Grad]
-	np := parts[t.Grad]
+	ne := r.elems[t.Grad]
+	np := r.parts[t.Grad]
 	k := pkey{t.Grad, t.Part}
 	switch t.Kind {
 	case KCompute:
@@ -553,18 +889,25 @@ func (lc *LiveCluster) execComp(rt *nodeRT, t *Task, elems, parts map[string]int
 		return nil
 
 	case KMerge:
-		if t.Bytes == 0 || t.Part < 0 {
-			return nil // barrier
+		if t.Bytes == 0 {
+			if t.Part >= 0 && t.Phase == 1 && lc.cfg.Strategy == StrategyPS {
+				// The PS partition barrier performs the actual aggregation.
+				return r.mergeBarrierPS(rt, t, ne, np)
+			}
+			return nil // join barrier
 		}
+		if lc.cfg.Strategy == StrategyPS && t.Phase == 1 {
+			// PS phase-1 merges only stage their contribution (tmp/in);
+			// the partition barrier sums in deterministic ascending-peer
+			// order, so the float result is independent of arrival order —
+			// the property that makes fault-free and chaos runs
+			// byte-identical.
+			return nil
+		}
+		// Ring merges are chain-ordered by the DAG and stay incremental.
 		acc := rt.accSlice(t.Grad, ne, np, t.Part)
 		bk := bkey{t.Grad, t.Part, t.Peer}
 		if lc.cfg.Algo != "" {
-			// The self-merge at a PS server (Peer == Node) initializes the
-			// accumulator from the local gradient, which accSlice already
-			// did; incoming contributions arrive via tmp.
-			if t.Peer == rt.id && lc.cfg.Strategy == StrategyPS {
-				return nil
-			}
 			tmp := rt.tmp[bk]
 			if tmp == nil {
 				return fmt.Errorf("core: node %d merge %s/p%d from %d with no decoded payload", rt.id, t.Grad, t.Part, t.Peer)
@@ -576,9 +919,6 @@ func (lc *LiveCluster) execComp(rt *nodeRT, t *Task, elems, parts map[string]int
 			return nil
 		}
 		// Uncompressed: merge the raw received bytes directly.
-		if t.Peer == rt.id && lc.cfg.Strategy == StrategyPS {
-			return nil
-		}
 		in := rt.in[bk]
 		if in == nil {
 			return fmt.Errorf("core: node %d raw merge %s/p%d from %d with no payload", rt.id, t.Grad, t.Part, t.Peer)
@@ -600,11 +940,86 @@ func (lc *LiveCluster) execComp(rt *nodeRT, t *Task, elems, parts map[string]int
 	}
 }
 
+// mergeBarrierPS aggregates one PS partition at its server: the server's
+// own contribution plus every staged peer contribution, summed in
+// ascending peer order (deterministic float addition). Contributions
+// missing because the failure detector convicted the peer are excluded and
+// counted; the surviving sum is optionally renormalized by n/(n-excluded)
+// before the phase-2 re-encode so every receiver observes the same scaled
+// aggregate. Called with rt.mu held.
+func (r *liveRound) mergeBarrierPS(rt *nodeRT, t *Task, ne, np int) error {
+	lc := r.lc
+	acc := rt.accSlice(t.Grad, ne, np, t.Part)
+	excluded := 0
+	for peer := 0; peer < lc.n; peer++ {
+		if peer == rt.id {
+			continue
+		}
+		bk := bkey{t.Grad, t.Part, peer}
+		if lc.cfg.Algo != "" {
+			tmp := rt.tmp[bk]
+			if tmp == nil {
+				if r.reliable && r.rs.isDead(peer) {
+					excluded++
+					continue
+				}
+				return fmt.Errorf("core: node %d aggregate %s/p%d missing contribution from %d", rt.id, t.Grad, t.Part, peer)
+			}
+			if len(tmp) != len(acc) {
+				return fmt.Errorf("core: node %d aggregate %s/p%d size mismatch from %d: %d vs %d", rt.id, t.Grad, t.Part, peer, len(tmp), len(acc))
+			}
+			for i, x := range tmp {
+				acc[i] += x
+			}
+			delete(rt.tmp, bk)
+			continue
+		}
+		in := rt.in[bk]
+		if in == nil {
+			if r.reliable && r.rs.isDead(peer) {
+				excluded++
+				continue
+			}
+			return fmt.Errorf("core: node %d raw aggregate %s/p%d missing contribution from %d", rt.id, t.Grad, t.Part, peer)
+		}
+		vals, err := bytesToF32(in)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(acc) {
+			return fmt.Errorf("core: raw merge size mismatch %d vs %d", len(vals), len(acc))
+		}
+		for i, x := range vals {
+			acc[i] += x
+		}
+	}
+	if excluded > 0 {
+		atomic.AddInt64(&r.rs.excludedContribs, int64(excluded))
+		if lc.cfg.Renormalize && lc.n > excluded {
+			scale := float32(lc.n) / float32(lc.n-excluded)
+			for i := range acc {
+				acc[i] *= scale
+			}
+			atomic.StoreInt32(&r.rs.renormalized, 1)
+		}
+	}
+	// Record that this node holds the partition's true aggregate: assembly
+	// distinguishes it from an acc that is merely a local contribution
+	// staged by a send attempt on a node whose synchronization never
+	// completed.
+	if rt.aggSet == nil {
+		rt.aggSet = map[pkey]bool{}
+	}
+	rt.aggSet[pkey{t.Grad, t.Part}] = true
+	return nil
+}
+
 // execSend transmits the appropriate payload for a send task.
-func (lc *LiveCluster) execSend(rt *nodeRT, t *Task, tr netsim.Transport, elems, parts map[string]int) error {
+func (r *liveRound) execSend(rt *nodeRT, t *Task) error {
 	if t.Exec != nil {
 		return t.Exec()
 	}
+	lc := r.lc
 	rt.mu.Lock()
 	k := pkey{t.Grad, t.Part}
 	var payload []byte
@@ -625,40 +1040,50 @@ func (lc *LiveCluster) execSend(rt *nodeRT, t *Task, tr netsim.Transport, elems,
 			return fmt.Errorf("core: node %d sending %s/p%d before encode", rt.id, t.Grad, t.Part)
 		}
 	default:
-		payload = f32ToBytes(rt.accSlice(t.Grad, elems[t.Grad], parts[t.Grad], t.Part))
+		payload = f32ToBytes(rt.accSlice(t.Grad, r.elems[t.Grad], r.parts[t.Grad], t.Part))
 	}
 	rt.mu.Unlock()
-	return tr.Send(netsim.Message{
+	msg := netsim.Message{
 		From:     rt.id,
 		To:       t.Peer,
 		Gradient: t.Grad,
 		Step:     packStep(t.Step, t.Part),
+		Sum:      crc32.ChecksumIEEE(payload),
 		Payload:  payload,
-	})
+	}
+	if r.reliable {
+		return r.reliableSend(msg)
+	}
+	return r.tr.Send(msg)
 }
 
 // execRecv stores a received payload and, for uncompressed dissemination,
 // writes the result directly.
-func (lc *LiveCluster) execRecv(rt *nodeRT, t *Task, payload []byte, elems, parts map[string]int) error {
+func (r *liveRound) execRecv(rt *nodeRT, t *Task, payload []byte) error {
 	if t.Exec != nil {
 		return t.Exec()
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.in[bkey{t.Grad, t.Part, t.Peer}] = payload
-	if lc.cfg.Algo == "" && t.Phase == 2 {
-		ne := elems[t.Grad]
-		lo, hi := PartRange(ne, parts[t.Grad], t.Part)
-		vals, err := bytesToF32(payload)
-		if err != nil {
-			return err
+	if r.lc.cfg.Algo == "" {
+		// Raw payloads must reinterpret exactly: reject truncated or
+		// padded frames up front with a descriptive error.
+		ne := r.elems[t.Grad]
+		lo, hi := PartRange(ne, r.parts[t.Grad], t.Part)
+		if len(payload) != 4*(hi-lo) {
+			return fmt.Errorf("core: node %d received %d-byte raw payload for %s/p%d from %d, want %d bytes",
+				rt.id, len(payload), t.Grad, t.Part, t.Peer, 4*(hi-lo))
 		}
-		if len(vals) != hi-lo {
-			return fmt.Errorf("core: raw result size mismatch %d vs %d", len(vals), hi-lo)
+		if t.Phase == 2 {
+			vals, err := bytesToF32(payload)
+			if err != nil {
+				return err
+			}
+			res := rt.resultSlice(t.Grad, ne)
+			copy(res[lo:hi], vals)
+			rt.markFilled(t.Grad, t.Part)
 		}
-		res := rt.resultSlice(t.Grad, ne)
-		copy(res[lo:hi], vals)
-		rt.markFilled(t.Grad, t.Part)
 	}
 	return nil
 }
@@ -675,10 +1100,11 @@ func f32ToBytes(v []float32) []byte {
 	return out
 }
 
-// bytesToF32 parses a little-endian float32 slice.
+// bytesToF32 parses a little-endian float32 slice, rejecting truncated
+// input loudly.
 func bytesToF32(b []byte) ([]float32, error) {
 	if len(b)%4 != 0 {
-		return nil, fmt.Errorf("core: raw payload length %d not a multiple of 4", len(b))
+		return nil, fmt.Errorf("core: raw payload length %d not a multiple of 4 (truncated or corrupted frame)", len(b))
 	}
 	out := make([]float32, len(b)/4)
 	for i := range out {

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"hipress/internal/netsim"
+	"hipress/internal/tensor"
+)
+
+// fastRetry keeps fault tests quick: tight backoff, few attempts.
+var fastRetry = RetryPolicy{MaxAttempts: 6, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond}
+
+// TestLiveChaosByteIdentical is the headline robustness property: a reliable
+// round over a lossy, duplicating transport produces byte-for-byte the same
+// aggregates as the fault-free run — retransmission, dedup, and the ordered
+// barrier merge leave no trace in the numerics. Checked for both strategies,
+// raw and compressed payloads.
+func TestLiveChaosByteIdentical(t *testing.T) {
+	sizes := map[string]int{"w1": 513, "w2": 64}
+	chaos := &netsim.ChaosConfig{
+		Seed:    42,
+		Default: netsim.LinkFaults{Drop: 0.05},
+		Links: map[netsim.Link]netsim.LinkFaults{
+			{Src: 0, Dst: 1}: {Drop: 0.05, Dup: 1.0}, // every 0→1 message duplicated
+		},
+	}
+	for _, strat := range []Strategy{StrategyPS, StrategyRing} {
+		for _, algo := range []string{"", "onebit"} {
+			name := fmt.Sprintf("%v/%q", strat, algo)
+			runOnce := func(cc *netsim.ChaosConfig) ([]map[string][]float32, *RoundHealth) {
+				lc, err := NewLiveCluster(4, LiveConfig{
+					Strategy: strat, Algo: algo, Parts: 2,
+					Reliable: true, Retry: fastRetry,
+					RoundTimeout: 30 * time.Second,
+					Chaos:        cc,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				grads, _ := makeGrads(7, 4, sizes)
+				out, health, err := lc.SyncRoundContext(context.Background(), grads)
+				if err != nil {
+					t.Fatalf("%s: sync: %v", name, err)
+				}
+				return out, health
+			}
+			clean, _ := runOnce(nil)
+			dirty, health := runOnce(chaos)
+			for v := range clean {
+				for gname := range sizes {
+					a, b := clean[v][gname], dirty[v][gname]
+					if len(a) != len(b) {
+						t.Fatalf("%s: node %d %s length %d vs %d", name, v, gname, len(a), len(b))
+					}
+					for i := range a {
+						if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+							t.Fatalf("%s: node %d %s[%d] differs: %x vs %x",
+								name, v, gname, i, math.Float32bits(a[i]), math.Float32bits(b[i]))
+						}
+					}
+				}
+			}
+			if health.Chaos == nil || health.Chaos.Sent == 0 {
+				t.Fatalf("%s: chaos stats missing: %+v", name, health)
+			}
+			if health.Chaos.Dropped == 0 && health.Chaos.Duplicated == 0 {
+				t.Fatalf("%s: chaos injected nothing (stats %+v)", name, health.Chaos)
+			}
+			if health.Degraded() {
+				t.Fatalf("%s: round degraded under mere loss: %s", name, health)
+			}
+		}
+	}
+}
+
+// TestLiveBlackoutExcludeRenormalized: a fully blacked-out worker under the
+// exclude policy is convicted, its contribution dropped, and the surviving
+// aggregate renormalized by n/(n-1); the dead node's own assembly falls back
+// to its local gradient.
+func TestLiveBlackoutExcludeRenormalized(t *testing.T) {
+	const n = 4
+	sizes := map[string]int{"w": 257}
+	grads, _ := makeGrads(13, n, sizes)
+	// Node 3 is a pure worker for partition 0 (server = part % n = 0).
+	lc, err := NewLiveCluster(n, LiveConfig{
+		Strategy: StrategyPS, Parts: 1,
+		Reliable: true, Retry: fastRetry,
+		RoundTimeout: 30 * time.Second,
+		OnPeerFail:   DegradeExclude, Renormalize: true,
+		Chaos: &netsim.ChaosConfig{Seed: 5, NodeDown: map[int]bool{3: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	out, health, err := lc.SyncRoundContext(context.Background(), grads)
+	if err != nil {
+		t.Fatalf("exclude policy surfaced error: %v (health %s)", err, health)
+	}
+	if time.Since(start) >= 30*time.Second {
+		t.Fatal("round overran its deadline")
+	}
+	if !health.Degraded() {
+		t.Fatalf("health not degraded: %s", health)
+	}
+	if len(health.ExcludedPeers) != 1 || health.ExcludedPeers[0] != 3 {
+		t.Fatalf("ExcludedPeers = %v, want [3]", health.ExcludedPeers)
+	}
+	if !health.Renormalized {
+		t.Fatalf("aggregate not renormalized: %s", health)
+	}
+	// Survivors agree on (g0+g1+g2) × 4/3.
+	want := make([]float32, sizes["w"])
+	for v := 0; v < 3; v++ {
+		tensor.Add(want, grads[v]["w"])
+	}
+	for i := range want {
+		want[i] *= float32(n) / float32(n-1)
+	}
+	for v := 0; v < 3; v++ {
+		got := out[v]["w"]
+		for i := range want {
+			if math.Abs(float64(got[i]-want[i])) > 1e-3 {
+				t.Fatalf("node %d w[%d] = %v, want %v", v, i, got[i], want[i])
+			}
+		}
+	}
+	// The dead node could not receive the aggregate: its assembly fell back
+	// to the local gradient (scaled ×n under Renormalize) and said so.
+	if len(health.UnsyncedParts) == 0 {
+		t.Fatalf("no unsynced partitions recorded: %s", health)
+	}
+	g3 := grads[3]["w"]
+	for i := range g3 {
+		if math.Abs(float64(out[3]["w"][i]-float32(n)*g3[i])) > 1e-3 {
+			t.Fatalf("dead node fallback w[%d] = %v, want %v", i, out[3]["w"][i], float32(n)*g3[i])
+		}
+	}
+}
+
+// TestLiveBlackoutAbortTyped: under the default abort policy a blacked-out
+// peer produces a typed *PeerFailureError well inside the deadline instead
+// of a hang.
+func TestLiveBlackoutAbortTyped(t *testing.T) {
+	lc, err := NewLiveCluster(3, LiveConfig{
+		Strategy: StrategyPS,
+		Reliable: true, Retry: fastRetry,
+		RoundTimeout: 20 * time.Second,
+		Chaos:        &netsim.ChaosConfig{Seed: 1, NodeDown: map[int]bool{1: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads, _ := makeGrads(3, 3, map[string]int{"w": 100})
+	start := time.Now()
+	_, health, err := lc.SyncRoundContext(context.Background(), grads)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("blackout round succeeded (health %s)", health)
+	}
+	var pf *PeerFailureError
+	if !errors.As(err, &pf) {
+		t.Fatalf("error not a *PeerFailureError: %v", err)
+	}
+	if pf.Peer != 1 && pf.Node != 1 {
+		t.Fatalf("conviction named neither endpoint 1: %+v", pf)
+	}
+	if elapsed >= 20*time.Second {
+		t.Fatalf("abort took %v, deadline was 20s", elapsed)
+	}
+}
+
+// TestLiveRingBlackoutTyped: Ring has no exclusion path; a dead peer must
+// surface as a typed error too (and requesting exclude+ring is rejected at
+// construction).
+func TestLiveRingBlackoutTyped(t *testing.T) {
+	if _, err := NewLiveCluster(3, LiveConfig{
+		Strategy: StrategyRing, Reliable: true, OnPeerFail: DegradeExclude,
+	}); err == nil {
+		t.Fatal("exclude policy with ring accepted")
+	}
+	lc, err := NewLiveCluster(3, LiveConfig{
+		Strategy: StrategyRing,
+		Reliable: true, Retry: fastRetry,
+		RoundTimeout: 20 * time.Second,
+		Chaos:        &netsim.ChaosConfig{Seed: 2, NodeDown: map[int]bool{2: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads, _ := makeGrads(4, 3, map[string]int{"w": 64})
+	_, _, err = lc.SyncRoundContext(context.Background(), grads)
+	var pf *PeerFailureError
+	var to *RoundTimeoutError
+	if !errors.As(err, &pf) && !errors.As(err, &to) {
+		t.Fatalf("ring blackout error untyped: %v", err)
+	}
+}
+
+// TestLiveRoundTimeoutTyped: without reliability, a silently dropped message
+// would hang the round forever; the deadline converts that into a prompt
+// *RoundTimeoutError.
+func TestLiveRoundTimeoutTyped(t *testing.T) {
+	lc, err := NewLiveCluster(3, LiveConfig{
+		Strategy:     StrategyPS,
+		RoundTimeout: 300 * time.Millisecond,
+		Chaos: &netsim.ChaosConfig{Seed: 3, Links: map[netsim.Link]netsim.LinkFaults{
+			{Src: 1, Dst: 0}: {Drop: 1.0}, // worker 1's push never arrives
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads, _ := makeGrads(5, 3, map[string]int{"w": 128})
+	start := time.Now()
+	_, health, err := lc.SyncRoundContext(context.Background(), grads)
+	elapsed := time.Since(start)
+	var to *RoundTimeoutError
+	if !errors.As(err, &to) {
+		t.Fatalf("expected *RoundTimeoutError, got %v (health %s)", err, health)
+	}
+	if to.Timeout != 300*time.Millisecond {
+		t.Fatalf("timeout error carries %v", to.Timeout)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("timeout surfaced after %v", elapsed)
+	}
+}
+
+// TestLiveCorruptionRetriedSilently: with reliability on, checksum-failing
+// payloads are silently discarded (no ack → retransmission) and the round
+// still converges to the exact sums, with the damage visible in RoundHealth.
+func TestLiveCorruptionRetriedSilently(t *testing.T) {
+	sizes := map[string]int{"w1": 300, "w2": 77}
+	lc, err := NewLiveCluster(3, LiveConfig{
+		Strategy: StrategyPS, Parts: 2,
+		Reliable: true, Retry: fastRetry,
+		RoundTimeout: 30 * time.Second,
+		Chaos:        &netsim.ChaosConfig{Seed: 9, Default: netsim.LinkFaults{Corrupt: 0.4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads, sums := makeGrads(21, 3, sizes)
+	out, health, err := lc.SyncRoundContext(context.Background(), grads)
+	if err != nil {
+		t.Fatalf("sync under corruption: %v (health %s)", err, health)
+	}
+	for v := 0; v < 3; v++ {
+		for gname, want := range sums {
+			got := out[v][gname]
+			for i := range want {
+				if math.Abs(float64(got[i]-want[i])) > 1e-3 {
+					t.Fatalf("node %d %s[%d] = %v, want %v", v, gname, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if health.Chaos == nil || health.Chaos.Corrupted == 0 {
+		t.Fatalf("corruption never fired: %+v", health.Chaos)
+	}
+	if health.CorruptDrops == 0 {
+		t.Fatalf("no checksum rejections recorded: %s", health)
+	}
+	if health.Retries == 0 {
+		t.Fatalf("no retransmissions recorded: %s", health)
+	}
+}
+
+// TestLiveCorruptNonReliableLoud: without reliability there is no silent
+// retry path — a checksum mismatch must fail the round with a descriptive
+// error rather than decode garbage.
+func TestLiveCorruptNonReliableLoud(t *testing.T) {
+	lc, err := NewLiveCluster(3, LiveConfig{
+		Strategy:     StrategyPS,
+		RoundTimeout: 10 * time.Second,
+		Chaos:        &netsim.ChaosConfig{Seed: 4, Default: netsim.LinkFaults{Corrupt: 1.0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads, _ := makeGrads(6, 3, map[string]int{"w": 200})
+	_, _, err = lc.SyncRoundContext(context.Background(), grads)
+	if err == nil {
+		t.Fatal("corrupted round succeeded")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption error not descriptive: %v", err)
+	}
+}
+
+// TestLiveChaosOverTCP: the chaos decorator composes with the TCP transport
+// too — reliable delivery recovers exact sums over real lossy sockets.
+func TestLiveChaosOverTCP(t *testing.T) {
+	sizes := map[string]int{"w": 250}
+	lc, err := NewLiveCluster(3, LiveConfig{
+		Strategy: StrategyPS, Transport: "tcp",
+		Reliable: true, Retry: fastRetry,
+		RoundTimeout: 30 * time.Second,
+		Chaos:        &netsim.ChaosConfig{Seed: 11, Default: netsim.LinkFaults{Drop: 0.1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads, sums := makeGrads(8, 3, sizes)
+	out, health, err := lc.SyncRoundContext(context.Background(), grads)
+	if err != nil {
+		t.Fatalf("tcp chaos sync: %v (health %s)", err, health)
+	}
+	for v := 0; v < 3; v++ {
+		got := out[v]["w"]
+		for i, want := range sums["w"] {
+			if math.Abs(float64(got[i]-want)) > 1e-3 {
+				t.Fatalf("node %d w[%d] = %v, want %v", v, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestLiveChaosConfigValidation: chaos without a safety net (reliability or
+// deadline) is rejected up front.
+func TestLiveChaosConfigValidation(t *testing.T) {
+	if _, err := NewLiveCluster(3, LiveConfig{
+		Strategy: StrategyPS,
+		Chaos:    &netsim.ChaosConfig{Default: netsim.LinkFaults{Drop: 0.5}},
+	}); err == nil {
+		t.Fatal("chaos without Reliable or RoundTimeout accepted")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -16,15 +17,22 @@ import (
 // sizes, plus the exact element-wise sums for verification.
 func makeGrads(seed uint64, n int, sizes map[string]int) (grads []map[string][]float32, sums map[string][]float32) {
 	rng := tensor.NewRNG(seed)
+	// Fill in sorted-name order so the same seed always yields the same
+	// data (map iteration order would randomize it call to call).
+	names := make([]string, 0, len(sizes))
+	for name := range sizes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	grads = make([]map[string][]float32, n)
 	sums = map[string][]float32{}
-	for name, sz := range sizes {
-		sums[name] = make([]float32, sz)
+	for _, name := range names {
+		sums[name] = make([]float32, sizes[name])
 	}
 	for v := 0; v < n; v++ {
 		grads[v] = map[string][]float32{}
-		for name, sz := range sizes {
-			g := make([]float32, sz)
+		for _, name := range names {
+			g := make([]float32, sizes[name])
 			rng.FillNormal(g, 1)
 			grads[v][name] = g
 			tensor.Add(sums[name], g)

@@ -2,8 +2,6 @@ package core
 
 import (
 	"sync"
-
-	"hipress/internal/netsim"
 )
 
 // liveCoordinator is the live-plane realization of §3.2's global
@@ -86,14 +84,9 @@ func (c *liveCoordinator) nextPlan() ([][]liveSend, bool) {
 
 // runCoordinated drains the coordinator until closed, executing each slot's
 // batches: all sends of a batch transmit back to back on their link, then
-// their graph tasks complete.
-func (lc *LiveCluster) runCoordinated(
-	coord *liveCoordinator,
-	tr netsim.Transport,
-	elems, parts map[string]int,
-	completeTask func(int),
-	fail func(error),
-) {
+// their graph tasks complete. Under the fault plane, batch sends honor the
+// same reliability and skip rules as direct sends.
+func (r *liveRound) runCoordinated(coord *liveCoordinator) {
 	for {
 		plan, ok := coord.nextPlan()
 		if !ok {
@@ -101,11 +94,18 @@ func (lc *LiveCluster) runCoordinated(
 		}
 		for _, batch := range plan {
 			for _, s := range batch {
-				if err := lc.execSend(s.rt, s.t, tr, elems, parts); err != nil {
-					fail(err)
+				if r.isCompleted(s.id) {
+					continue
+				}
+				if r.skippable(s.t) {
+					r.completeSkipped(s.id)
+					continue
+				}
+				if err := r.execSend(s.rt, s.t); err != nil {
+					r.fail(err)
 					return
 				}
-				completeTask(s.id)
+				r.completeTask(s.id)
 			}
 		}
 	}

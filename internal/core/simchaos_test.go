@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"hipress/internal/sim"
+)
+
+func runChaosRing(t *testing.T, spec string) SimResult {
+	t.Helper()
+	cfg := testCfg(true)
+	if spec != "" {
+		sched, err := sim.ParseSchedule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Chaos = sched
+	}
+	return runRingSim(t, 4, 1<<20, 1, "", cfg)
+}
+
+// TestSimChaosStragglerStretchesMakespan: a node slowed ×4 for the whole
+// run must lengthen the ring sync, and a straggler window that ends before
+// the run starts doing work must not.
+func TestSimChaosStragglerStretchesMakespan(t *testing.T) {
+	base := runChaosRing(t, "")
+	slow := runChaosRing(t, "slow:1x4@0+1000")
+	if slow.Makespan <= base.Makespan {
+		t.Fatalf("straggler did not stretch makespan: %v vs %v", slow.Makespan, base.Makespan)
+	}
+	// A fault window strictly after the fault-free makespan is inert.
+	late := runChaosRing(t, "slow:1x4@1000+10")
+	if late.Makespan != base.Makespan {
+		t.Fatalf("inactive straggler changed makespan: %v vs %v", late.Makespan, base.Makespan)
+	}
+}
+
+// TestSimChaosLinkDownDefersTransfers: blacking out a ring link for a
+// window covering the whole fault-free run forces every transfer over it
+// past the window, so the makespan lands beyond the outage end.
+func TestSimChaosLinkDownDefersTransfers(t *testing.T) {
+	base := runChaosRing(t, "")
+	outageEnd := base.Makespan * 10
+	spec := "link:0-1@0+" + formatSec(outageEnd)
+	down := runChaosRing(t, spec)
+	if down.Makespan <= outageEnd {
+		t.Fatalf("link outage not honored: makespan %v <= outage end %v", down.Makespan, outageEnd)
+	}
+	// A node-wide blackout is at least as disruptive as a single link.
+	blackout := runChaosRing(t, "down:1@0+"+formatSec(outageEnd))
+	if blackout.Makespan < down.Makespan {
+		t.Fatalf("node blackout (%v) milder than single link (%v)", blackout.Makespan, down.Makespan)
+	}
+}
+
+// TestSimChaosDeterministic: the same schedule yields the same makespan.
+func TestSimChaosDeterministic(t *testing.T) {
+	a := runChaosRing(t, "slow:2x3@0+0.01;link:1-2@0.001+0.004")
+	b := runChaosRing(t, "slow:2x3@0+0.01;link:1-2@0.001+0.004")
+	if a.Makespan != b.Makespan {
+		t.Fatalf("chaos sim nondeterministic: %v vs %v", a.Makespan, b.Makespan)
+	}
+}
+
+// TestSimChaosValidatesNodes: a schedule referencing a node beyond the
+// cluster is rejected at executor construction.
+func TestSimChaosValidatesNodes(t *testing.T) {
+	sched, err := sim.ParseSchedule("slow:9x2@0+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg(true)
+	cfg.Chaos = sched
+	if _, err := NewSimExecutor(4, cfg); err == nil {
+		t.Fatal("out-of-range chaos node accepted")
+	}
+}
+
+func formatSec(s float64) string {
+	return strconv.FormatFloat(s, 'g', -1, 64)
+}

@@ -59,6 +59,20 @@ type SimConfig struct {
 	// engine (seconds). Batch compression (BulkComp) amortizes it — the
 	// "single callback function for a batch of gradients" of §3.2.
 	Dispatch float64
+
+	// Chaos optionally injects timing-plane faults: stragglers multiply a
+	// node's kernel durations while active, link outages defer transfers
+	// wanting to start inside the window (see sim.ParseSchedule for the
+	// spec grammar). Nil runs fault-free.
+	Chaos *sim.ChaosSchedule
+}
+
+// slow returns the straggler multiplier for node at virtual time now.
+func (c *SimConfig) slow(node int, now float64) float64 {
+	if c.Chaos.Empty() {
+		return 1
+	}
+	return c.Chaos.SlowFactor(node, now)
 }
 
 func (c *SimConfig) defaults() {
@@ -102,6 +116,11 @@ func NewSimExecutor(n int, cfg SimConfig) (*SimExecutor, error) {
 	}
 	if cfg.CompDev == nil || cfg.Fabric == nil {
 		return nil, fmt.Errorf("core: SimConfig requires CompDev and Fabric")
+	}
+	if !cfg.Chaos.Empty() {
+		if m := cfg.Chaos.MaxNode(); m >= n {
+			return nil, fmt.Errorf("core: chaos schedule references node %d but cluster has %d nodes", m, n)
+		}
 	}
 	cfg.defaults()
 	return &SimExecutor{cfg: cfg, n: n}, nil
@@ -178,6 +197,12 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 	// contention honest (receivers serialize) without convoying the sender's
 	// idle uplink behind a busy receiver.
 	transfer := func(now float64, src, dst int, bytes int64, done func(float64)) {
+		if !cfg.Chaos.Empty() {
+			// A downed link defers the transfer past the outage window(s);
+			// DeferStart only ever moves time forward, so scheduling stays
+			// legal for the event engine.
+			now = cfg.Chaos.DeferStart(src, dst, now)
+		}
 		dur := cfg.Fabric.SendTime(bytes)
 		if cfg.HostStaged {
 			dur += 2 * float64(bytes) / gpu.PCIeBW
@@ -276,6 +301,9 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 				dur -= cfg.CompDev.Launch
 			}
 		}
+		// A straggling node runs its compression kernels slower while the
+		// fault window is active.
+		dur *= cfg.slow(node, now)
 		_, end := r.Acquire(now, dur)
 		lastCompEnd[node] = end
 		lastCompWasDecode[node] = isDecode
@@ -286,8 +314,9 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 		t := g.Tasks[id]
 		switch t.Kind {
 		case KCompute:
-			_, end := dnn[t.Node].Acquire(now, t.Dur)
-			spans[t.Node].Add(end-t.Dur, end, t.Grad)
+			dur := t.Dur * cfg.slow(t.Node, now)
+			_, end := dnn[t.Node].Acquire(now, dur)
+			spans[t.Node].Add(end-dur, end, t.Grad)
 			eng.At(end, func(tt float64) { completeAt(id, tt) })
 
 		case KEncode:

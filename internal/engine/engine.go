@@ -15,6 +15,7 @@ import (
 	"hipress/internal/gpu"
 	"hipress/internal/models"
 	"hipress/internal/netsim"
+	"hipress/internal/sim"
 
 	// Register the CompLL DSL compressors ("cll-*") with the registry so
 	// engine configs can name them directly — the automated-integration path.
@@ -132,6 +133,11 @@ type Config struct {
 	// size threshold and timeout (0 = executor defaults).
 	BatchBytes  int64
 	BatchWindow float64
+
+	// Chaos injects timing-plane faults (stragglers, link outages) into the
+	// simulated iteration; see sim.ParseSchedule for the spec grammar. Nil
+	// runs fault-free.
+	Chaos *sim.ChaosSchedule
 }
 
 // Result is one iteration's measured outcome.
@@ -336,6 +342,7 @@ func Run(cl Cluster, m *models.Model, cfg Config) (Result, error) {
 		Dispatch:     dispatch,
 		BatchBytes:   cfg.BatchBytes,
 		BatchWindow:  cfg.BatchWindow,
+		Chaos:        cfg.Chaos,
 	})
 	if err != nil {
 		return Result{}, err

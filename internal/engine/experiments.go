@@ -27,6 +27,7 @@ func Experiments() []string {
 		"fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13",
 		"micro", "jitter", "strategies", "wire",
+		"chaos", "plan-robustness",
 	}
 }
 
@@ -80,6 +81,10 @@ func RunExperiment(id string, scale float64) (*Table, error) {
 		return StrategiesExp()
 	case "wire":
 		return WireExp()
+	case "chaos":
+		return ChaosExp("")
+	case "plan-robustness":
+		return PlanRobustnessExp()
 	default:
 		return nil, fmt.Errorf("engine: unknown experiment %q (have %v)", id, Experiments())
 	}

@@ -75,6 +75,17 @@ type Message struct {
 	// Step disambiguates multiple transfers of the same gradient within one
 	// synchronization round (e.g. ring hop number).
 	Step int
+	// Attempt is the sender's retry counter for this logical transfer.
+	// Retransmissions of the same (Gradient, Step) carry increasing Attempt
+	// values so fault injectors can roll fresh outcomes per attempt and
+	// receivers can deduplicate idempotently.
+	Attempt int
+	// Ack marks a zero-payload acknowledgement for the transfer identified by
+	// (Gradient, Step, Attempt) flowing receiver→sender in reliable mode.
+	Ack bool
+	// Sum is the CRC-32 (IEEE) checksum of Payload, set by reliable senders
+	// so receivers can detect in-flight corruption.
+	Sum uint32
 	// Payload is the (possibly compressed) bytes on the wire.
 	Payload []byte
 }

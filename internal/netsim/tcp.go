@@ -6,7 +6,16 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// frameHdrLen is the fixed frame header length after the u32 length prefix.
+const frameHdrLen = 4 + 4 + 8 + 4 + 2 + 1 + 2 // from, to, step, sum, attempt, flags, gradLen
+
+// defaultWriteTimeout bounds how long Send blocks on a stalled peer before
+// surfacing a net.Error timeout instead of wedging the caller's goroutine.
+const defaultWriteTimeout = 5 * time.Second
 
 // TCPTransport implements Transport over real loopback TCP sockets: each
 // node owns a listener, connections are dialed lazily per (src, dst) pair,
@@ -17,7 +26,13 @@ import (
 //
 // Frame layout (little-endian):
 //
-//	u32 frameLen | i32 from | i32 to | i64 step | u16 gradLen | grad | payload
+//	u32 frameLen | u32 from | u32 to | u64 step | u32 sum | u16 attempt |
+//	u8 flags (bit0 = Ack) | u16 gradLen | grad | payload
+//
+// Sends carry a write deadline (SetWriteTimeout): a peer that stops
+// draining its socket causes Send to return a net.Error with
+// Timeout() == true rather than blocking forever, and the wedged
+// connection is dropped so the next Send redials.
 type TCPTransport struct {
 	listeners []net.Listener
 	inboxes   []chan Message
@@ -25,6 +40,9 @@ type TCPTransport struct {
 	mu    sync.Mutex
 	conns map[[2]int]net.Conn // (src,dst) → connection, lazily dialed
 	wmu   map[[2]int]*sync.Mutex
+
+	writeTimeout  int64 // nanoseconds, atomic
+	corruptFrames int64 // frames rejected by decodeFrame, atomic
 
 	once sync.Once
 	done chan struct{}
@@ -35,11 +53,12 @@ type TCPTransport struct {
 // connected transport. Callers must Close it to release sockets.
 func NewTCPTransport(n, capacity int) (*TCPTransport, error) {
 	t := &TCPTransport{
-		listeners: make([]net.Listener, n),
-		inboxes:   make([]chan Message, n),
-		conns:     map[[2]int]net.Conn{},
-		wmu:       map[[2]int]*sync.Mutex{},
-		done:      make(chan struct{}),
+		listeners:    make([]net.Listener, n),
+		inboxes:      make([]chan Message, n),
+		conns:        map[[2]int]net.Conn{},
+		wmu:          map[[2]int]*sync.Mutex{},
+		writeTimeout: int64(defaultWriteTimeout),
+		done:         make(chan struct{}),
 	}
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -60,6 +79,16 @@ func (t *TCPTransport) Nodes() int { return len(t.listeners) }
 
 // Addr returns node i's listen address (tests and diagnostics).
 func (t *TCPTransport) Addr(i int) net.Addr { return t.listeners[i].Addr() }
+
+// SetWriteTimeout bounds how long one Send may block writing to a stalled
+// peer. Zero or negative disables the deadline (not recommended).
+func (t *TCPTransport) SetWriteTimeout(d time.Duration) {
+	atomic.StoreInt64(&t.writeTimeout, int64(d))
+}
+
+// CorruptFrames reports how many inbound frames failed validation and were
+// discarded (the connection is dropped alongside).
+func (t *TCPTransport) CorruptFrames() int64 { return atomic.LoadInt64(&t.corruptFrames) }
 
 func (t *TCPTransport) acceptLoop(node int, l net.Listener) {
 	defer t.wg.Done()
@@ -82,15 +111,17 @@ func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 			return
 		}
 		frameLen := binary.LittleEndian.Uint32(hdr[:])
-		if frameLen < 18 || frameLen > 1<<30 {
+		if frameLen < frameHdrLen || frameLen > 1<<30 {
+			atomic.AddInt64(&t.corruptFrames, 1)
 			return // corrupt frame; drop the connection
 		}
 		frame := make([]byte, frameLen)
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
-		msg, ok := decodeFrame(frame)
-		if !ok {
+		msg, err := decodeFrame(frame)
+		if err != nil {
+			atomic.AddInt64(&t.corruptFrames, 1)
 			return
 		}
 		select {
@@ -103,35 +134,53 @@ func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 
 func encodeFrame(msg Message) []byte {
 	grad := []byte(msg.Gradient)
-	frameLen := 4 + 4 + 8 + 2 + len(grad) + len(msg.Payload)
+	frameLen := frameHdrLen + len(grad) + len(msg.Payload)
 	out := make([]byte, 4+frameLen)
 	binary.LittleEndian.PutUint32(out[0:], uint32(frameLen))
 	binary.LittleEndian.PutUint32(out[4:], uint32(int32(msg.From)))
 	binary.LittleEndian.PutUint32(out[8:], uint32(int32(msg.To)))
 	binary.LittleEndian.PutUint64(out[12:], uint64(int64(msg.Step)))
-	binary.LittleEndian.PutUint16(out[20:], uint16(len(grad)))
-	copy(out[22:], grad)
-	copy(out[22+len(grad):], msg.Payload)
+	binary.LittleEndian.PutUint32(out[20:], msg.Sum)
+	binary.LittleEndian.PutUint16(out[24:], uint16(msg.Attempt))
+	if msg.Ack {
+		out[26] = 1
+	}
+	binary.LittleEndian.PutUint16(out[27:], uint16(len(grad)))
+	copy(out[29:], grad)
+	copy(out[29+len(grad):], msg.Payload)
 	return out
 }
 
-func decodeFrame(frame []byte) (Message, bool) {
-	if len(frame) < 18 {
-		return Message{}, false
+// decodeFrame validates and decodes one frame body (without the u32 length
+// prefix). Truncated or inconsistent frames yield a descriptive error so
+// chaos-corrupted wire bytes fail loudly instead of decoding garbage.
+func decodeFrame(frame []byte) (Message, error) {
+	if len(frame) < frameHdrLen {
+		return Message{}, fmt.Errorf("netsim: truncated frame: %d bytes < %d-byte header", len(frame), frameHdrLen)
 	}
 	from := int(int32(binary.LittleEndian.Uint32(frame[0:])))
 	to := int(int32(binary.LittleEndian.Uint32(frame[4:])))
 	step := int(int64(binary.LittleEndian.Uint64(frame[8:])))
-	gradLen := int(binary.LittleEndian.Uint16(frame[16:]))
-	if 18+gradLen > len(frame) {
-		return Message{}, false
+	sum := binary.LittleEndian.Uint32(frame[16:])
+	attempt := int(binary.LittleEndian.Uint16(frame[20:]))
+	flags := frame[22]
+	if flags&^1 != 0 {
+		return Message{}, fmt.Errorf("netsim: frame with unknown flags 0x%02x", flags)
 	}
-	grad := string(frame[18 : 18+gradLen])
-	payload := append([]byte(nil), frame[18+gradLen:]...)
-	return Message{From: from, To: to, Gradient: grad, Step: step, Payload: payload}, true
+	gradLen := int(binary.LittleEndian.Uint16(frame[23:]))
+	if frameHdrLen+gradLen > len(frame) {
+		return Message{}, fmt.Errorf("netsim: frame gradient length %d exceeds frame body %d",
+			gradLen, len(frame)-frameHdrLen)
+	}
+	grad := string(frame[frameHdrLen : frameHdrLen+gradLen])
+	payload := append([]byte(nil), frame[frameHdrLen+gradLen:]...)
+	return Message{From: from, To: to, Gradient: grad, Step: step,
+		Attempt: attempt, Ack: flags&1 != 0, Sum: sum, Payload: payload}, nil
 }
 
-// Send implements Transport.
+// Send implements Transport. A stalled peer (not draining its socket)
+// causes Send to fail with a net.Error timeout after the configured write
+// timeout; the connection is dropped so a later Send redials cleanly.
 func (t *TCPTransport) Send(msg Message) error {
 	select {
 	case <-t.done:
@@ -148,10 +197,37 @@ func (t *TCPTransport) Send(msg Message) error {
 	frame := encodeFrame(msg)
 	lock.Lock()
 	defer lock.Unlock()
+	if d := time.Duration(atomic.LoadInt64(&t.writeTimeout)); d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
 	if _, err := conn.Write(frame); err != nil {
+		// The stream may hold a partial frame now: drop the connection so
+		// the peer's readLoop resets and the next Send redials.
+		t.dropConn(msg.From, msg.To, conn)
+		var nerr net.Error
+		if isNetTimeout(err, &nerr) {
+			return fmt.Errorf("netsim: tcp send %d→%d timed out (peer stalled): %w", msg.From, msg.To, nerr)
+		}
 		return fmt.Errorf("netsim: tcp send %d→%d: %w", msg.From, msg.To, err)
 	}
 	return nil
+}
+
+// isNetTimeout reports whether err is (or wraps) a net.Error timeout,
+// storing the net.Error into *out.
+func isNetTimeout(err error, out *net.Error) bool {
+	for e := err; e != nil; {
+		if ne, ok := e.(net.Error); ok && ne.Timeout() {
+			*out = ne
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
 }
 
 // connTo returns (dialing if needed) the connection for a sender/receiver
@@ -160,6 +236,11 @@ func (t *TCPTransport) connTo(from, to int) (net.Conn, *sync.Mutex, error) {
 	key := [2]int{from, to}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	select {
+	case <-t.done:
+		return nil, nil, fmt.Errorf("netsim: tcp transport closed")
+	default:
+	}
 	if c, ok := t.conns[key]; ok {
 		return c, t.wmu[key], nil
 	}
@@ -168,8 +249,22 @@ func (t *TCPTransport) connTo(from, to int) (net.Conn, *sync.Mutex, error) {
 		return nil, nil, fmt.Errorf("netsim: tcp dial %d→%d: %w", from, to, err)
 	}
 	t.conns[key] = c
-	t.wmu[key] = &sync.Mutex{}
+	if t.wmu[key] == nil {
+		t.wmu[key] = &sync.Mutex{}
+	}
 	return c, t.wmu[key], nil
+}
+
+// dropConn removes a failed connection from the pool (if it is still the
+// registered one) and closes it.
+func (t *TCPTransport) dropConn(from, to int, conn net.Conn) {
+	key := [2]int{from, to}
+	t.mu.Lock()
+	if t.conns[key] == conn {
+		delete(t.conns, key)
+	}
+	t.mu.Unlock()
+	conn.Close()
 }
 
 // Recv implements Transport.
@@ -191,7 +286,9 @@ func (t *TCPTransport) Recv(node int) (Message, bool) {
 }
 
 // Close implements Transport: shuts listeners and connections down and
-// unblocks receivers. Safe to call multiple times.
+// unblocks receivers. Idempotent and safe to race with in-flight Sends —
+// closing the sockets forces any blocked Write to return an error rather
+// than waiting for it.
 func (t *TCPTransport) Close() {
 	t.once.Do(func() {
 		close(t.done)
@@ -204,6 +301,7 @@ func (t *TCPTransport) Close() {
 		for _, c := range t.conns {
 			c.Close()
 		}
+		t.conns = map[[2]int]net.Conn{}
 		t.mu.Unlock()
 		t.wg.Wait()
 	})

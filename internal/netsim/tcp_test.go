@@ -1,9 +1,12 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestTCPTransportRoundTrip(t *testing.T) {
@@ -166,25 +169,102 @@ func TestFrameCodecProperties(t *testing.T) {
 		{From: 0, To: 1},
 		{From: 3, To: 2, Gradient: "w", Step: 1 << 30, Payload: []byte{1}},
 		{From: 15, To: 0, Gradient: string(make([]byte, 300)), Payload: make([]byte, 5000)},
+		{From: 1, To: 0, Gradient: "g", Step: 7, Attempt: 3, Ack: true, Sum: 0xdeadbeef},
 	}
 	for i, msg := range cases {
 		frame := encodeFrame(msg)
-		dec, ok := decodeFrame(frame[4:])
-		if !ok {
-			t.Fatalf("case %d: decode failed", i)
+		dec, err := decodeFrame(frame[4:])
+		if err != nil {
+			t.Fatalf("case %d: decode failed: %v", i, err)
 		}
 		if dec.From != msg.From || dec.To != msg.To || dec.Step != msg.Step ||
-			dec.Gradient != msg.Gradient || string(dec.Payload) != string(msg.Payload) {
-			t.Fatalf("case %d: round trip mismatch", i)
+			dec.Gradient != msg.Gradient || string(dec.Payload) != string(msg.Payload) ||
+			dec.Attempt != msg.Attempt || dec.Ack != msg.Ack || dec.Sum != msg.Sum {
+			t.Fatalf("case %d: round trip mismatch: %+v vs %+v", i, dec, msg)
 		}
 	}
-	if _, ok := decodeFrame([]byte{1, 2}); ok {
+	if _, err := decodeFrame([]byte{1, 2}); err == nil {
 		t.Fatal("short frame accepted")
 	}
 	// Header claiming a longer gradient than the frame holds.
 	bad := encodeFrame(Message{From: 0, To: 1, Gradient: "abc"})
-	bad[20] = 0xFF // corrupt gradLen
-	if _, ok := decodeFrame(bad[4:]); ok {
+	bad[4+23] = 0xFF // corrupt gradLen (gradLen sits at body offset 23)
+	if _, err := decodeFrame(bad[4:]); err == nil {
 		t.Fatal("corrupt gradLen accepted")
+	}
+	// Unknown flag bits must be rejected, not silently ignored.
+	bad2 := encodeFrame(Message{From: 0, To: 1, Gradient: "x"})
+	bad2[4+22] = 0x80
+	if _, err := decodeFrame(bad2[4:]); err == nil {
+		t.Fatal("unknown flags accepted")
+	}
+}
+
+// TestTCPTransportStalledPeer proves Send does not wedge forever when the
+// destination never drains its inbox or socket: once the kernel buffers
+// fill, Send must return a net.Error timeout.
+func TestTCPTransportStalledPeer(t *testing.T) {
+	tr, err := NewTCPTransport(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.SetWriteTimeout(200 * time.Millisecond)
+	payload := make([]byte, 4<<20)
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; ; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("Send never timed out against a stalled peer")
+		}
+		err := tr.Send(Message{From: 0, To: 1, Gradient: "big", Step: i, Payload: payload})
+		if err == nil {
+			continue // kernel buffers still absorbing
+		}
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			t.Fatalf("expected net.Error timeout, got %v", err)
+		}
+		break
+	}
+	// The wedged connection was dropped; after the peer starts draining, a
+	// fresh Send must succeed over a redialed connection.
+	go func() {
+		for {
+			if _, ok := tr.Recv(1); !ok {
+				return
+			}
+		}
+	}()
+	if err := tr.Send(Message{From: 0, To: 1, Gradient: "after", Payload: []byte{1}}); err != nil {
+		t.Fatalf("send after redial: %v", err)
+	}
+}
+
+// TestTCPTransportCloseRacesSend exercises Close concurrent with in-flight
+// Sends: no panics, no deadlocks, and double Close stays safe.
+func TestTCPTransportCloseRacesSend(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		tr, err := NewTCPTransport(3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for src := 0; src < 3; src++ {
+			wg.Add(1)
+			go func(src int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					_ = tr.Send(Message{From: src, To: (src + 1) % 3, Gradient: "g", Step: i,
+						Payload: []byte{byte(i)}})
+				}
+			}(src)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Close()
+			tr.Close()
+		}()
+		wg.Wait()
 	}
 }

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Chaos scheduling for the timing plane: straggler and link-outage events
+// injected into the discrete-event simulation, so cluster-scale experiments
+// can quantify how sensitive compression-enabled training is to faults
+// (slow nodes stretch compute/compression kernels; downed links defer
+// transfers until the outage window passes).
+
+// FaultKind distinguishes scheduled fault event types.
+type FaultKind int
+
+const (
+	// FaultStraggler multiplies the duration of every kernel on one node by
+	// Factor while active (a thermally throttled GPU, a noisy neighbor).
+	FaultStraggler FaultKind = iota
+	// FaultLinkDown makes a directed link (or, with Dst < 0, every link
+	// touching Src in either direction) unusable during the window:
+	// transfers wanting to start inside it are deferred to its end.
+	FaultLinkDown
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultStraggler:
+		return "straggler"
+	case FaultLinkDown:
+		return "link-down"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault event in virtual time.
+type Fault struct {
+	Kind FaultKind
+	// Node is the straggling node (FaultStraggler).
+	Node int
+	// Src, Dst name the directed link (FaultLinkDown); Dst < 0 means every
+	// link touching Src, both directions — a node-wide network blackout.
+	Src, Dst int
+	// Factor is the straggler's duration multiplier (> 1 slows down).
+	Factor float64
+	// Start and Dur bound the active window [Start, Start+Dur) in seconds.
+	Start, Dur float64
+}
+
+// active reports whether the fault covers virtual time t.
+func (f *Fault) active(t float64) bool {
+	return t >= f.Start && t < f.Start+f.Dur
+}
+
+// end returns the fault's end time.
+func (f *Fault) end() float64 { return f.Start + f.Dur }
+
+// String renders the fault in ParseSchedule's grammar.
+func (f *Fault) String() string {
+	switch f.Kind {
+	case FaultStraggler:
+		return fmt.Sprintf("slow:%dx%g@%g+%g", f.Node, f.Factor, f.Start, f.Dur)
+	case FaultLinkDown:
+		if f.Dst < 0 {
+			return fmt.Sprintf("down:%d@%g+%g", f.Src, f.Start, f.Dur)
+		}
+		return fmt.Sprintf("link:%d-%d@%g+%g", f.Src, f.Dst, f.Start, f.Dur)
+	default:
+		return "?"
+	}
+}
+
+// ChaosSchedule is the full fault plan of one simulated run.
+type ChaosSchedule struct {
+	Faults []Fault
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *ChaosSchedule) Empty() bool { return s == nil || len(s.Faults) == 0 }
+
+// String renders the schedule in ParseSchedule's grammar.
+func (s *ChaosSchedule) String() string {
+	if s.Empty() {
+		return ""
+	}
+	parts := make([]string, len(s.Faults))
+	for i := range s.Faults {
+		parts[i] = s.Faults[i].String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// SlowFactor returns the product of all straggler factors active on node
+// at virtual time t (1.0 when healthy). Executors multiply kernel
+// durations by it.
+func (s *ChaosSchedule) SlowFactor(node int, t float64) float64 {
+	if s.Empty() {
+		return 1
+	}
+	factor := 1.0
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		if f.Kind == FaultStraggler && f.Node == node && f.active(t) && f.Factor > 0 {
+			factor *= f.Factor
+		}
+	}
+	return factor
+}
+
+// DeferStart pushes a transfer's desired start time past every link-outage
+// window covering the src→dst link, iterating to a fixed point so
+// back-to-back outages chain correctly.
+func (s *ChaosSchedule) DeferStart(src, dst int, t float64) float64 {
+	if s.Empty() {
+		return t
+	}
+	for moved := true; moved; {
+		moved = false
+		for i := range s.Faults {
+			f := &s.Faults[i]
+			if f.Kind != FaultLinkDown || !f.active(t) {
+				continue
+			}
+			hit := false
+			if f.Dst < 0 {
+				hit = src == f.Src || dst == f.Src
+			} else {
+				hit = src == f.Src && dst == f.Dst
+			}
+			if hit && f.end() > t {
+				t = f.end()
+				moved = true
+			}
+		}
+	}
+	return t
+}
+
+// MaxNode returns the largest node id any fault references (-1 when
+// empty), for validation against cluster size.
+func (s *ChaosSchedule) MaxNode() int {
+	max := -1
+	if s.Empty() {
+		return max
+	}
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		for _, v := range []int{f.Node, f.Src, f.Dst} {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// Sorted returns the faults ordered by start time (stable copy), for
+// reporting.
+func (s *ChaosSchedule) Sorted() []Fault {
+	if s.Empty() {
+		return nil
+	}
+	out := append([]Fault(nil), s.Faults...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ParseSchedule parses a compact fault-schedule spec: items separated by
+// ';', each one of
+//
+//	slow:<node>x<factor>@<start>+<dur>   straggler (node ×factor slower)
+//	link:<src>-<dst>@<start>+<dur>       directed link outage
+//	down:<node>@<start>+<dur>            all links touching node down
+//
+// with times in (fractional) seconds, e.g.
+// "slow:1x2@0+10;link:0-2@0.01+0.05;down:3@0.2+0.1".
+func ParseSchedule(spec string) (*ChaosSchedule, error) {
+	sched := &ChaosSchedule{}
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("sim: chaos item %q: want kind:spec", item)
+		}
+		body, window, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("sim: chaos item %q: missing @start+dur window", item)
+		}
+		startS, durS, ok := strings.Cut(window, "+")
+		if !ok {
+			return nil, fmt.Errorf("sim: chaos item %q: window %q wants start+dur", item, window)
+		}
+		start, err := strconv.ParseFloat(startS, 64)
+		if err != nil || start < 0 {
+			return nil, fmt.Errorf("sim: chaos item %q: bad start %q", item, startS)
+		}
+		dur, err := strconv.ParseFloat(durS, 64)
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("sim: chaos item %q: bad duration %q", item, durS)
+		}
+		switch kind {
+		case "slow":
+			nodeS, facS, ok := strings.Cut(body, "x")
+			if !ok {
+				return nil, fmt.Errorf("sim: chaos item %q: slow wants node x factor", item)
+			}
+			node, err := strconv.Atoi(nodeS)
+			if err != nil || node < 0 {
+				return nil, fmt.Errorf("sim: chaos item %q: bad node %q", item, nodeS)
+			}
+			fac, err := strconv.ParseFloat(facS, 64)
+			if err != nil || fac <= 0 {
+				return nil, fmt.Errorf("sim: chaos item %q: bad factor %q", item, facS)
+			}
+			sched.Faults = append(sched.Faults, Fault{Kind: FaultStraggler, Node: node, Factor: fac, Start: start, Dur: dur})
+		case "link":
+			srcS, dstS, ok := strings.Cut(body, "-")
+			if !ok {
+				return nil, fmt.Errorf("sim: chaos item %q: link wants src-dst", item)
+			}
+			src, err := strconv.Atoi(srcS)
+			if err != nil || src < 0 {
+				return nil, fmt.Errorf("sim: chaos item %q: bad src %q", item, srcS)
+			}
+			dst, err := strconv.Atoi(dstS)
+			if err != nil || dst < 0 {
+				return nil, fmt.Errorf("sim: chaos item %q: bad dst %q", item, dstS)
+			}
+			sched.Faults = append(sched.Faults, Fault{Kind: FaultLinkDown, Src: src, Dst: dst, Start: start, Dur: dur})
+		case "down":
+			node, err := strconv.Atoi(strings.TrimSpace(body))
+			if err != nil || node < 0 {
+				return nil, fmt.Errorf("sim: chaos item %q: bad node %q", item, body)
+			}
+			sched.Faults = append(sched.Faults, Fault{Kind: FaultLinkDown, Src: node, Dst: -1, Start: start, Dur: dur})
+		default:
+			return nil, fmt.Errorf("sim: chaos item %q: unknown kind %q (want slow, link, down)", item, kind)
+		}
+	}
+	if len(sched.Faults) == 0 {
+		return nil, fmt.Errorf("sim: empty chaos schedule %q", spec)
+	}
+	return sched, nil
+}

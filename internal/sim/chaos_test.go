@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	spec := "slow:1x2@0+10;link:0-2@0.01+0.05;down:3@0.2+0.1"
+	s, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Faults) != 3 {
+		t.Fatalf("got %d faults, want 3", len(s.Faults))
+	}
+	if got := s.String(); got != spec {
+		t.Fatalf("String() = %q, want %q", got, spec)
+	}
+	// Re-parsing the rendered form must yield the same schedule.
+	s2, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.String() != spec {
+		t.Fatalf("re-parse drifted: %q", s2.String())
+	}
+	if s.Faults[0].Kind != FaultStraggler || s.Faults[0].Node != 1 || s.Faults[0].Factor != 2 {
+		t.Fatalf("straggler mis-parsed: %+v", s.Faults[0])
+	}
+	if s.Faults[1].Kind != FaultLinkDown || s.Faults[1].Src != 0 || s.Faults[1].Dst != 2 {
+		t.Fatalf("link mis-parsed: %+v", s.Faults[1])
+	}
+	if s.Faults[2].Kind != FaultLinkDown || s.Faults[2].Src != 3 || s.Faults[2].Dst != -1 {
+		t.Fatalf("down mis-parsed: %+v", s.Faults[2])
+	}
+	if got := s.MaxNode(); got != 3 {
+		t.Fatalf("MaxNode = %d, want 3", got)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	bad := []string{
+		"",                      // empty schedule
+		";;",                    // only separators
+		"frob:1@0+1",            // unknown kind
+		"slow:1@0+1",            // missing factor
+		"slow:1x0@0+1",          // non-positive factor
+		"slow:-1x2@0+1",         // negative node
+		"slow:1x2@0",            // missing duration
+		"slow:1x2@-1+1",         // negative start
+		"slow:1x2@0+0",          // zero duration
+		"link:0@0+1",            // missing dst
+		"link:0-x@0+1",          // bad dst
+		"link:0--1@0+1",         // negative dst
+		"down:x@0+1",            // bad node
+		"slow:1x2",              // no window
+		"noseparator",           // no kind separator
+		"slow:1x2@0+1;link:0-1", // valid then invalid
+	}
+	for _, spec := range bad {
+		if s, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted: %+v", spec, s)
+		}
+	}
+}
+
+func TestSlowFactorProducts(t *testing.T) {
+	s, err := ParseSchedule("slow:0x2@0+10;slow:0x3@5+10;slow:1x4@0+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		node int
+		t    float64
+		want float64
+	}{
+		{0, 0, 2},    // only the first window
+		{0, 7, 6},    // both windows overlap: 2*3
+		{0, 12, 3},   // first expired
+		{0, 20, 1},   // all expired (end exclusive: 15 not covered by [5,15)? 15 is end)
+		{1, 0.5, 4},  // node 1's own fault
+		{1, 2, 1},    // expired
+		{2, 0, 1},    // untouched node
+		{0, 10, 3},   // [0,10) end-exclusive: first fault over, second active
+		{0, 4.99, 2}, // just before the overlap
+	}
+	for _, c := range cases {
+		if got := s.SlowFactor(c.node, c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SlowFactor(%d, %g) = %g, want %g", c.node, c.t, got, c.want)
+		}
+	}
+	var nilSched *ChaosSchedule
+	if got := nilSched.SlowFactor(0, 0); got != 1 {
+		t.Fatalf("nil schedule SlowFactor = %g", got)
+	}
+}
+
+func TestDeferStartChainsWindows(t *testing.T) {
+	// Two back-to-back outages on 0→1: [1,2) then [2,3). A transfer asking
+	// to start at 1.5 must chain past both to 3.
+	s, err := ParseSchedule("link:0-1@1+1;link:0-1@2+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DeferStart(0, 1, 1.5); got != 3 {
+		t.Fatalf("DeferStart chained = %g, want 3", got)
+	}
+	// Outside the windows: untouched.
+	if got := s.DeferStart(0, 1, 0.5); got != 0.5 {
+		t.Fatalf("DeferStart before window = %g, want 0.5", got)
+	}
+	if got := s.DeferStart(0, 1, 3); got != 3 {
+		t.Fatalf("DeferStart at end = %g, want 3 (end exclusive)", got)
+	}
+	// Other direction and other links unaffected.
+	if got := s.DeferStart(1, 0, 1.5); got != 1.5 {
+		t.Fatalf("reverse direction deferred: %g", got)
+	}
+	if got := s.DeferStart(0, 2, 1.5); got != 1.5 {
+		t.Fatalf("unrelated link deferred: %g", got)
+	}
+}
+
+func TestDeferStartNodeBlackout(t *testing.T) {
+	// down:2 blacks out every link touching node 2, both directions.
+	s, err := ParseSchedule("down:2@1+2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{2, 0}, {0, 2}, {2, 3}, {3, 2}} {
+		if got := s.DeferStart(pair[0], pair[1], 1.5); got != 3 {
+			t.Errorf("DeferStart(%d,%d,1.5) = %g, want 3", pair[0], pair[1], got)
+		}
+	}
+	if got := s.DeferStart(0, 1, 1.5); got != 1.5 {
+		t.Fatalf("link not touching node 2 deferred: %g", got)
+	}
+}
+
+func TestScheduleSortedAndString(t *testing.T) {
+	s, err := ParseSchedule("link:0-1@5+1;slow:0x2@1+1;down:3@3+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := s.Sorted()
+	if len(sorted) != 3 || sorted[0].Start != 1 || sorted[1].Start != 3 || sorted[2].Start != 5 {
+		t.Fatalf("Sorted order wrong: %+v", sorted)
+	}
+	// Sorted must not mutate the original order.
+	if s.Faults[0].Start != 5 {
+		t.Fatalf("Sorted mutated the schedule: %+v", s.Faults)
+	}
+	var empty *ChaosSchedule
+	if !empty.Empty() || empty.String() != "" || empty.Sorted() != nil {
+		t.Fatal("nil schedule misbehaves")
+	}
+	for _, f := range sorted {
+		if !strings.Contains(s.String(), f.String()) {
+			t.Fatalf("String() missing %q: %q", f.String(), s.String())
+		}
+	}
+}
