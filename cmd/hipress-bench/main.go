@@ -11,8 +11,8 @@
 //
 // Experiment ids: table1 table3 table5 table6 table7 fig7a fig7b fig7c
 // fig8a fig8b fig8c fig9 fig10 fig11 fig12a fig12b fig13 micro, plus the
-// beyond-the-paper studies jitter, strategies, wire, chaos, and
-// plan-robustness.
+// beyond-the-paper studies jitter, strategies, wire, chaos, plan-robustness,
+// and trace.
 //
 // The chaos experiment accepts a fault schedule via -chaos, e.g.
 //
@@ -21,6 +21,15 @@
 // with items slow:<node>x<factor>@<start>+<dur> (straggler),
 // link:<src>-<dst>@<start>+<dur> (directed link outage), and
 // down:<node>@<start>+<dur> (all links touching node down).
+//
+// Observability: -trace out.json records every simulated primitive as a
+// Chrome trace-event file (open in Perfetto or chrome://tracing; one track
+// per node and stream, flow arrows linking sends to receives), and
+// -metrics out.prom dumps the metrics registry (byte volumes pre/post
+// compression, realized ratios, iteration-latency histograms, link
+// occupancy) in Prometheus text exposition format, e.g.
+//
+//	hipress-bench -trace trace.json -metrics metrics.prom trace fig9
 package main
 
 import (
@@ -45,8 +54,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 1.0, "shrink iteration-heavy experiments (0..1]")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of text tables")
 	chaosSpec := fs.String("chaos", "", "fault schedule for the chaos experiment (see sim.ParseSchedule grammar)")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file of every simulated primitive (open in Perfetto)")
+	metricsOut := fs.String("metrics", "", "write a Prometheus text-exposition dump of the metrics registry")
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+	var tel *hipress.Telemetry
+	if *traceOut != "" || *metricsOut != "" {
+		tel = hipress.NewTelemetry()
+		hipress.SetDefaultTelemetry(tel)
+		defer hipress.SetDefaultTelemetry(nil)
 	}
 	if *chaosSpec != "" {
 		// Validate up front so a typo fails before minutes of experiments.
@@ -100,13 +117,50 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, tab)
 		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+	if tel != nil {
+		if err := writeObservability(tel, *traceOut, *metricsOut); err != nil {
+			fmt.Fprintln(stderr, "hipress-bench:", err)
+			failed++
+		}
+	}
 	if failed > 0 {
 		return 1
 	}
 	return 0
 }
 
+// writeObservability dumps the collected trace and metrics to files.
+func writeObservability(tel *hipress.Telemetry, traceOut, metricsOut string) error {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tel.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := tel.Metrics.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: hipress-bench [-scale 0.3] [-json] [-chaos <schedule>] {list|all|<experiment-id>...}")
+	fmt.Fprintln(w, "usage: hipress-bench [-scale 0.3] [-json] [-chaos <schedule>] [-trace out.json] [-metrics out.prom] {list|all|<experiment-id>...}")
 	fmt.Fprintln(w, "experiments:", hipress.Experiments())
 }

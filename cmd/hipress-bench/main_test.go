@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -66,6 +68,53 @@ func TestRunPlanRobustness(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("plan-robustness output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunObservabilityFlags exercises -trace/-metrics end to end: the trace
+// experiment runs with the default telemetry installed, and both export
+// files come out non-empty and well-formed.
+func TestRunObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	promPath := filepath.Join(dir, "metrics.prom")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-trace", tracePath, "-metrics", promPath, "trace"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "span-derived timeline") {
+		t.Fatalf("trace experiment output:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE hipress_sim_iter_seconds histogram", "hipress_sim_wire_bytes_total"} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("metrics file missing %q:\n%s", want, prom)
+		}
+	}
+
+	// An unwritable trace path must surface as a failure exit.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-trace", filepath.Join(dir, "no/such/dir/t.json"), "table3"}, &out, &errw); code != 1 {
+		t.Fatalf("unwritable trace path exit = %d (stderr: %s)", code, errw.String())
 	}
 }
 

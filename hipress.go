@@ -34,6 +34,7 @@ import (
 	"hipress/internal/models"
 	"hipress/internal/netsim"
 	"hipress/internal/sim"
+	"hipress/internal/telemetry"
 	"hipress/internal/trainer"
 )
 
@@ -94,6 +95,35 @@ func Experiments() []string { return engine.Experiments() }
 func RunExperiment(id string, scale float64) (*Table, error) {
 	return engine.RunExperiment(id, scale)
 }
+
+// --- observability plane --------------------------------------------------------
+
+// Telemetry bundles a span tracer and a metrics registry — the shared
+// observability plane both execution planes publish into. Attach one via
+// Config.Telemetry (simulation), LiveConfig.Telemetry / TrainConfig.Telemetry
+// (live execution), or process-wide with SetDefaultTelemetry.
+type Telemetry = telemetry.Set
+
+// Tracer records spans (virtual-clock in simulation, wall-clock live) and
+// exports them as Chrome trace-event JSON via WriteChromeTrace — loadable in
+// Perfetto / chrome://tracing, one track per node and stream, flow arrows
+// linking sends to receives.
+type Tracer = telemetry.Tracer
+
+// Metrics is a Prometheus-style registry (counters, gauges, histograms)
+// exported as text exposition via WritePrometheus: compression byte volumes
+// and realized ratios, retries, round latencies, link occupancy.
+type Metrics = telemetry.Registry
+
+// NewTelemetry builds an enabled tracer+metrics pair. A nil *Telemetry (and
+// nil Tracer/Metrics) is valid everywhere and keeps every instrumented hot
+// path allocation-free.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// SetDefaultTelemetry installs tel as the fallback observability set for
+// experiment runs whose Config carries none (what hipress-bench's -trace and
+// -metrics flags use). Pass nil to uninstall.
+func SetDefaultTelemetry(tel *Telemetry) { engine.SetDefaultTelemetry(tel) }
 
 // --- fault plane ---------------------------------------------------------------
 

@@ -1,25 +1,62 @@
 package compress
 
 import (
-	"sync/atomic"
+	"strconv"
+
+	"hipress/internal/telemetry"
 )
 
 // Instrumented wraps a compressor with operation counters — the kind of
 // observability a production framework exports (encode/decode counts, raw
-// vs. wire bytes, realized compression ratio). All counters are atomic; the
-// wrapper adds no locking to the data path.
+// vs. wire bytes, realized compression ratio). The counters live in a
+// telemetry.Registry, so compressor stats and engine/live-plane stats share
+// one Prometheus exposition path: pass a shared registry (and labels) via
+// NewInstrumentedWith, or let NewInstrumented keep a private one when only
+// Stats() snapshots are wanted. All counters are atomic; the wrapper adds
+// no locking to the data path.
 type Instrumented struct {
 	inner Compressor
 
-	encodes, decodes    atomic.Int64
-	rawBytes, wireBytes atomic.Int64
-	errors              atomic.Int64
+	encodes, decodes    *telemetry.Counter
+	rawBytes, wireBytes *telemetry.Counter
+	errors              *telemetry.Counter
 }
 
-// NewInstrumented wraps c with counters.
+// Metric names the wrapper registers (one family each, labeled by whatever
+// the caller passes to NewInstrumentedWith).
+const (
+	MetricEncodes   = "hipress_compress_encodes_total"
+	MetricDecodes   = "hipress_compress_decodes_total"
+	MetricRawBytes  = "hipress_compress_raw_bytes_total"
+	MetricWireBytes = "hipress_compress_wire_bytes_total"
+	MetricErrors    = "hipress_compress_errors_total"
+)
+
+// NewInstrumented wraps c with counters on a private registry.
 func NewInstrumented(c Compressor) *Instrumented {
-	return &Instrumented{inner: c}
+	return NewInstrumentedWith(c, nil)
 }
+
+// NewInstrumentedWith wraps c with counters registered in reg under the
+// given "k, v, ..." label pairs (for example "algo", "onebit", "node",
+// "3"). A nil reg falls back to a private registry so Stats() keeps
+// working without shared exposition.
+func NewInstrumentedWith(c Compressor, reg *telemetry.Registry, labels ...string) *Instrumented {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Instrumented{
+		inner:     c,
+		encodes:   reg.Counter(MetricEncodes, "gradient encode operations", labels...),
+		decodes:   reg.Counter(MetricDecodes, "gradient decode operations", labels...),
+		rawBytes:  reg.Counter(MetricRawBytes, "bytes before compression", labels...),
+		wireBytes: reg.Counter(MetricWireBytes, "bytes after compression (on the wire)", labels...),
+		errors:    reg.Counter(MetricErrors, "encode/decode failures", labels...),
+	}
+}
+
+// NodeLabel renders a node id as a metric label value.
+func NodeLabel(v int) string { return strconv.Itoa(v) }
 
 // Name implements Compressor.
 func (m *Instrumented) Name() string { return m.inner.Name() }
@@ -28,12 +65,12 @@ func (m *Instrumented) Name() string { return m.inner.Name() }
 func (m *Instrumented) Encode(grad []float32) ([]byte, error) {
 	payload, err := m.inner.Encode(grad)
 	if err != nil {
-		m.errors.Add(1)
+		m.errors.Inc()
 		return nil, err
 	}
-	m.encodes.Add(1)
-	m.rawBytes.Add(int64(4 * len(grad)))
-	m.wireBytes.Add(int64(len(payload)))
+	m.encodes.Inc()
+	m.rawBytes.Add(float64(4 * len(grad)))
+	m.wireBytes.Add(float64(len(payload)))
 	return payload, nil
 }
 
@@ -41,10 +78,10 @@ func (m *Instrumented) Encode(grad []float32) ([]byte, error) {
 func (m *Instrumented) Decode(payload []byte, n int) ([]float32, error) {
 	out, err := m.inner.Decode(payload, n)
 	if err != nil {
-		m.errors.Add(1)
+		m.errors.Inc()
 		return nil, err
 	}
-	m.decodes.Add(1)
+	m.decodes.Inc()
 	return out, nil
 }
 
@@ -73,19 +110,19 @@ func (s Stats) Saved() int64 { return s.RawBytes - s.WireBytes }
 // atomic).
 func (m *Instrumented) Stats() Stats {
 	return Stats{
-		Encodes:   m.encodes.Load(),
-		Decodes:   m.decodes.Load(),
-		RawBytes:  m.rawBytes.Load(),
-		WireBytes: m.wireBytes.Load(),
-		Errors:    m.errors.Load(),
+		Encodes:   int64(m.encodes.Value()),
+		Decodes:   int64(m.decodes.Value()),
+		RawBytes:  int64(m.rawBytes.Value()),
+		WireBytes: int64(m.wireBytes.Value()),
+		Errors:    int64(m.errors.Value()),
 	}
 }
 
-// Reset zeroes the counters.
+// Reset zeroes the counters (test support).
 func (m *Instrumented) Reset() {
-	m.encodes.Store(0)
-	m.decodes.Store(0)
-	m.rawBytes.Store(0)
-	m.wireBytes.Store(0)
-	m.errors.Store(0)
+	m.encodes.Reset()
+	m.decodes.Reset()
+	m.rawBytes.Reset()
+	m.wireBytes.Reset()
+	m.errors.Reset()
 }

@@ -13,6 +13,7 @@ import (
 
 	"hipress/internal/compress"
 	"hipress/internal/netsim"
+	"hipress/internal/telemetry"
 )
 
 // This file is the live execution plane: the same CaSync task DAGs the
@@ -57,6 +58,14 @@ type LiveConfig struct {
 	// Instrument wraps each node's compressor with counters; read them with
 	// LiveCluster.WireStats.
 	Instrument bool
+	// Telemetry, when non-nil, records wall-clock spans for every executed
+	// primitive (encode/decode/merge/send/recv, flow-linked send→recv),
+	// instant events for the fault plane (retries, dedup drops, corrupt
+	// drops, peer convictions), and per-round metrics (latency histogram,
+	// retry/chaos counters, compression byte counters) into the shared
+	// observability plane. Nil disables both signals; the instrumented hot
+	// paths then cost only branch checks.
+	Telemetry *telemetry.Set
 
 	// --- fault plane ---
 
@@ -139,8 +148,12 @@ func NewLiveCluster(n int, cfg LiveConfig) (*LiveCluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			if cfg.Instrument {
-				m := compress.NewInstrumented(c)
+			// A shared metrics registry implies instrumentation: compression
+			// ratios are the headline quantity the observability plane
+			// exposes, and the wrapper's atomic counters are cheap.
+			if cfg.Instrument || cfg.Telemetry.M() != nil {
+				m := compress.NewInstrumentedWith(c, cfg.Telemetry.M(),
+					"algo", cfg.Algo, "node", compress.NodeLabel(v))
 				if lc.meters == nil {
 					lc.meters = make([]*compress.Instrumented, n)
 				}
@@ -307,6 +320,50 @@ type liveRound struct {
 	errOnce sync.Once
 	runErr  error
 	ackWG   sync.WaitGroup
+
+	// trc/met are the observability plane (both possibly nil). Spans are
+	// stamped with trc.Now() — wall-clock seconds since the tracer's birth —
+	// so one tracer accumulates a consistent timeline across rounds.
+	trc *telemetry.Tracer
+	met *telemetry.Registry
+}
+
+// traceTask records one wall-clock span for an executed task. start is the
+// tr.Now() taken before execution; send/recv spans carry a deterministic
+// flow id so the exporter can draw the cross-node arrow. Nil tracers make
+// this a branch and a return — no locks, no allocation.
+func (r *liveRound) traceTask(t *Task, start float64) {
+	tr := r.trc
+	if tr == nil {
+		return
+	}
+	end := tr.Now()
+	stream := "comp"
+	var flow uint64
+	flowStart := false
+	switch t.Kind {
+	case KSend:
+		stream = "net"
+		flow = telemetry.FlowID(t.Node, t.Peer, t.Grad, packStep(t.Step, t.Part))
+		flowStart = true
+	case KRecv:
+		stream = "net"
+		flow = telemetry.FlowID(t.Peer, t.Node, t.Grad, packStep(t.Step, t.Part))
+	}
+	tr.Record(telemetry.Span{
+		Name: fmt.Sprintf("%s %s/p%d", t.Kind, t.Grad, t.Part), Cat: t.Kind.String(),
+		Node: t.Node, Stream: stream, Start: start, Dur: end - start,
+		Flow: flow, FlowStart: flowStart,
+	}.With(telemetry.Num("step", float64(t.Step))).With(telemetry.Num("phase", float64(t.Phase))))
+}
+
+// traceEvent records an instant fault-plane event at now (nil-safe,
+// allocation-free when disabled because callers gate name construction on
+// tr.Enabled()).
+func (r *liveRound) traceEvent(name, cat string, node int) {
+	if tr := r.trc; tr != nil {
+		tr.Event(name, cat, node, "net", tr.Now())
+	}
 }
 
 // fail terminates the round with err: first caller wins, the transport
@@ -402,6 +459,9 @@ func (r *liveRound) route(id int) {
 // recvs so the surviving DAG drains (their downstream tasks skip via
 // route/drainer checks and the merge barrier accounts the exclusion).
 func (r *liveRound) onPeerDead(victim int) {
+	if r.trc.Enabled() {
+		r.traceEvent(fmt.Sprintf("peer-dead node%d (%v)", victim, r.lc.cfg.OnPeerFail), "fault", victim)
+	}
 	if r.lc.cfg.OnPeerFail != DegradeExclude || r.lc.cfg.Strategy != StrategyPS {
 		r.fail(&PeerFailureError{Node: -1, Peer: victim, Attempts: r.retry.MaxAttempts,
 			Reason: fmt.Sprintf("failure detector convicted node %d (policy %v)", victim, r.lc.cfg.OnPeerFail)})
@@ -500,8 +560,11 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		remaining: len(g.Tasks),
 		completed: make([]bool, len(g.Tasks)),
 		doneCh:    make(chan struct{}),
+		trc:       lc.cfg.Telemetry.T(),
+		met:       lc.cfg.Telemetry.M(),
 	}
 	r.rs.onDead = r.onPeerDead
+	roundStart := r.trc.Now()
 
 	var coord *liveCoordinator
 	if lc.cfg.Coordinated {
@@ -535,10 +598,12 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 						r.completeSkipped(id)
 						continue
 					}
+					start := r.trc.Now()
 					if err := r.execComp(rt, g.Tasks[id]); err != nil {
 						r.fail(err)
 						return
 					}
+					r.traceTask(g.Tasks[id], start)
 					r.completeTask(id)
 				}
 			}
@@ -564,10 +629,12 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 						coord.enqueue(liveSend{id: id, rt: rt, t: g.Tasks[id]})
 						continue
 					}
+					start := r.trc.Now()
 					if err := r.execSend(rt, g.Tasks[id]); err != nil {
 						r.fail(err)
 						return
 					}
+					r.traceTask(g.Tasks[id], start)
 					r.completeTask(id)
 				}
 			}
@@ -600,6 +667,7 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		st := chaosTr.Stats()
 		health.Chaos = &st
 	}
+	r.emitRoundTelemetry(health, roundStart)
 	if r.runErr != nil {
 		return nil, health, r.runErr
 	}
@@ -675,6 +743,9 @@ func (r *liveRound) dispatch(rt *nodeRT) {
 			if r.reliable {
 				// Drop silently: no ack means the sender retransmits.
 				atomic.AddInt64(&r.rs.corruptDrops, 1)
+				if r.trc.Enabled() {
+					r.traceEvent(fmt.Sprintf("corrupt-drop %s←%d", msg.Gradient, msg.From), "chaos", rt.id)
+				}
 				continue
 			}
 			r.fail(fmt.Errorf("core: node %d received corrupted payload for %q from %d (checksum %08x != header %08x, %d bytes)",
@@ -686,6 +757,9 @@ func (r *liveRound) dispatch(rt *nodeRT) {
 		if r.reliable && rt.seen[key] {
 			// Duplicate (retransmission or injected dup): re-ack, discard.
 			atomic.AddInt64(&r.rs.duplicates, 1)
+			if r.trc.Enabled() {
+				r.traceEvent(fmt.Sprintf("dup-drop %s←%d", msg.Gradient, msg.From), "dedup", rt.id)
+			}
 			r.sendAck(rt.id, msg)
 			continue
 		}
@@ -702,10 +776,12 @@ func (r *liveRound) dispatch(rt *nodeRT) {
 			continue // force-completed by degradation; too late to matter
 		}
 		t := r.g.Tasks[id]
+		start := r.trc.Now()
 		if err := r.execRecv(rt, t, msg.Payload); err != nil {
 			r.fail(err)
 			return
 		}
+		r.traceTask(t, start)
 		r.completeTask(id)
 	}
 }
@@ -739,6 +815,9 @@ func (r *liveRound) reliableSend(msg netsim.Message) error {
 		msg.Attempt = attempt
 		if attempt > 0 {
 			atomic.AddInt64(&r.rs.retries, 1)
+			if r.trc.Enabled() {
+				r.traceEvent(fmt.Sprintf("retry %s→%d #%d", msg.Gradient, msg.To, attempt), "retry", msg.From)
+			}
 		}
 		if err := r.tr.Send(msg); err != nil {
 			select {

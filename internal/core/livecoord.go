@@ -101,10 +101,12 @@ func (r *liveRound) runCoordinated(coord *liveCoordinator) {
 					r.completeSkipped(s.id)
 					continue
 				}
+				start := r.trc.Now()
 				if err := r.execSend(s.rt, s.t); err != nil {
 					r.fail(err)
 					return
 				}
+				r.traceTask(s.t, start)
 				r.completeTask(s.id)
 			}
 		}

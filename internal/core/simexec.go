@@ -7,6 +7,7 @@ import (
 	"hipress/internal/gpu"
 	"hipress/internal/netsim"
 	"hipress/internal/sim"
+	"hipress/internal/telemetry"
 )
 
 // SimConfig selects the execution features of the timing plane. Each flag
@@ -65,6 +66,12 @@ type SimConfig struct {
 	// wanting to start inside the window (see sim.ParseSchedule for the
 	// spec grammar). Nil runs fault-free.
 	Chaos *sim.ChaosSchedule
+
+	// Tracer, when non-nil, records one virtual-clock span per executed
+	// primitive (compute/encode/decode/merge and the uplink/downlink legs of
+	// every transfer, flow-linked send→recv) plus instant events for chaos
+	// deferrals. Nil tracing adds only branch checks to the executor.
+	Tracer *telemetry.Tracer
 }
 
 // slow returns the straggler multiplier for node at virtual time now.
@@ -196,26 +203,47 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 	// first, then the receiver's downlink. Sequential booking keeps incast
 	// contention honest (receivers serialize) without convoying the sender's
 	// idle uplink behind a busy receiver.
-	transfer := func(now float64, src, dst int, bytes int64, done func(float64)) {
+	tr := cfg.Tracer
+	transfer := func(now float64, src, dst int, bytes int64, label string, nsends int, done func(float64)) {
 		if !cfg.Chaos.Empty() {
 			// A downed link defers the transfer past the outage window(s);
 			// DeferStart only ever moves time forward, so scheduling stays
 			// legal for the event engine.
-			now = cfg.Chaos.DeferStart(src, dst, now)
+			deferred := cfg.Chaos.DeferStart(src, dst, now)
+			if deferred > now && tr.Enabled() {
+				tr.Record(telemetry.Span{
+					Name: fmt.Sprintf("outage %d→%d", src, dst), Cat: "chaos",
+					Node: src, Stream: "up", Start: now, Instant: true,
+				}.With(telemetry.Num("deferred_s", deferred-now)))
+			}
+			now = deferred
 		}
 		dur := cfg.Fabric.SendTime(bytes)
 		if cfg.HostStaged {
 			dur += 2 * float64(bytes) / gpu.PCIeBW
 		}
-		_, upEnd := up[src].Acquire(now, dur)
+		upStart, upEnd := up[src].Acquire(now, dur)
 		start := upEnd - dur // downlink stage may begin once uplink started
 		if f := down[dst].FreeAt(); f > start {
 			start = f
 		}
-		_, end := down[dst].Acquire(start, dur)
+		downStart, downEnd := down[dst].Acquire(start, dur)
 		// The payload cannot arrive before the uplink finished pushing it.
+		end := downEnd
 		if end < upEnd {
 			end = upEnd
+		}
+		if tr.Enabled() {
+			flow := tr.NewFlow()
+			name := fmt.Sprintf("%s %d→%d", label, src, dst)
+			tr.Record(telemetry.Span{
+				Name: name, Cat: "send", Node: src, Stream: "up",
+				Start: upStart, Dur: upEnd - upStart, Flow: flow, FlowStart: true,
+			}.With(telemetry.Num("bytes", float64(bytes))).With(telemetry.Num("sends", float64(nsends))))
+			tr.Record(telemetry.Span{
+				Name: name, Cat: "recv", Node: dst, Stream: "down",
+				Start: downStart, Dur: downEnd - downStart, Flow: flow,
+			}.With(telemetry.Num("bytes", float64(bytes))))
 		}
 		eng.At(end, done)
 	}
@@ -224,7 +252,13 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 	dispatchBatch := func(now float64, b Batch) {
 		sends := b.Sends
 		link := b.Link
-		transfer(now, link.Src, link.Dst, b.Bytes, func(t float64) {
+		label := "batch"
+		if len(sends) == 1 {
+			if t := g.Tasks[sendTask[sends[0].TaskID]]; t != nil {
+				label = t.Grad
+			}
+		}
+		transfer(now, link.Src, link.Dst, b.Bytes, label, len(sends), func(t float64) {
 			for _, s := range sends {
 				completeAt(sendTask[s.TaskID], t)
 			}
@@ -303,10 +337,22 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 		}
 		// A straggling node runs its compression kernels slower while the
 		// fault window is active.
-		dur *= cfg.slow(node, now)
-		_, end := r.Acquire(now, dur)
+		sf := cfg.slow(node, now)
+		dur *= sf
+		start, end := r.Acquire(now, dur)
 		lastCompEnd[node] = end
 		lastCompWasDecode[node] = isDecode
+		if tr.Enabled() {
+			t := g.Tasks[id]
+			s := telemetry.Span{
+				Name: fmt.Sprintf("%s %s/p%d", t.Kind, t.Grad, t.Part), Cat: t.Kind.String(),
+				Node: node, Stream: "comp", Start: start, Dur: end - start,
+			}.With(telemetry.Num("bytes", float64(t.Bytes)))
+			if sf != 1 {
+				s = s.With(telemetry.Num("straggler", sf))
+			}
+			tr.Record(s)
+		}
 		eng.At(end, func(t float64) { completeAt(id, t) })
 	}
 
@@ -317,6 +363,12 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 			dur := t.Dur * cfg.slow(t.Node, now)
 			_, end := dnn[t.Node].Acquire(now, dur)
 			spans[t.Node].Add(end-dur, end, t.Grad)
+			if tr.Enabled() {
+				tr.Record(telemetry.Span{
+					Name: t.Grad, Cat: "compute", Node: t.Node, Stream: "dnn",
+					Start: end - dur, Dur: dur,
+				})
+			}
 			eng.At(end, func(tt float64) { completeAt(id, tt) })
 
 		case KEncode:
@@ -369,7 +421,7 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 				}
 				return
 			}
-			transfer(now, t.Node, t.Peer, t.Bytes, func(tt float64) { completeAt(id, tt) })
+			transfer(now, t.Node, t.Peer, t.Bytes, t.Grad, 1, func(tt float64) { completeAt(id, tt) })
 
 		case KRecv:
 			// The matching send carried the wire time; receipt is free.

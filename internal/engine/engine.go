@@ -16,6 +16,7 @@ import (
 	"hipress/internal/models"
 	"hipress/internal/netsim"
 	"hipress/internal/sim"
+	"hipress/internal/telemetry"
 
 	// Register the CompLL DSL compressors ("cll-*") with the registry so
 	// engine configs can name them directly — the automated-integration path.
@@ -138,6 +139,13 @@ type Config struct {
 	// simulated iteration; see sim.ParseSchedule for the spec grammar. Nil
 	// runs fault-free.
 	Chaos *sim.ChaosSchedule
+
+	// Telemetry, when non-nil, receives virtual-clock spans (per-primitive,
+	// Chrome-trace exportable) and summary metrics from the simulated
+	// iteration. Nil falls back to the process-wide default installed via
+	// SetDefaultTelemetry (hipress-bench -trace/-metrics); both nil means
+	// zero-overhead no instrumentation.
+	Telemetry *telemetry.Set
 }
 
 // Result is one iteration's measured outcome.
@@ -260,6 +268,9 @@ func Run(cl Cluster, m *models.Model, cfg Config) (Result, error) {
 		}
 	}
 
+	tel := activeTelemetry(&cfg)
+	var rawBytes, wireBytes int64 // one node's per-copy volume pre/post compression
+
 	for ui, u := range units {
 		// Backward slice producing this unit, plus local aggregation across
 		// the node's GPUs when hierarchical synchronization is on.
@@ -302,9 +313,13 @@ func Run(cl Cluster, m *models.Model, cfg Config) (Result, error) {
 			useComp = plan.Compress
 			parts = plan.Parts
 		}
+		rawBytes += u.bytes
 		if useComp {
 			spec.Algo = cfg.Algo
 			spec.WireBytes = func(e int) int64 { return int64(comp.CompressedSize(e)) }
+			wireBytes += int64(comp.CompressedSize(u.elems))
+		} else {
+			wireBytes += u.bytes
 		}
 		spec.Parts = parts
 
@@ -343,6 +358,7 @@ func Run(cl Cluster, m *models.Model, cfg Config) (Result, error) {
 		BatchBytes:   cfg.BatchBytes,
 		BatchWindow:  cfg.BatchWindow,
 		Chaos:        cfg.Chaos,
+		Tracer:       tel.T(),
 	})
 	if err != nil {
 		return Result{}, err
@@ -373,6 +389,7 @@ func Run(cl Cluster, m *models.Model, cfg Config) (Result, error) {
 	}
 	out.CommRatio = maxLink / out.IterSec
 	out.Util = &UtilTimeline{Makespan: res.Makespan, Spans: res.DNNSpans}
+	recordSimMetrics(tel.M(), &cfg, &out, rawBytes, wireBytes, res.LinkBusy)
 	return out, nil
 }
 

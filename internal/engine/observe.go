@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"hipress/internal/models"
+	"hipress/internal/telemetry"
+)
+
+// This file wires the framework layer into the observability plane
+// (internal/telemetry): simulated iterations publish virtual-clock spans and
+// summary metrics, and the "trace" experiment renders a Fig. 9-style
+// timeline directly from recorded span data instead of a bespoke tracker.
+
+// Timing-plane metric family names.
+const (
+	// MetricSimIterSeconds is the simulated iteration-latency histogram,
+	// labeled by system and model.
+	MetricSimIterSeconds = "hipress_sim_iter_seconds"
+	// MetricSimRawBytes / MetricSimWireBytes count one node's gradient
+	// volume before and after compression (per synchronized copy), so
+	// wire/raw is the configuration's realized compression ratio.
+	MetricSimRawBytes  = "hipress_sim_raw_bytes_total"
+	MetricSimWireBytes = "hipress_sim_wire_bytes_total"
+	// MetricSimLinkBusy is per-node link occupancy: the fraction of the
+	// iteration the node's busiest network direction carried traffic.
+	MetricSimLinkBusy = "hipress_sim_link_busy_ratio"
+)
+
+// defaultTelemetry is the process-wide observability set experiments fall
+// back to when a Config carries none. Experiment drivers (hipress-bench
+// -trace/-metrics) install it once; explicit Config.Telemetry always wins.
+var defaultTelemetry atomic.Pointer[telemetry.Set]
+
+// SetDefaultTelemetry installs tel as the fallback observability set for
+// every subsequent Run whose Config.Telemetry is nil. Pass nil to disable.
+func SetDefaultTelemetry(tel *telemetry.Set) {
+	if tel == nil {
+		defaultTelemetry.Store(nil)
+		return
+	}
+	defaultTelemetry.Store(tel)
+}
+
+// DefaultTelemetry returns the installed fallback set (possibly nil).
+func DefaultTelemetry() *telemetry.Set { return defaultTelemetry.Load() }
+
+// activeTelemetry resolves the observability set one Run should publish to.
+func activeTelemetry(cfg *Config) *telemetry.Set {
+	if cfg.Telemetry != nil {
+		return cfg.Telemetry
+	}
+	return defaultTelemetry.Load()
+}
+
+// recordSimMetrics publishes one simulated iteration's summary into the
+// metrics registry. rawBytes/wireBytes are one node's per-copy gradient
+// volume before/after compression.
+func recordSimMetrics(m *telemetry.Registry, cfg *Config, res *Result, rawBytes, wireBytes int64, linkBusy []float64) {
+	if m == nil {
+		return
+	}
+	sys, model := cfg.System, res.Model
+	m.Histogram(MetricSimIterSeconds, "simulated training-iteration latency (seconds)",
+		telemetry.LatencyBuckets, "system", sys, "model", model).Observe(res.IterSec)
+	m.Counter(MetricSimRawBytes, "per-node gradient bytes before compression",
+		"system", sys, "model", model).Add(float64(rawBytes))
+	m.Counter(MetricSimWireBytes, "per-node gradient bytes after compression (on the wire)",
+		"system", sys, "model", model).Add(float64(wireBytes))
+	if res.IterSec > 0 {
+		for v, busy := range linkBusy {
+			m.Gauge(MetricSimLinkBusy, "fraction of the iteration the node's link carried traffic",
+				"system", sys, "model", model, "node", strconv.Itoa(v)).Set(busy / res.IterSec)
+		}
+	}
+}
+
+// TraceExp runs one HiPress iteration with span tracing enabled and renders
+// the recorded spans as a per-node, per-stream utilization timeline — the
+// Fig. 9 view, but computed from the same span data `-trace` exports to
+// Perfetto rather than a separate tracker. When a default telemetry set is
+// installed (hipress-bench -trace), its tracer is reused so the exported
+// trace file contains exactly the spans this table summarizes.
+func TraceExp() (*Table, error) {
+	tr := DefaultTelemetry().T()
+	if tr == nil {
+		tr = telemetry.NewTracer()
+	}
+	cl := EC2Cluster(4)
+	m, err := models.ByName("bert-large")
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := PresetFor("hipress-ps", "onebit", cl, nil)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Telemetry = &telemetry.Set{Tracer: tr, Metrics: DefaultTelemetry().M()}
+	mark := tr.Len()
+	r, err := Run(cl, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	spans := tr.Spans()[mark:]
+
+	t := &Table{
+		Title: fmt.Sprintf("Trace: span-derived timeline, %s on %d EC2 nodes (%d spans, iter %.4fs)",
+			r.System, cl.Nodes, len(spans), r.IterSec),
+		Header: []string{"node", "stream", "timeline", "busy", "spans"},
+		Notes: []string{
+			"each cell ▁▂▃▄▅▆▇█ = stream occupancy octile across the iteration (24 buckets)",
+			"run `hipress-bench -trace trace.json trace` and open trace.json in Perfetto for the full view",
+		},
+	}
+
+	type lane struct {
+		node   int
+		stream string
+	}
+	byLane := map[lane][]telemetry.Span{}
+	for _, s := range spans {
+		if s.Node < 0 || s.Dur <= 0 {
+			continue // cluster-wide spans and instants don't occupy a lane
+		}
+		k := lane{s.Node, s.Stream}
+		byLane[k] = append(byLane[k], s)
+	}
+	lanes := make([]lane, 0, len(byLane))
+	for k := range byLane {
+		lanes = append(lanes, k)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].node != lanes[j].node {
+			return lanes[i].node < lanes[j].node
+		}
+		return lanes[i].stream < lanes[j].stream
+	})
+
+	const buckets = 24
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	for _, k := range lanes {
+		ls := byLane[k]
+		occ := make([]float64, buckets)
+		var busy float64
+		w := r.IterSec / buckets
+		for _, s := range ls {
+			busy += s.Dur
+			for b := 0; b < buckets; b++ {
+				lo, hi := float64(b)*w, float64(b+1)*w
+				start, end := s.Start, s.Start+s.Dur
+				if start < lo {
+					start = lo
+				}
+				if end > hi {
+					end = hi
+				}
+				if end > start {
+					occ[b] += (end - start) / w
+				}
+			}
+		}
+		var spark []rune
+		for _, o := range occ {
+			idx := int(o * 7.999)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx > 7 {
+				idx = 7
+			}
+			spark = append(spark, blocks[idx])
+		}
+		t.AddRow(k.node, k.stream, string(spark),
+			fmt.Sprintf("%.0f%%", 100*busy/r.IterSec), len(ls))
+	}
+	return t, nil
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hipress/internal/models"
+	"hipress/internal/telemetry"
+)
+
+// simTraceRun simulates one instrumented HiPress iteration and returns the
+// exported Chrome trace bytes plus the Prometheus dump.
+func simTraceRun(t *testing.T) ([]byte, []byte) {
+	t.Helper()
+	tel := telemetry.New()
+	cl := EC2Cluster(4)
+	m, err := models.ByName("vgg19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := PresetFor("hipress-ps", "onebit", cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Telemetry = tel
+	if _, err := Run(cl, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var trace, prom bytes.Buffer
+	if err := tel.Tracer.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Metrics.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	return trace.Bytes(), prom.Bytes()
+}
+
+// TestSimTraceGolden validates the schema of a simulated iteration's Chrome
+// trace (every §3.1 primitive shows up as spans, flows pair up, metadata
+// names every node) and pins determinism: two identical virtual-clock runs
+// export byte-identical traces and metric dumps.
+func TestSimTraceGolden(t *testing.T) {
+	trace1, prom1 := simTraceRun(t)
+	trace2, prom2 := simTraceRun(t)
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatal("two identical sim runs exported different Chrome traces — virtual-clock spans are nondeterministic")
+	}
+	if !bytes.Equal(prom1, prom2) {
+		t.Fatalf("two identical sim runs exported different metrics:\n--- a\n%s\n--- b\n%s", prom1, prom2)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Cat  string                 `json:"cat"`
+			Ph   string                 `json:"ph"`
+			Dur  *float64               `json:"dur"`
+			Pid  *int                   `json:"pid"`
+			Tid  *int                   `json:"tid"`
+			ID   string                 `json:"id"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(trace1, &doc); err != nil {
+		t.Fatalf("sim trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	cats := map[string]int{}
+	procs := map[string]bool{}
+	flowStarts, flowEnds := map[string]bool{}, 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Pid == nil || ev.Tid == nil || ev.Ph == "" {
+			t.Fatalf("event %d missing required fields: %+v", i, ev)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("complete event %d lacks dur: %+v", i, ev)
+			}
+			cats[ev.Cat]++
+		case "M":
+			if ev.Name == "process_name" {
+				procs[ev.Args["name"].(string)] = true
+			}
+		case "s":
+			flowStarts[ev.ID] = true
+		case "f":
+			flowEnds++
+		}
+	}
+	// Second pass: every recv-side flow terminator must pair with a send-side
+	// start somewhere in the trace. (Ordering is not required: the simulator
+	// models cut-through links, so a downlink span can begin before its
+	// uplink span ends.)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "f" && !flowStarts[ev.ID] {
+			t.Fatalf("flow %s ends without a start", ev.ID)
+		}
+	}
+	// Every CaSync primitive must appear as real span data.
+	for _, want := range []string{"compute", "encode", "decode", "merge", "send", "recv"} {
+		if cats[want] == 0 {
+			t.Fatalf("no %q spans in sim trace; cats: %v", want, cats)
+		}
+	}
+	// One process per node.
+	for _, want := range []string{"node0", "node1", "node2", "node3"} {
+		if !procs[want] {
+			t.Fatalf("missing process metadata for %s: %v", want, procs)
+		}
+	}
+	// Every recv span's flow arrow pairs with a send.
+	if len(flowStarts) == 0 || flowEnds == 0 {
+		t.Fatalf("no send→recv flow arrows (starts=%d ends=%d)", len(flowStarts), flowEnds)
+	}
+
+	// Prometheus side: compression volume and iteration latency exported.
+	out := string(prom1)
+	for _, want := range []string{
+		MetricSimIterSeconds + "_count",
+		MetricSimRawBytes,
+		MetricSimWireBytes,
+		MetricSimLinkBusy + `{model="vgg19",node="0"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sim metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceExperiment runs the "trace" experiment end to end and checks it
+// renders a non-empty span-derived timeline.
+func TestTraceExperiment(t *testing.T) {
+	tab, err := RunExperiment("trace", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("trace experiment rendered no lanes")
+	}
+	// Expect at least the dnn and up/down lanes of node 0.
+	streams := map[string]bool{}
+	for _, row := range tab.Rows {
+		if len(row) >= 2 {
+			streams[row[1]] = true
+		}
+	}
+	for _, want := range []string{"dnn", "comp", "up", "down"} {
+		if !streams[want] {
+			t.Fatalf("trace experiment missing %q lane; got %v", want, streams)
+		}
+	}
+}
+
+// TestDefaultTelemetryFallback: Runs without an explicit Config.Telemetry
+// publish into the process-wide default set, which is how hipress-bench's
+// -trace/-metrics flags observe every experiment.
+func TestDefaultTelemetryFallback(t *testing.T) {
+	tel := telemetry.New()
+	SetDefaultTelemetry(tel)
+	defer SetDefaultTelemetry(nil)
+
+	cl := EC2Cluster(4)
+	m, err := models.ByName("vgg19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := PresetFor("ring", "", cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cl, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Tracer.Len() == 0 {
+		t.Fatal("default telemetry captured no spans")
+	}
+}

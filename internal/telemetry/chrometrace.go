@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file exports a Tracer's spans as Chrome trace-event JSON — the
+// {"traceEvents": [...]} format chrome://tracing and Perfetto load. Nodes
+// become processes ("node0", "node1", ... plus "cluster" for NodeCluster
+// spans), streams become named threads, spans become complete ("X") events,
+// instants become "i" events, and flow-linked pairs additionally emit
+// "s"/"f" flow events so Perfetto draws send→recv arrows across tracks.
+//
+// Output is deterministic: events are sorted by (timestamp, pid, tid, name)
+// and all JSON maps have sorted keys, so identical runs export identical
+// bytes — the property the golden tests pin.
+
+// chromeEvent is one trace event in Chrome's JSON schema.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"` // microseconds
+	Dur  *float64               `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	ID   string                 `json:"id,omitempty"`
+	BP   string                 `json:"bp,omitempty"`
+	S    string                 `json:"s,omitempty"` // instant scope
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// streamRank gives well-known streams a stable, readable track order.
+func streamRank(stream string) int {
+	switch stream {
+	case "dnn":
+		return 0
+	case "comp":
+		return 1
+	case "net":
+		return 2
+	case "up":
+		return 3
+	case "down":
+		return 4
+	case "round":
+		return 5
+	default:
+		return 6
+	}
+}
+
+// chromePid maps a span node to a trace pid. Cluster-wide spans get their
+// own process at pid 0 and real nodes shift up by one, keeping pids
+// non-negative (some trace viewers dislike negative ids).
+func chromePid(node int) int {
+	if node == NodeCluster {
+		return 0
+	}
+	return node + 1
+}
+
+// WriteChromeTrace writes every recorded span as Chrome trace-event JSON.
+// A nil tracer writes an empty (but valid) trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+
+	// Assign tids: one per (node, stream), ordered by rank then name so the
+	// UI shows dnn/comp/net tracks consistently on every node.
+	type lane struct {
+		node   int
+		stream string
+	}
+	laneSet := map[lane]bool{}
+	for _, s := range spans {
+		laneSet[lane{s.Node, s.Stream}] = true
+	}
+	lanes := make([]lane, 0, len(laneSet))
+	for l := range laneSet {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		a, b := lanes[i], lanes[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		ra, rb := streamRank(a.stream), streamRank(b.stream)
+		if ra != rb {
+			return ra < rb
+		}
+		return a.stream < b.stream
+	})
+	tid := map[lane]int{}
+	nextTid := map[int]int{}
+	var events []chromeEvent
+	seenProc := map[int]bool{}
+	for _, l := range lanes {
+		id := nextTid[l.node]
+		nextTid[l.node]++
+		tid[l] = id
+		pid := chromePid(l.node)
+		if !seenProc[pid] {
+			seenProc[pid] = true
+			pname := fmt.Sprintf("node%d", l.node)
+			if l.node == NodeCluster {
+				pname = "cluster"
+			}
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]interface{}{"name": pname},
+			})
+			events = append(events, chromeEvent{
+				Name: "process_sort_index", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]interface{}{"sort_index": l.node},
+			})
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: id,
+			Args: map[string]interface{}{"name": l.stream},
+		})
+		events = append(events, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: id,
+			Args: map[string]interface{}{"sort_index": streamRank(l.stream)},
+		})
+	}
+
+	var body []chromeEvent
+	for _, s := range spans {
+		pid := chromePid(s.Node)
+		id := tid[lane{s.Node, s.Stream}]
+		ev := chromeEvent{
+			Name: s.Name, Cat: s.Cat, Pid: pid, Tid: id,
+			Ts: s.Start * 1e6,
+		}
+		if s.NArgs > 0 {
+			ev.Args = map[string]interface{}{}
+			for i := 0; i < s.NArgs; i++ {
+				a := s.Args[i]
+				if a.Str != "" {
+					ev.Args[a.Key] = a.Str
+				} else {
+					ev.Args[a.Key] = a.Val
+				}
+			}
+		}
+		if s.Instant {
+			ev.Ph = "i"
+			ev.S = "t" // thread-scoped instant
+		} else {
+			ev.Ph = "X"
+			d := s.Dur * 1e6
+			ev.Dur = &d
+		}
+		body = append(body, ev)
+		if s.Flow != 0 {
+			cat := s.Cat
+			if cat == "" {
+				cat = "flow"
+			}
+			fl := chromeEvent{
+				Name: "xfer", Cat: cat, Pid: pid, Tid: id,
+				ID: fmt.Sprintf("%#x", s.Flow),
+			}
+			if s.FlowStart {
+				fl.Ph = "s"
+				fl.Ts = (s.Start + s.Dur) * 1e6 // arrow leaves as the send completes
+			} else {
+				fl.Ph = "f"
+				fl.BP = "e"
+				fl.Ts = s.Start * 1e6
+			}
+			body = append(body, fl)
+		}
+	}
+	sort.SliceStable(body, func(i, j int) bool {
+		a, b := body[i], body[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Ph != b.Ph {
+			return a.Ph < b.Ph
+		}
+		return a.Name < b.Name
+	})
+	events = append(events, body...)
+	if events == nil {
+		events = []chromeEvent{} // "traceEvents": [] — valid even when empty
+	}
+
+	doc := map[string]interface{}{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

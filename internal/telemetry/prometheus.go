@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4): "# HELP" / "# TYPE" headers per family, one line per
+// labeled series, histograms expanded into cumulative _bucket series plus
+// _sum and _count. Families and series are emitted in sorted order so the
+// dump is deterministic and diff-able.
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesName renders name{labels} (or bare name).
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// withLabel appends one more label to an already-rendered label set.
+func withLabel(labels, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus writes every registered metric. A nil registry writes
+// nothing (and returns nil).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot the family/series structure under the lock; values are read
+	// atomically afterwards.
+	type snapSeries struct {
+		labels string
+		c      *Counter
+		g      *Gauge
+		h      *Histogram
+	}
+	type snapFamily struct {
+		name, help, typ string
+		series          []snapSeries
+	}
+	fams := make([]snapFamily, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		sf := snapFamily{name: f.name, help: f.help, typ: f.typ}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			sf.series = append(sf.series, snapSeries{labels: s.labels, c: s.c, g: s.g, h: s.h})
+		}
+		fams = append(fams, sf)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(&b, "%s %s\n", seriesName(f.name, s.labels), formatValue(s.c.Value()))
+			case "gauge":
+				fmt.Fprintf(&b, "%s %s\n", seriesName(f.name, s.labels), formatValue(s.g.Value()))
+			case "histogram":
+				h := s.h
+				if h == nil {
+					continue
+				}
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(&b, "%s %d\n",
+						seriesName(f.name+"_bucket", withLabel(s.labels, "le", formatValue(bound))), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(&b, "%s %d\n",
+					seriesName(f.name+"_bucket", withLabel(s.labels, "le", "+Inf")), cum)
+				fmt.Fprintf(&b, "%s %s\n", seriesName(f.name+"_sum", s.labels), formatValue(h.Sum()))
+				fmt.Fprintf(&b, "%s %d\n", seriesName(f.name+"_count", s.labels), h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

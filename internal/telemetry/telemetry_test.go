@@ -1,0 +1,376 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestNilSafety pins the contract every instrumented hot path relies on: a
+// nil tracer, registry, or instrument no-ops without panicking.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Now() != 0 || tr.NewFlow() != 0 || tr.Len() != 0 {
+		t.Fatal("nil tracer leaks state")
+	}
+	tr.Record(Span{Name: "x"})
+	tr.Event("x", "y", 0, "net", 1)
+	tr.Reset()
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans() = %v, want nil", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer export is not JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]interface{}); !ok {
+		t.Fatalf("empty trace lacks traceEvents array: %s", buf.String())
+	}
+
+	var reg *Registry
+	reg.Counter("c", "h").Add(1)
+	reg.Gauge("g", "h").Set(2)
+	reg.Histogram("hst", "h", LatencyBuckets).Observe(3)
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("nil registry export: %v", err)
+	}
+
+	var set *Set
+	if set.T() != nil || set.M() != nil {
+		t.Fatal("nil Set hands out non-nil instruments")
+	}
+}
+
+// TestTracerBasics covers recording, args, Len/Reset, and flow allocation.
+func TestTracerBasics(t *testing.T) {
+	tr := NewTracer()
+	if !tr.Enabled() {
+		t.Fatal("fresh tracer disabled")
+	}
+	s := Span{Name: "a", Node: 0, Stream: "comp", Start: 1, Dur: 2}
+	for i := 0; i < maxArgs+2; i++ { // overflow args must be dropped, not panic
+		s = s.With(Num("k", float64(i)))
+	}
+	if s.NArgs != maxArgs {
+		t.Fatalf("NArgs = %d, want %d", s.NArgs, maxArgs)
+	}
+	tr.Record(s)
+	tr.Event("ev", "chaos", 1, "net", 3)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	spans := tr.Spans()
+	if !spans[1].Instant || spans[1].Start != 3 {
+		t.Fatalf("event span wrong: %+v", spans[1])
+	}
+	if f1, f2 := tr.NewFlow(), tr.NewFlow(); f1 == 0 || f2 == 0 || f1 == f2 {
+		t.Fatalf("NewFlow ids %d, %d", f1, f2)
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset left spans behind")
+	}
+	if tr.NewFlow() == 0 {
+		t.Fatal("flow counter reset — ids could collide across resets")
+	}
+}
+
+// TestFlowID pins the deterministic cross-goroutine flow-id derivation.
+func TestFlowID(t *testing.T) {
+	a := FlowID(0, 1, "conv1", 7)
+	if a == 0 {
+		t.Fatal("FlowID returned 0 (reserved for 'no flow')")
+	}
+	if b := FlowID(0, 1, "conv1", 7); b != a {
+		t.Fatalf("FlowID not deterministic: %d vs %d", a, b)
+	}
+	distinct := map[uint64]string{a: "0-1-conv1-7"}
+	for key, id := range map[string]uint64{
+		"1-0-conv1-7": FlowID(1, 0, "conv1", 7),
+		"0-1-conv2-7": FlowID(0, 1, "conv2", 7),
+		"0-1-conv1-8": FlowID(0, 1, "conv1", 8),
+	} {
+		if prev, dup := distinct[id]; dup {
+			t.Fatalf("FlowID collision: %s and %s both map to %d", prev, key, id)
+		}
+		distinct[id] = key
+	}
+}
+
+// TestCounterGaugeHistogram covers instrument semantics.
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hipress_test_total", "help", "k", "v")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // counters are monotone: negative deltas ignored
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if again := reg.Counter("hipress_test_total", "help", "k", "v"); again != c {
+		t.Fatal("same (name, labels) returned a different counter")
+	}
+
+	g := reg.Gauge("hipress_test_gauge", "help")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+
+	h := reg.Histogram("hipress_test_seconds", "help", []float64{1, 10})
+	for _, v := range []float64{0.5, 1.0, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-106.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 106.5", h.Sum())
+	}
+}
+
+// TestRegistryTypeMismatchPanics: one name, one type.
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hipress_x_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name did not panic")
+		}
+	}()
+	reg.Gauge("hipress_x_total", "h")
+}
+
+// chromeDoc mirrors the Chrome trace-event JSON schema for validation.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string                 `json:"name"`
+		Cat  string                 `json:"cat"`
+		Ph   string                 `json:"ph"`
+		Ts   *float64               `json:"ts"`
+		Dur  *float64               `json:"dur"`
+		Pid  *int                   `json:"pid"`
+		Tid  *int                   `json:"tid"`
+		ID   string                 `json:"id"`
+		BP   string                 `json:"bp"`
+		S    string                 `json:"s"`
+		Args map[string]interface{} `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// validateChromeTrace checks structural invariants of an exported trace and
+// returns the parsed document. Shared with the plane-level tests.
+func validateChromeTrace(t *testing.T, raw []byte) chromeDoc {
+	t.Helper()
+	var doc chromeDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	flowStarts := map[string]bool{}
+	flowEnds := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.Pid == nil || ev.Tid == nil || ev.Ts == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, ev)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("complete event %d lacks non-negative dur: %+v", i, ev)
+			}
+		case "i":
+			if ev.S == "" {
+				t.Fatalf("instant event %d lacks scope: %+v", i, ev)
+			}
+		case "s":
+			if ev.ID == "" {
+				t.Fatalf("flow start %d lacks id", i)
+			}
+			flowStarts[ev.ID] = true
+		case "f":
+			if ev.ID == "" || ev.BP != "e" {
+				t.Fatalf("flow end %d malformed: %+v", i, ev)
+			}
+			flowEnds[ev.ID] = true
+		case "M":
+			// metadata
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, ev.Ph)
+		}
+	}
+	for id := range flowEnds {
+		if !flowStarts[id] {
+			t.Fatalf("flow %s terminates without a start", id)
+		}
+	}
+	return doc
+}
+
+// TestChromeTraceSchema exports a representative mix of spans (multi-node,
+// cluster-wide, instant, flow-linked) and validates the schema plus the
+// process/thread metadata and flow pairing Perfetto depends on.
+func TestChromeTraceSchema(t *testing.T) {
+	tr := NewTracer()
+	flow := tr.NewFlow()
+	tr.Record(Span{Name: "compute fwd", Cat: "compute", Node: 0, Stream: "dnn", Start: 0, Dur: 1})
+	tr.Record(Span{Name: "send w/p0", Cat: "send", Node: 0, Stream: "up", Start: 1, Dur: 0.5,
+		Flow: flow, FlowStart: true}.With(Num("bytes", 128)))
+	tr.Record(Span{Name: "recv w/p0", Cat: "recv", Node: 1, Stream: "down", Start: 1.2, Dur: 0.3,
+		Flow: flow}.With(Str("peer", "node0")))
+	tr.Record(Span{Name: "round ps [ok]", Cat: "round", Node: NodeCluster, Stream: "round", Start: 0, Dur: 2})
+	tr.Event("retry w→1 #1", "retry", 0, "net", 1.4)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := validateChromeTrace(t, buf.Bytes())
+
+	procs := map[int]string{}
+	var sawFlowStart, sawFlowEnd, sawInstant bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procs[*ev.Pid] = ev.Args["name"].(string)
+		case ev.Ph == "s":
+			sawFlowStart = true
+		case ev.Ph == "f":
+			sawFlowEnd = true
+		case ev.Ph == "i":
+			sawInstant = true
+		}
+	}
+	// Cluster process at pid 0, nodes shifted up by one.
+	if procs[0] != "cluster" || procs[1] != "node0" || procs[2] != "node1" {
+		t.Fatalf("process naming wrong: %v", procs)
+	}
+	if !sawFlowStart || !sawFlowEnd || !sawInstant {
+		t.Fatalf("missing event phases: s=%v f=%v i=%v", sawFlowStart, sawFlowEnd, sawInstant)
+	}
+
+	// Determinism: a second export of the same tracer is byte-identical.
+	var buf2 bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-export of identical spans differs")
+	}
+}
+
+// TestPrometheusFormat validates the text exposition: headers, sorted
+// deterministic series, label canonicalization and escaping, and cumulative
+// histogram buckets.
+func TestPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	// Label order must not matter: both resolve to the same series.
+	reg.Counter("hipress_bytes_total", "bytes", "algo", "onebit", "node", "0").Add(10)
+	reg.Counter("hipress_bytes_total", "bytes", "node", "0", "algo", "onebit").Add(5)
+	reg.Counter("hipress_bytes_total", "bytes", "algo", "dgc", "node", "1").Add(1)
+	reg.Gauge("hipress_occupancy", "link occupancy", "weird", `va"l\ue`).Set(0.5)
+	h := reg.Histogram("hipress_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.0625) // exact binary fractions keep the _sum line stable
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP hipress_bytes_total bytes\n# TYPE hipress_bytes_total counter\n",
+		`hipress_bytes_total{algo="dgc",node="1"} 1`,
+		`hipress_bytes_total{algo="onebit",node="0"} 15`, // merged across label orders
+		"# TYPE hipress_lat_seconds histogram",
+		`hipress_lat_seconds_bucket{le="0.1"} 1`,
+		`hipress_lat_seconds_bucket{le="1"} 2`,
+		`hipress_lat_seconds_bucket{le="+Inf"} 3`,
+		"hipress_lat_seconds_sum 10.5625",
+		"hipress_lat_seconds_count 3",
+		`hipress_occupancy{weird="va\"l\\ue"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Determinism.
+	var buf2 bytes.Buffer
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf2.String() {
+		t.Fatal("re-export differs")
+	}
+}
+
+// TestDisabledTelemetryZeroAllocs is the hard guarantee behind "free when
+// off": every hot-path entry point, called through nil receivers, performs
+// zero heap allocations.
+func TestDisabledTelemetryZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var set *Set
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.Enabled() {
+			t.Error("nil enabled")
+		}
+		tr.Record(Span{Name: "send w/p0", Cat: "send", Node: 0, Stream: "up", Start: 1, Dur: 2}.
+			With(Num("bytes", 128)))
+		tr.Event("ev", "chaos", 0, "net", tr.Now())
+		_ = tr.NewFlow()
+		c.Add(42)
+		c.Inc()
+		g.Set(1)
+		h.Observe(0.5)
+		set.T().Record(Span{})
+		set.M().Counter("x", "y").Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkTelemetryDisabled measures the disabled-path cost (expect ~ns and
+// 0 allocs/op — run with -benchmem).
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	var tr *Tracer
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(Span{Name: "send", Node: 0, Stream: "up", Start: 1, Dur: 2}.With(Num("bytes", 128)))
+		c.Add(1)
+	}
+}
+
+// BenchmarkTelemetryEnabled is the enabled-path counterpart, for comparing
+// the overhead tracing adds when actually on.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	tr := NewTracer()
+	reg := NewRegistry()
+	c := reg.Counter("hipress_bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(Span{Name: "send", Node: 0, Stream: "up", Start: 1, Dur: 2}.With(Num("bytes", 128)))
+		c.Add(1)
+		if i%1024 == 0 {
+			tr.Reset() // keep memory bounded
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package telemetry is the repository's unified observability plane: a
+// zero-dependency span tracer and a metrics registry shared by both
+// execution planes. The timing plane records virtual-clock spans (seconds of
+// simulated time), the live plane records wall-clock spans (seconds since
+// the tracer's birth), and the exporters render either into standard
+// formats: Chrome trace-event JSON (chrometrace.go, loadable in Perfetto)
+// and Prometheus text exposition (prometheus.go).
+//
+// Every entry point is nil-safe: a nil *Tracer, *Registry, *Counter,
+// *Gauge, or *Histogram no-ops without locking or allocating, so
+// instrumented hot paths cost two predictable branches when telemetry is
+// disabled. Call sites that must build a span name (fmt.Sprintf allocates)
+// gate on Tracer.Enabled() first.
+package telemetry
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Arg is one key/value span attribute. Val carries numeric attributes; a
+// non-empty Str takes precedence and carries string attributes. The fixed
+// shape (rather than map[string]any) keeps span construction heap-free.
+type Arg struct {
+	Key string
+	Val float64
+	Str string
+}
+
+// Num returns a numeric Arg.
+func Num(key string, v float64) Arg { return Arg{Key: key, Val: v} }
+
+// Str returns a string Arg.
+func Str(key, v string) Arg { return Arg{Key: key, Str: v} }
+
+// maxArgs is the inline attribute capacity of one span.
+const maxArgs = 4
+
+// Span is one timed (or instant) interval on a node's stream.
+//
+// Node maps to a Chrome trace process; Stream to a thread within it. Times
+// are seconds on whichever clock the recording plane uses — virtual seconds
+// from the simulator, seconds since Tracer birth from the live plane.
+type Span struct {
+	// Name is the display name ("encode conv1/p0"); Cat the category used
+	// for filtering ("encode", "send", "retry", ...).
+	Name string
+	Cat  string
+	// Node identifies the cluster node (trace process). NodeCluster marks
+	// cluster-wide spans (whole rounds) that belong to no single node.
+	Node int
+	// Stream is the per-node lane: "dnn", "comp", "net", "up", "down", ...
+	Stream string
+	// Start and Dur are seconds. Dur 0 with Instant set renders as an
+	// instant event.
+	Start, Dur float64
+	// Instant marks a zero-duration event (retry, conviction, outage).
+	Instant bool
+	// Flow, when nonzero, links this span to its counterpart across nodes
+	// (send → recv). FlowStart marks the producing side.
+	Flow      uint64
+	FlowStart bool
+	// Args holds up to maxArgs inline attributes; NArgs is the live count.
+	Args  [maxArgs]Arg
+	NArgs int
+}
+
+// NodeCluster is the Span.Node value for cluster-wide spans.
+const NodeCluster = -1
+
+// With appends an attribute in place (dropping it when full) and returns
+// the span for chaining in literals.
+func (s Span) With(a Arg) Span {
+	if s.NArgs < maxArgs {
+		s.Args[s.NArgs] = a
+		s.NArgs++
+	}
+	return s
+}
+
+// Tracer collects spans from one run. The zero value is ready to use; nil
+// is a valid "disabled" tracer. Recording is mutex-serialized (spans arrive
+// from many goroutines on the live plane); the disabled path takes no lock.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+
+	flowSeq atomic.Uint64
+	base    time.Time
+}
+
+// NewTracer returns an enabled tracer. Its wall clock (Now) starts at zero
+// at creation; virtual-clock users ignore Now and stamp spans themselves.
+func NewTracer() *Tracer { return &Tracer{base: time.Now()} }
+
+// Enabled reports whether spans are being recorded. Call sites use it to
+// skip span-name construction entirely when tracing is off.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now returns wall-clock seconds since the tracer was created (0 for nil).
+// The live plane stamps its spans with it so one tracer accumulates a
+// consistent timeline across many rounds.
+func (t *Tracer) Now() float64 {
+	if t == nil || t.base.IsZero() {
+		return 0
+	}
+	return time.Since(t.base).Seconds()
+}
+
+// NewFlow allocates a fresh flow id (0 for nil). Used when both ends of the
+// link are recorded by the same call chain; cross-goroutine pairs use
+// FlowID instead.
+func (t *Tracer) NewFlow() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.flowSeq.Add(1)
+}
+
+// Record appends one span. Nil tracers discard it without locking; the span
+// value never escapes in that case, so the call is allocation-free.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Event records an instant event at time `at`.
+func (t *Tracer) Event(name, cat string, node int, stream string, at float64) {
+	if t == nil {
+		return
+	}
+	t.Record(Span{Name: name, Cat: cat, Node: node, Stream: stream, Start: at, Instant: true})
+}
+
+// Spans returns a copy of everything recorded so far.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Reset discards all recorded spans (the flow counter keeps advancing, so
+// ids never collide across resets).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.mu.Unlock()
+}
+
+// FlowID derives a deterministic flow id for one logical transfer, so the
+// sending and receiving goroutines can tag their spans with the same id
+// without coordinating. Distinct (src, dst, name, seq) tuples map to
+// distinct-with-overwhelming-probability nonzero ids.
+func FlowID(src, dst int, name string, seq int) uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	putU64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	putU64(0, uint64(int64(src)))
+	putU64(8, uint64(int64(dst)))
+	putU64(16, uint64(int64(seq)))
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	id := h.Sum64()
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Set bundles the tracer and metrics registry one run shares; either field
+// may be nil (that signal disabled). A nil *Set disables both.
+type Set struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// New returns a Set with both signals enabled.
+func New() *Set { return &Set{Tracer: NewTracer(), Metrics: NewRegistry()} }
+
+// T returns the tracer (nil-safe).
+func (s *Set) T() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Tracer
+}
+
+// M returns the metrics registry (nil-safe).
+func (s *Set) M() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics
+}

@@ -12,6 +12,7 @@ import (
 
 	"hipress/internal/compress"
 	"hipress/internal/core"
+	"hipress/internal/telemetry"
 	"hipress/internal/tensor"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	Seed uint64
 	// EvalEvery records the loss every this many iterations (0 → 10).
 	EvalEvery int
+
+	// Telemetry, when non-nil, receives wall-clock spans and metrics from
+	// the live synchronization rounds (see internal/telemetry). Nil keeps
+	// training uninstrumented with zero overhead.
+	Telemetry *telemetry.Set
 }
 
 func (c *Config) defaults() error {
@@ -126,6 +132,7 @@ func TrainLinear(task *LinearTask, cfg Config) (*Curve, []float32, error) {
 		Params:        cfg.Params,
 		ErrorFeedback: cfg.ErrorFeedback,
 		Parts:         cfg.Parts,
+		Telemetry:     cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -294,6 +301,7 @@ func TrainMLP(task *MLPTask, cfg Config) (*Curve, error) {
 		Params:        cfg.Params,
 		ErrorFeedback: cfg.ErrorFeedback,
 		Parts:         cfg.Parts,
+		Telemetry:     cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
