@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet fuzz check bench clean
 
 all: build
 
@@ -18,8 +18,18 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The gate used before committing: vet + full race-enabled test suite.
-check: vet race
+# Short fuzz smoke over the two byte-level decoders that face untrusted
+# input: the checkpoint format (disk corruption after a crash) and the TCP
+# wire frame (chaos-corrupted streams). 10s each — enough to catch parser
+# regressions without stalling the gate; run with -fuzztime=10m for a real
+# campaign.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s ./internal/ckpt/
+	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/netsim/
+
+# The gate used before committing: vet + full race-enabled test suite +
+# fuzz smoke.
+check: vet race fuzz
 
 bench:
 	$(GO) run ./cmd/hipress-bench all

@@ -6,7 +6,10 @@
 //
 //	hipress-train live -task linear -algo dgc -workers 4 -iters 200
 //	    run real data-parallel SGD with real compressed gradient exchange
-//	    and report the convergence curve.
+//	    and report the convergence curve. With -checkpoint-dir the run
+//	    saves crash-consistent checkpoints every -checkpoint-every
+//	    iterations, and -resume continues a killed run bit-identically
+//	    from the latest good checkpoint.
 package main
 
 import (
@@ -109,8 +112,14 @@ func liveCmd(args []string) error {
 	lr := fs.Float64("lr", 0.1, "learning rate")
 	ratio := fs.Float64("ratio", 0.1, "sparsifier keep ratio")
 	bitwidth := fs.Float64("bitwidth", 4, "quantizer bitwidth")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for crash-consistent checkpoints ('' disables)")
+	ckptEvery := fs.Int("checkpoint-every", 50, "checkpoint every N iterations")
+	resume := fs.Bool("resume", false, "resume from the latest good checkpoint in -checkpoint-dir")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 	cfg := hipress.TrainConfig{
 		Workers:  *workers,
@@ -124,6 +133,13 @@ func liveCmd(args []string) error {
 		LR:            *lr,
 		Iters:         *iters,
 		Seed:          42,
+	}
+	if *ckptDir != "" {
+		cfg.Checkpoint = &hipress.CheckpointConfig{
+			Dir:    *ckptDir,
+			Every:  *ckptEvery,
+			Resume: *resume,
+		}
 	}
 	var curve *hipress.TrainCurve
 	var err error

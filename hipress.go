@@ -248,6 +248,10 @@ func NewLiveCluster(n int, cfg LiveConfig) (*LiveCluster, error) {
 // TrainConfig configures a data-parallel SGD run on the live plane.
 type TrainConfig = trainer.Config
 
+// CheckpointConfig configures crash-consistent checkpointing (and resume)
+// for a live training run; set it on TrainConfig.Checkpoint.
+type CheckpointConfig = trainer.CheckpointConfig
+
 // TrainCurve is a recorded loss trajectory.
 type TrainCurve = trainer.Curve
 

@@ -1,0 +1,170 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestErrorIdentityContracts is the typed-error audit for the recovery
+// plane's checkpoint layer: every failure path must surface an error that
+// callers can dispatch on with errors.Is / errors.As — including after the
+// usual fmt.Errorf("...: %w", err) wrapping a trainer or driver adds — and
+// CorruptCheckpointError must carry the offending path and unwrap to its
+// cause. String matching on error text must never be necessary.
+func TestErrorIdentityContracts(t *testing.T) {
+	cases := []struct {
+		name string
+		// produce drives a real API path and returns its error.
+		produce func(t *testing.T) error
+		// sentinel, when non-nil, must satisfy errors.Is.
+		sentinel error
+		// wantCorrupt demands errors.As finds a *CorruptCheckpointError
+		// (and wantPath its Path field).
+		wantCorrupt bool
+		wantPath    bool
+	}{
+		{
+			name: "empty store resume is the ErrNoCheckpoint sentinel",
+			produce: func(t *testing.T) error {
+				st, err := OpenStore(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, _, err = st.LoadLatest()
+				return err
+			},
+			sentinel: ErrNoCheckpoint,
+		},
+		{
+			name: "decode of garbage bytes is typed",
+			produce: func(t *testing.T) error {
+				_, err := Decode([]byte("not a checkpoint at all"))
+				return err
+			},
+			wantCorrupt: true,
+		},
+		{
+			name: "truncated file load is typed and names the file",
+			produce: func(t *testing.T) error {
+				st, err := OpenStore(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := st.Save(sampleSnapshot(10))
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw, err := os.ReadFile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(p, raw[:len(raw)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				_, err = st.Load(filepath.Base(p))
+				return err
+			},
+			wantCorrupt: true,
+			wantPath:    true,
+		},
+		{
+			name: "manifest entry with a missing file is typed and names the file",
+			produce: func(t *testing.T) error {
+				st, err := OpenStore(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := st.Save(sampleSnapshot(10))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Remove(p); err != nil {
+					t.Fatal(err)
+				}
+				_, err = st.Load(filepath.Base(p))
+				return err
+			},
+			wantCorrupt: true,
+			wantPath:    true,
+		},
+		{
+			name: "all-corrupt store exhausts to the ErrNoCheckpoint sentinel",
+			produce: func(t *testing.T) error {
+				st, err := OpenStore(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := st.Save(sampleSnapshot(10))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(p, 3); err != nil {
+					t.Fatal(err)
+				}
+				_, skipped, err := st.LoadLatest()
+				if len(skipped) != 1 {
+					t.Fatalf("want 1 skipped corrupt checkpoint, got %v", skipped)
+				}
+				var ce *CorruptCheckpointError
+				if !errors.As(skipped[0], &ce) {
+					t.Fatalf("skip reason untyped: %v", skipped[0])
+				}
+				return err
+			},
+			sentinel: ErrNoCheckpoint,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.produce(t)
+			if err == nil {
+				t.Fatal("path produced no error")
+			}
+			// Identity must survive one layer of caller wrapping.
+			for _, wrapped := range []error{err, fmt.Errorf("driver: resume failed: %w", err)} {
+				if tc.sentinel != nil && !errors.Is(wrapped, tc.sentinel) {
+					t.Fatalf("errors.Is(%v, sentinel) = false", wrapped)
+				}
+				var ce *CorruptCheckpointError
+				if got := errors.As(wrapped, &ce); got != tc.wantCorrupt {
+					t.Fatalf("errors.As CorruptCheckpointError = %v, want %v (err %v)", got, tc.wantCorrupt, wrapped)
+				}
+				if tc.wantCorrupt {
+					if tc.wantPath && ce.Path == "" {
+						t.Fatalf("corrupt error carries no path: %v", ce)
+					}
+					if ce.Reason == "" {
+						t.Fatalf("corrupt error carries no reason: %v", ce)
+					}
+					// A typed corruption is never the no-checkpoint sentinel
+					// (callers must be able to tell "nothing there" from
+					// "something there but damaged").
+					if tc.sentinel == nil && errors.Is(wrapped, ErrNoCheckpoint) {
+						t.Fatalf("corrupt error aliases ErrNoCheckpoint: %v", wrapped)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorruptCheckpointErrorUnwrap: the Err cause is reachable through the
+// standard unwrap chain, so callers can errors.Is against underlying causes
+// (e.g. fs errors) through the typed wrapper.
+func TestCorruptCheckpointErrorUnwrap(t *testing.T) {
+	cause := errors.New("underlying cause")
+	ce := &CorruptCheckpointError{Path: "x.hpck", Reason: "test", Err: cause}
+	if !errors.Is(ce, cause) {
+		t.Fatal("cause not reachable via Unwrap")
+	}
+	if errors.Unwrap(ce) != cause {
+		t.Fatalf("Unwrap = %v, want cause", errors.Unwrap(ce))
+	}
+	none := &CorruptCheckpointError{Path: "x.hpck", Reason: "no cause"}
+	if errors.Unwrap(none) != nil {
+		t.Fatal("Unwrap of cause-less error not nil")
+	}
+}

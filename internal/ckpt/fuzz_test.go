@@ -1,0 +1,45 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointDecode hammers Decode with arbitrary bytes. The contract:
+// never panic, never over-allocate on a lying length field, and either
+// return a structurally valid Snapshot that re-encodes and re-decodes
+// cleanly, or a *CorruptCheckpointError.
+func FuzzCheckpointDecode(f *testing.F) {
+	seedSnaps := []*Snapshot{
+		{},
+		{Step: 1, Algo: "onebit"},
+		sampleSnapshot(42),
+	}
+	for _, s := range seedSnaps {
+		buf, err := Encode(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x48, 0x50, 0x43, 0x4B, 1, 0}) // magic + version, truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			var ce *CorruptCheckpointError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Decode error %v is not CorruptCheckpointError", err)
+			}
+			return
+		}
+		// A successful decode must survive a re-encode → re-decode cycle.
+		buf, err := Encode(s)
+		if err != nil {
+			t.Fatalf("re-encode of decoded snapshot failed: %v", err)
+		}
+		if _, err := Decode(buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNoCheckpoint is returned by LoadLatest when the store holds no usable
+// checkpoint at all — either the directory is fresh or every recorded file
+// failed validation. Callers treat it as "start from scratch".
+var ErrNoCheckpoint = errors.New("ckpt: no usable checkpoint in store")
+
+// manifestName is the store's index of known-good checkpoints, one file name
+// per line, oldest first. The manifest is only ever updated AFTER the
+// checkpoint it references has been durably renamed into place, so a crash
+// between the two leaves at worst an orphaned (unreferenced) file, never a
+// referenced-but-missing one.
+const manifestName = "MANIFEST"
+
+// Store is a directory of checkpoints with crash-consistent writes and
+// corruption fallback on read.
+//
+// Write path (Save): encode → write to a ".tmp" sibling → fsync file →
+// rename into place → fsync directory → append to MANIFEST via the same
+// tmp/rename/fsync dance → garbage-collect old checkpoints. A crash at any
+// point leaves the previous checkpoint intact and loadable.
+//
+// Read path (LoadLatest): walk the manifest newest-first; the first file
+// that decodes cleanly (CRC + structural validation, see Decode) wins.
+// Corrupt entries are skipped with their error recorded; genuine I/O errors
+// abort.
+type Store struct {
+	dir string
+	// Keep bounds how many checkpoints survive garbage collection. The
+	// default (2) retains one fallback behind the latest; raise it to keep a
+	// deeper history.
+	Keep int
+}
+
+// OpenStore opens (creating if necessary) a checkpoint directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: create store dir: %w", err)
+	}
+	return &Store{dir: dir, Keep: 2}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// fileFor names the checkpoint file for a step.
+func fileFor(step int) string { return fmt.Sprintf("ckpt-%012d.hpck", step) }
+
+// writeAtomic writes data to path via tmp + fsync + rename + dir fsync.
+func (st *Store) writeAtomic(name string, data []byte) error {
+	path := filepath.Join(st.dir, name)
+	tmp, err := os.CreateTemp(st.dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: fsync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("ckpt: rename into place: %w", err)
+	}
+	return st.syncDir()
+}
+
+// syncDir fsyncs the store directory so renames are durable.
+func (st *Store) syncDir() error {
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems refuse fsync on directories; the rename itself is
+		// still atomic, so degrade gracefully rather than fail the save.
+		return nil
+	}
+	return nil
+}
+
+// manifest reads the ordered list of recorded checkpoint file names
+// (oldest first). A missing manifest is an empty store.
+func (st *Store) manifest() ([]string, error) {
+	raw, err := os.ReadFile(filepath.Join(st.dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read manifest: %w", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return out, nil
+}
+
+// writeManifest atomically replaces the manifest with names (oldest first).
+func (st *Store) writeManifest(names []string) error {
+	return st.writeAtomic(manifestName, []byte(strings.Join(names, "\n")+"\n"))
+}
+
+// Save encodes s and durably persists it, updating the manifest and
+// garbage-collecting checkpoints beyond Keep. Returns the file path written.
+func (st *Store) Save(s *Snapshot) (string, error) {
+	data, err := Encode(s)
+	if err != nil {
+		return "", err
+	}
+	name := fileFor(s.Step)
+	if err := st.writeAtomic(name, data); err != nil {
+		return "", err
+	}
+	names, err := st.manifest()
+	if err != nil {
+		return "", err
+	}
+	// De-dup: re-saving the same step replaces its manifest slot.
+	kept := names[:0]
+	for _, n := range names {
+		if n != name {
+			kept = append(kept, n)
+		}
+	}
+	names = append(kept, name)
+	keep := st.Keep
+	if keep < 1 {
+		keep = 1
+	}
+	var evict []string
+	if len(names) > keep {
+		evict = append([]string(nil), names[:len(names)-keep]...)
+		names = names[len(names)-keep:]
+	}
+	if err := st.writeManifest(names); err != nil {
+		return "", err
+	}
+	// GC only after the manifest no longer references the victims.
+	for _, n := range evict {
+		os.Remove(filepath.Join(st.dir, n)) // best-effort
+	}
+	return filepath.Join(st.dir, name), nil
+}
+
+// Load decodes one named checkpoint file. Corruption (including a missing
+// file, which is what a crash mid-GC can leave) surfaces as
+// *CorruptCheckpointError so LoadLatest can fall back.
+func (st *Store) Load(name string) (*Snapshot, error) {
+	path := filepath.Join(st.dir, name)
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, &CorruptCheckpointError{Path: path, Reason: "referenced by manifest but missing", Err: err}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read %s: %w", path, err)
+	}
+	s, err := Decode(raw)
+	if err != nil {
+		var ce *CorruptCheckpointError
+		if errors.As(err, &ce) {
+			ce.Path = path
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadLatest returns the newest checkpoint that validates, walking the
+// manifest backwards past corrupt entries (recording each skip in skipped).
+// ErrNoCheckpoint means the store is empty or nothing validated.
+func (st *Store) LoadLatest() (s *Snapshot, skipped []error, err error) {
+	names, err := st.manifest()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		snap, err := st.Load(names[i])
+		if err == nil {
+			return snap, skipped, nil
+		}
+		var ce *CorruptCheckpointError
+		if !errors.As(err, &ce) {
+			return nil, skipped, err // genuine I/O problem: abort loudly
+		}
+		skipped = append(skipped, err)
+	}
+	return nil, skipped, ErrNoCheckpoint
+}
+
+// Steps lists the step numbers of checkpoints currently in the manifest,
+// ascending. Diagnostics only.
+func (st *Store) Steps() ([]int, error) {
+	names, err := st.manifest()
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, n := range names {
+		var step int
+		if _, err := fmt.Sscanf(n, "ckpt-%d.hpck", &step); err == nil {
+			out = append(out, step)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}

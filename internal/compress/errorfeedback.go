@@ -83,6 +83,35 @@ func (ef *ErrorFeedback) Residual(key string) []float32 {
 	return tensor.Clone(r)
 }
 
+// Residuals exports a deep copy of every residual keyed by gradient name —
+// the error-feedback state a checkpoint must capture. The compressors'
+// convergence argument hinges on mass conservation (gradient mass is only
+// ever deferred into the residual, never destroyed), so losing this map on a
+// crash silently breaks EF-SGD; see internal/ckpt.
+func (ef *ErrorFeedback) Residuals() map[string][]float32 {
+	ef.mu.Lock()
+	defer ef.mu.Unlock()
+	out := make(map[string][]float32, len(ef.residuals))
+	for k, v := range ef.residuals {
+		out[k] = tensor.Clone(v)
+	}
+	return out
+}
+
+// SetResiduals replaces the residual store with a deep copy of res — the
+// import half of checkpoint restore (and of elastic state resync, where a
+// rejoining peer adopts a healthy peer's residuals). A nil map clears all
+// state, equivalent to Reset.
+func (ef *ErrorFeedback) SetResiduals(res map[string][]float32) {
+	in := make(map[string][]float32, len(res))
+	for k, v := range res {
+		in[k] = tensor.Clone(v)
+	}
+	ef.mu.Lock()
+	ef.residuals = in
+	ef.mu.Unlock()
+}
+
 // Reset drops all residual state (e.g. between training runs).
 func (ef *ErrorFeedback) Reset() {
 	ef.mu.Lock()

@@ -1,0 +1,68 @@
+package compress
+
+import "hipress/internal/tensor"
+
+// This file is the compressor half of the recovery plane's state-capture
+// API. Most algorithms are pure functions of their input, but the stochastic
+// ones (TernGrad's stochastic rounding, GradDrop's threshold sampling) carry
+// a deterministic RNG whose position in its stream is genuine training
+// state: a kill/resume that rebuilds the compressor from its seed alone
+// would replay early rounding decisions and diverge bit-wise from the
+// uninterrupted run. Checkpoints therefore persist the RNG state of every
+// Stateful compressor (see internal/ckpt and core.LiveCluster.ExportState).
+
+// Stateful is implemented by compressors whose encode path consumes an
+// internal RNG stream. Save/Restore capture exactly that stream position.
+type Stateful interface {
+	// RNGState returns the compressor's current RNG state.
+	RNGState() tensor.RNGState
+	// SetRNGState rewinds the compressor's RNG to a previously saved state.
+	SetRNGState(tensor.RNGState)
+}
+
+// RNGState implements Stateful.
+func (t *TernGrad) RNGState() tensor.RNGState { return t.rng.Save() }
+
+// SetRNGState implements Stateful.
+func (t *TernGrad) SetRNGState(s tensor.RNGState) { t.rng.Restore(s) }
+
+// RNGState implements Stateful.
+func (g *GradDrop) RNGState() tensor.RNGState { return g.rng.Save() }
+
+// SetRNGState implements Stateful.
+func (g *GradDrop) SetRNGState(s tensor.RNGState) { g.rng.Restore(s) }
+
+// Unwrap exposes the wrapped compressor so callers can reach through the
+// instrumentation decorator (e.g. for Stateful capture).
+func (m *Instrumented) Unwrap() Compressor { return m.inner }
+
+// unwrap peels decorators (currently Instrumented) off c.
+func unwrap(c Compressor) Compressor {
+	for {
+		u, ok := c.(interface{ Unwrap() Compressor })
+		if !ok {
+			return c
+		}
+		c = u.Unwrap()
+	}
+}
+
+// StateOf extracts the internal RNG state of c, reaching through decorators.
+// ok is false for stateless compressors (onebit, TBQ, DGC, ...), whose
+// encode output depends only on the input gradient.
+func StateOf(c Compressor) (st tensor.RNGState, ok bool) {
+	if s, is := unwrap(c).(Stateful); is {
+		return s.RNGState(), true
+	}
+	return 0, false
+}
+
+// RestoreState rewinds c's internal RNG (reaching through decorators),
+// reporting whether c was Stateful at all.
+func RestoreState(c Compressor, st tensor.RNGState) bool {
+	if s, is := unwrap(c).(Stateful); is {
+		s.SetRNGState(st)
+		return true
+	}
+	return false
+}

@@ -136,8 +136,21 @@ type RoundHealth struct {
 	// dead peer made them moot.
 	SkippedTasks int64
 	// ExcludedPeers lists nodes declared dead by the failure detector,
-	// ascending.
+	// ascending (includes carried-over membership exclusions).
 	ExcludedPeers []int
+	// SuspectedPeers lists endpoints the detector gathered inconclusive
+	// (tied-scoreboard) evidence against without convicting, ascending.
+	SuspectedPeers []int
+	// MembershipExcluded lists peers excluded at round start because the
+	// elastic membership plane carried a conviction over from an earlier
+	// round — a subset of ExcludedPeers (see LiveConfig.Elastic).
+	MembershipExcluded []int
+	// ProbationPeers lists peers that participated on probation and are
+	// still on probation after this round.
+	ProbationPeers []int
+	// RejoinedPeers lists peers promoted back to full membership at the end
+	// of this round (probation completed).
+	RejoinedPeers []int
 	// ExcludedContribs counts per-partition contributions dropped from
 	// aggregates.
 	ExcludedContribs int64
@@ -185,10 +198,12 @@ type ackKey struct {
 // keeps retrying through a grace phase and eventually surfaces a typed
 // error.
 type roundState struct {
-	mu   sync.Mutex
-	acks map[ackKey]chan struct{}
-	succ []int  // acknowledged transfers credited to each endpoint
-	dead []bool // failure-detector verdicts
+	mu        sync.Mutex
+	acks      map[ackKey]chan struct{}
+	succ      []int  // acknowledged transfers credited to each endpoint
+	dead      []bool // failure-detector verdicts
+	suspected []bool // tied-scoreboard suspicion (evidence without conviction)
+	preseeded []bool // convictions carried in from cross-round membership
 
 	// Counters (atomic): see RoundHealth.
 	retries          int64
@@ -204,10 +219,55 @@ type roundState struct {
 
 func newRoundState(n int) *roundState {
 	return &roundState{
-		acks: map[ackKey]chan struct{}{},
-		succ: make([]int, n),
-		dead: make([]bool, n),
+		acks:      map[ackKey]chan struct{}{},
+		succ:      make([]int, n),
+		dead:      make([]bool, n),
+		suspected: make([]bool, n),
+		preseeded: make([]bool, n),
 	}
+}
+
+// markDead pre-seeds a conviction carried over from the cross-round
+// membership plane: the node is treated as dead from the first task on, so
+// the round routes around it without paying retry timeouts, and the
+// conviction is not counted as "new" when membership state advances.
+func (rs *roundState) markDead(v int) {
+	rs.mu.Lock()
+	if v >= 0 && v < len(rs.dead) {
+		rs.dead[v] = true
+		rs.preseeded[v] = true
+	}
+	rs.mu.Unlock()
+}
+
+// newlyDeadList returns nodes convicted during this round (excluding
+// pre-seeded membership exclusions), ascending.
+func (rs *roundState) newlyDeadList() []int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var out []int
+	for v, d := range rs.dead {
+		if d && !rs.preseeded[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// suspectedList returns endpoints with recorded suspicion that were never
+// convicted, ascending.
+func (rs *roundState) suspectedList() []int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var out []int
+	for v, s := range rs.suspected {
+		if s && !rs.dead[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // ackChan returns (creating if needed) the rendezvous channel for one
@@ -298,6 +358,17 @@ func (rs *roundState) suspect(from, to int) int {
 		rs.dead[victim] = true
 		newly = true
 	}
+	if victim < 0 {
+		// Tied evidence: both endpoints enter the suspected set; the
+		// membership plane surfaces them as PeerSuspected until a clean
+		// round clears the suspicion.
+		if from >= 0 && from < len(rs.suspected) {
+			rs.suspected[from] = true
+		}
+		if to >= 0 && to < len(rs.suspected) {
+			rs.suspected[to] = true
+		}
+	}
 	hook := rs.onDead
 	rs.mu.Unlock()
 	if newly && hook != nil {
@@ -316,6 +387,7 @@ func (rs *roundState) health(reliable bool, elapsed time.Duration) *RoundHealth 
 		CorruptDrops:     atomic.LoadInt64(&rs.corruptDrops),
 		SkippedTasks:     atomic.LoadInt64(&rs.skipped),
 		ExcludedPeers:    rs.deadList(),
+		SuspectedPeers:   rs.suspectedList(),
 		ExcludedContribs: atomic.LoadInt64(&rs.excludedContribs),
 		Renormalized:     atomic.LoadInt32(&rs.renormalized) != 0,
 	}

@@ -88,8 +88,22 @@ type LiveConfig struct {
 	Renormalize bool
 	// Chaos, when non-nil, wraps the round transport in a fault injector
 	// (netsim.WrapChaos). Requires Reliable or RoundTimeout, otherwise a
-	// dropped message would hang the round.
+	// dropped message would hang the round. Replaceable between rounds via
+	// LiveCluster.SetChaos (e.g. to lift a scripted blackout).
 	Chaos *netsim.ChaosConfig
+
+	// --- elastic membership (recovery plane) ---
+
+	// Elastic enables cross-round membership (see rejoin.go): failure-
+	// detector convictions persist between rounds (the peer is pre-excluded,
+	// not re-detected), and a convicted peer re-enters via
+	// LiveCluster.RequestRejoin → state resync → probation. Requires
+	// Reliable delivery, the PS strategy, and OnPeerFail == DegradeExclude
+	// (the machinery that lets a round complete around a dead peer).
+	Elastic bool
+	// ProbationRounds is how many consecutive clean rounds a rejoined peer
+	// must complete before regaining full membership (default 2).
+	ProbationRounds int
 }
 
 // LiveCluster is a set of in-process training nodes that synchronize
@@ -105,6 +119,11 @@ type LiveCluster struct {
 	comp   []compress.Compressor
 	ef     []*compress.ErrorFeedback
 	meters []*compress.Instrumented
+
+	// mem is the elastic membership plane (nil unless LiveConfig.Elastic);
+	// chaosMu guards cfg.Chaos, which SetChaos may replace between rounds.
+	mem     *membership
+	chaosMu sync.Mutex
 }
 
 // NewLiveCluster builds an n-node live cluster.
@@ -121,8 +140,22 @@ func NewLiveCluster(n int, cfg LiveConfig) (*LiveCluster, error) {
 	if cfg.OnPeerFail == DegradeExclude && cfg.Strategy == StrategyRing {
 		return nil, fmt.Errorf("core: DegradeExclude requires the PS strategy (a ring cannot route around a dead hop); use DegradeAbort")
 	}
+	if cfg.Elastic {
+		if !cfg.Reliable {
+			return nil, fmt.Errorf("core: Elastic membership requires Reliable delivery (convictions come from the ack scoreboard)")
+		}
+		if cfg.Strategy != StrategyPS || cfg.OnPeerFail != DegradeExclude {
+			return nil, fmt.Errorf("core: Elastic membership requires the PS strategy with OnPeerFail=DegradeExclude (rounds must complete around an excluded peer)")
+		}
+		if cfg.ProbationRounds <= 0 {
+			cfg.ProbationRounds = 2
+		}
+	}
 	cfg.Retry = cfg.Retry.withDefaults()
 	lc := &LiveCluster{n: n, cfg: cfg}
+	if cfg.Elastic {
+		lc.mem = newMembership(n, cfg.ProbationRounds)
+	}
 	switch cfg.Strategy {
 	case StrategyRing:
 		lc.topo = Ring(n)
@@ -505,8 +538,8 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		return nil, nil, fmt.Errorf("core: unknown live transport %q (have chan, tcp)", lc.cfg.Transport)
 	}
 	var chaosTr *netsim.ChaosTransport
-	if lc.cfg.Chaos != nil {
-		chaosTr = netsim.WrapChaos(tr, lc.cfg.Chaos)
+	if chaos := lc.chaosCfg(); chaos != nil {
+		chaosTr = netsim.WrapChaos(tr, chaos)
 		tr = chaosTr
 	}
 	defer tr.Close()
@@ -564,6 +597,14 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		met:       lc.cfg.Telemetry.M(),
 	}
 	r.rs.onDead = r.onPeerDead
+	// Elastic membership: exclude carried convictions up front, so the DAG
+	// routes around a known-dead peer without re-paying detection timeouts.
+	carried := lc.preseedExcluded(r.rs)
+	if r.trc.Enabled() {
+		for _, v := range carried {
+			r.traceEvent(fmt.Sprintf("membership-excluded node%d", v), "rejoin", v)
+		}
+	}
 	roundStart := r.trc.Now()
 
 	var coord *liveCoordinator
@@ -667,6 +708,7 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		st := chaosTr.Stats()
 		health.Chaos = &st
 	}
+	lc.updateMembership(health, r.rs, carried, r.runErr == nil)
 	r.emitRoundTelemetry(health, roundStart)
 	if r.runErr != nil {
 		return nil, health, r.runErr

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"hipress/internal/compress"
+	"hipress/internal/tensor"
+)
+
+// This file is the live plane's half of the recovery plane: exporting and
+// importing the cross-round training state a LiveCluster accumulates —
+// per-node error-feedback residuals and the RNG stream positions of
+// stateful compressors. A checkpoint that captures only model parameters
+// silently breaks EF-SGD (the residual maps carry deferred gradient mass)
+// and de-synchronizes stochastic compressors (TernGrad/GradDrop replay
+// early rounding decisions after a naive restart). internal/ckpt persists
+// what these methods export; internal/trainer calls them around Save/Resume;
+// elastic rejoin (rejoin.go) reuses ImportNodeState to hand a returning
+// peer a healthy peer's residuals.
+
+// compRNGKey names node v's compressor RNG stream in the exported map (and
+// in ckpt.Snapshot.RNG).
+func compRNGKey(v int) string { return fmt.Sprintf("comp/%d", v) }
+
+// ExportState snapshots the cluster's cross-round mutable state:
+//
+//   - residuals[v] is node v's error-feedback residual export (deep copy;
+//     nil when the cluster runs without error feedback),
+//   - rng maps "comp/<v>" to node v's compressor RNG position for stateful
+//     algorithms (empty for stateless ones).
+//
+// The return values are detached copies — safe to serialize while the next
+// round runs.
+func (lc *LiveCluster) ExportState() (residuals []map[string][]float32, rng map[string]uint64) {
+	rng = map[string]uint64{}
+	if lc.ef != nil {
+		residuals = make([]map[string][]float32, lc.n)
+		for v, ef := range lc.ef {
+			if ef != nil {
+				residuals[v] = ef.Residuals()
+			}
+		}
+	}
+	for v, c := range lc.comp {
+		if c == nil {
+			continue
+		}
+		if st, ok := compress.StateOf(c); ok {
+			rng[compRNGKey(v)] = uint64(st)
+		}
+	}
+	return residuals, rng
+}
+
+// ImportState restores state previously captured by ExportState into a
+// freshly built cluster of the same shape (same n, algo, error-feedback
+// setting). A nil residuals slice leaves residuals untouched (exact-sync
+// clusters); a missing "comp/<v>" entry leaves that node's RNG at its
+// seeded position.
+func (lc *LiveCluster) ImportState(residuals []map[string][]float32, rng map[string]uint64) error {
+	if residuals != nil {
+		if lc.ef == nil {
+			return fmt.Errorf("core: ImportState got residuals but cluster has no error feedback")
+		}
+		if len(residuals) != lc.n {
+			return fmt.Errorf("core: ImportState got %d residual sets for %d nodes", len(residuals), lc.n)
+		}
+		for v, res := range residuals {
+			if lc.ef[v] != nil {
+				lc.ef[v].SetResiduals(res)
+			}
+		}
+	}
+	for v, c := range lc.comp {
+		if c == nil {
+			continue
+		}
+		st, present := rng[compRNGKey(v)]
+		if !present {
+			continue
+		}
+		if !compress.RestoreState(c, tensor.RNGState(st)) {
+			return fmt.Errorf("core: ImportState has RNG state for node %d but compressor %q is stateless", v, lc.cfg.Algo)
+		}
+	}
+	return nil
+}
+
+// ImportNodeState overwrites a single node's residual store with a deep copy
+// of res — the state-resync step of elastic rejoin, where a returning peer
+// adopts a healthy donor's residuals instead of rejoining with stale (or
+// zero) deferred mass. No-op for clusters without error feedback.
+func (lc *LiveCluster) ImportNodeState(v int, res map[string][]float32) error {
+	if v < 0 || v >= lc.n {
+		return fmt.Errorf("core: ImportNodeState node %d out of range [0,%d)", v, lc.n)
+	}
+	if lc.ef == nil || lc.ef[v] == nil {
+		return nil
+	}
+	lc.ef[v].SetResiduals(res)
+	return nil
+}
+
+// NodeResiduals exports one node's residual map (deep copy), or nil without
+// error feedback — the donor half of elastic state resync.
+func (lc *LiveCluster) NodeResiduals(v int) map[string][]float32 {
+	if v < 0 || v >= lc.n || lc.ef == nil || lc.ef[v] == nil {
+		return nil
+	}
+	return lc.ef[v].Residuals()
+}

@@ -27,7 +27,7 @@ func Experiments() []string {
 		"fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13",
 		"micro", "jitter", "strategies", "wire",
-		"chaos", "plan-robustness", "trace",
+		"chaos", "plan-robustness", "trace", "recovery",
 	}
 }
 
@@ -87,6 +87,8 @@ func RunExperiment(id string, scale float64) (*Table, error) {
 		return PlanRobustnessExp()
 	case "trace":
 		return TraceExp()
+	case "recovery":
+		return RecoveryExp()
 	default:
 		return nil, fmt.Errorf("engine: unknown experiment %q (have %v)", id, Experiments())
 	}

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode drives decodeFrame — the TCP transport's wire-format
+// parser, the first code that touches bytes off the network — with arbitrary
+// frame bodies. The contract under fuzzing:
+//
+//  1. decodeFrame never panics, whatever the bytes (the read loop feeds it
+//     attacker-shaped data whenever chaos corrupts a stream);
+//  2. any frame it accepts round-trips: re-encoding the decoded Message
+//     reproduces the input bytes exactly, so decode is a true inverse of
+//     encodeFrame and no accepted frame is ambiguous.
+func FuzzFrameDecode(f *testing.F) {
+	// Well-formed seeds: a data frame, an ack, a negative From (int32
+	// casts), an empty-everything frame — plus malformed ones (empty,
+	// truncated header, bad flags, gradient length past the body).
+	seeds := []Message{
+		{From: 1, To: 2, Gradient: "layer3.weight/p2", Step: 7, Attempt: 1,
+			Sum: 0xdeadbeef, Payload: []byte{1, 2, 3, 4}},
+		{From: 2, To: 1, Gradient: "layer3.weight/p2", Step: 7, Attempt: 3, Ack: true},
+		{From: -1, To: 0, Gradient: "", Step: -9, Attempt: 0, Payload: []byte("x")},
+		{},
+	}
+	for _, m := range seeds {
+		f.Add(encodeFrame(m)[4:]) // strip the u32 length prefix
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, frameHdrLen-1))
+	bad := encodeFrame(seeds[0])[4:]
+	bad[22] = 0x80 // unknown flag bit
+	f.Add(bad)
+	short := encodeFrame(seeds[0])[4:]
+	short[23] = 0xff // gradient length larger than the body
+	short[24] = 0xff
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		msg, err := decodeFrame(frame)
+		if err != nil {
+			return // rejected is fine; not panicking is the point
+		}
+		re := encodeFrame(msg)[4:]
+		if !bytes.Equal(re, frame) {
+			t.Fatalf("accepted frame does not round-trip:\n in: %x\nout: %x", frame, re)
+		}
+		msg2, err := decodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if msg2.From != msg.From || msg2.To != msg.To || msg2.Gradient != msg.Gradient ||
+			msg2.Step != msg.Step || msg2.Attempt != msg.Attempt || msg2.Ack != msg.Ack ||
+			msg2.Sum != msg.Sum || !bytes.Equal(msg2.Payload, msg.Payload) {
+			t.Fatalf("decode not deterministic: %+v vs %+v", msg, msg2)
+		}
+	})
+}

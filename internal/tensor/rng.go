@@ -17,6 +17,23 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed + 0x9e3779b97f4a7c15}
 }
 
+// RNGState is the full serializable state of an RNG. The splitmix64 core
+// keeps its entire state in one 64-bit word, so a state capture is exact:
+// restoring it resumes the stream at precisely the next draw. Checkpoint
+// files persist these (see internal/ckpt) to make kill/resume training
+// bit-identical to the uninterrupted run.
+type RNGState uint64
+
+// Save captures the generator's current state. The returned value is
+// self-contained: it can be persisted and fed to Restore (on this or any
+// other RNG) to continue the identical stream.
+func (r *RNG) Save() RNGState { return RNGState(r.state) }
+
+// Restore rewinds (or fast-forwards) the generator to a previously saved
+// state. After Restore, the draw sequence is bit-identical to what the
+// saving generator would have produced next.
+func (r *RNG) Restore(s RNGState) { r.state = uint64(s) }
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -1,0 +1,164 @@
+package trainer
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"hipress/internal/ckpt"
+	"hipress/internal/telemetry"
+	"hipress/internal/tensor"
+)
+
+// CheckpointConfig wires the recovery plane into a training run: periodic
+// crash-consistent snapshots (internal/ckpt) and resume-from-latest. The
+// headline guarantee — enforced by TestKillResumeBitIdentical — is that
+// kill-at-iteration-k + resume reproduces the uninterrupted run's loss
+// curve bit-for-bit: snapshots capture model parameters, momentum
+// velocities, per-worker data RNG positions, error-feedback residuals at
+// every node, and stateful-compressor RNG streams, so the continuation is
+// the same computation, not merely a similar one.
+type CheckpointConfig struct {
+	// Dir is the checkpoint store directory.
+	Dir string
+	// Every saves a snapshot after every Every completed iterations (a
+	// snapshot taken after iteration k-1 stores Step k). Zero disables
+	// periodic saving (useful with Resume to only read).
+	Every int
+	// Resume loads the newest valid checkpoint from Dir (falling back past
+	// corrupt files) and continues from its Step. A fresh/empty store
+	// starts from iteration 0.
+	Resume bool
+	// Keep overrides how many checkpoints survive garbage collection
+	// (default 2: latest plus one fallback).
+	Keep int
+}
+
+// ckptRunner is the per-run checkpoint driver shared by TrainLinear and
+// TrainMLP.
+type ckptRunner struct {
+	store *ckpt.Store
+	every int
+	tel   *telemetry.Set
+}
+
+// newCkptRunner opens the store (nil config → nil runner, checkpointing
+// disabled).
+func newCkptRunner(cc *CheckpointConfig, tel *telemetry.Set) (*ckptRunner, error) {
+	if cc == nil {
+		return nil, nil
+	}
+	if cc.Dir == "" {
+		return nil, fmt.Errorf("trainer: CheckpointConfig.Dir is empty")
+	}
+	st, err := ckpt.OpenStore(cc.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if cc.Keep > 0 {
+		st.Keep = cc.Keep
+	}
+	return &ckptRunner{store: st, every: cc.Every, tel: tel}, nil
+}
+
+// resume loads the latest valid snapshot, or nil when the store is empty
+// (fresh start). Corrupt-latest fallbacks are counted in telemetry. The
+// snapshot is validated against the run configuration: resuming a run under
+// a different algorithm or worker count would make the restored residuals
+// and RNG streams meaningless.
+func (cr *ckptRunner) resume(cfg *Config, task string) (*ckpt.Snapshot, error) {
+	snap, skipped, err := cr.store.LoadLatest()
+	if m := cr.tel.M(); m != nil && len(skipped) > 0 {
+		m.Counter("hipress_ckpt_fallbacks_total",
+			"checkpoints skipped as corrupt during resume").Add(float64(len(skipped)))
+	}
+	if errors.Is(err, ckpt.ErrNoCheckpoint) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if snap.Algo != cfg.Algo {
+		return nil, fmt.Errorf("trainer: checkpoint was taken under algo %q, run uses %q", snap.Algo, cfg.Algo)
+	}
+	if got := snap.Meta["task"]; got != task {
+		return nil, fmt.Errorf("trainer: checkpoint is for task %q, run is %q", got, task)
+	}
+	if got := snap.Meta["workers"]; got != strconv.Itoa(cfg.Workers) {
+		return nil, fmt.Errorf("trainer: checkpoint has %s workers, run has %d", got, cfg.Workers)
+	}
+	if snap.Step > cfg.Iters {
+		return nil, fmt.Errorf("trainer: checkpoint step %d beyond run's %d iterations", snap.Step, cfg.Iters)
+	}
+	if m := cr.tel.M(); m != nil {
+		m.Counter("hipress_ckpt_resumes_total", "training runs resumed from a checkpoint").Inc()
+	}
+	return snap, nil
+}
+
+// maybeSave persists a snapshot when iteration it (0-based, just completed)
+// hits the period. capture builds the snapshot lazily so non-checkpoint
+// iterations pay nothing.
+func (cr *ckptRunner) maybeSave(it int, capture func() *ckpt.Snapshot) error {
+	if cr == nil || cr.every <= 0 || (it+1)%cr.every != 0 {
+		return nil
+	}
+	var start float64
+	tr := cr.tel.T()
+	if tr.Enabled() {
+		start = tr.Now()
+	}
+	snap := capture()
+	if _, err := cr.store.Save(snap); err != nil {
+		return fmt.Errorf("trainer: checkpoint at step %d: %w", snap.Step, err)
+	}
+	if tr.Enabled() {
+		tr.Record(telemetry.Span{
+			Name: fmt.Sprintf("ckpt save step %d", snap.Step), Cat: "ckpt",
+			Node: 0, Stream: "comp", Start: start, Dur: tr.Now() - start,
+		}.With(telemetry.Num("step", float64(snap.Step))))
+	}
+	if m := cr.tel.M(); m != nil {
+		m.Counter("hipress_ckpt_saves_total", "checkpoints written").Inc()
+	}
+	return nil
+}
+
+// cloneParams copies compressor params into the snapshot's float map.
+func cloneParams(p map[string]float64) map[string]float64 {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// restoreTensor copies a named snapshot tensor into dst, demanding an exact
+// length match (a dimension mismatch means the checkpoint belongs to a
+// different model).
+func restoreTensor(snap *ckpt.Snapshot, name string, dst []float32) error {
+	src, ok := snap.Tensors[name]
+	if !ok {
+		return fmt.Errorf("trainer: checkpoint is missing tensor %q", name)
+	}
+	if len(src) != len(dst) {
+		return fmt.Errorf("trainer: checkpoint tensor %q has %d elements, model wants %d", name, len(src), len(dst))
+	}
+	copy(dst, src)
+	return nil
+}
+
+// restoreRNG rewinds rng to the named saved stream position.
+func restoreRNG(snap *ckpt.Snapshot, name string, rng *tensor.RNG) error {
+	st, ok := snap.RNG[name]
+	if !ok {
+		return fmt.Errorf("trainer: checkpoint is missing RNG state %q", name)
+	}
+	rng.Restore(tensor.RNGState(st))
+	return nil
+}
+
+func workerRNGKey(v int) string { return "rng/worker/" + strconv.Itoa(v) }

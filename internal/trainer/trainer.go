@@ -9,7 +9,9 @@ package trainer
 import (
 	"fmt"
 	"math"
+	"strconv"
 
+	"hipress/internal/ckpt"
 	"hipress/internal/compress"
 	"hipress/internal/core"
 	"hipress/internal/telemetry"
@@ -51,6 +53,12 @@ type Config struct {
 	// the live synchronization rounds (see internal/telemetry). Nil keeps
 	// training uninstrumented with zero overhead.
 	Telemetry *telemetry.Set
+
+	// Checkpoint, when non-nil, enables the recovery plane: periodic
+	// crash-consistent snapshots and resume-from-latest such that a killed
+	// and resumed run is bit-identical to an uninterrupted one (see
+	// CheckpointConfig).
+	Checkpoint *CheckpointConfig
 }
 
 func (c *Config) defaults() error {
@@ -173,7 +181,64 @@ func TrainLinear(task *LinearTask, cfg Config) (*Curve, []float32, error) {
 		localVel[v] = make([]float32, dim)
 	}
 	globalVel := make([]float32, dim)
-	for it := 0; it < cfg.Iters; it++ {
+
+	// Recovery plane: open the store, optionally restore every piece of
+	// mutable training state (weights, velocities, data RNG positions,
+	// error-feedback residuals, compressor RNG streams) from the latest
+	// valid checkpoint, and save periodically below.
+	cr, err := newCkptRunner(cfg.Checkpoint, cfg.Telemetry)
+	if err != nil {
+		return nil, nil, err
+	}
+	startIt := 0
+	if cr != nil && cfg.Checkpoint.Resume {
+		snap, err := cr.resume(&cfg, "linear")
+		if err != nil {
+			return nil, nil, err
+		}
+		if snap != nil {
+			if err := restoreTensor(snap, "w", w); err != nil {
+				return nil, nil, err
+			}
+			if err := restoreTensor(snap, "vel/global", globalVel); err != nil {
+				return nil, nil, err
+			}
+			for v := range localVel {
+				if err := restoreTensor(snap, "vel/local/"+strconv.Itoa(v), localVel[v]); err != nil {
+					return nil, nil, err
+				}
+			}
+			for v := range workerRNG {
+				if err := restoreRNG(snap, workerRNGKey(v), workerRNG[v]); err != nil {
+					return nil, nil, err
+				}
+			}
+			if err := lc.ImportState(snap.Residuals, snap.RNG); err != nil {
+				return nil, nil, err
+			}
+			startIt = snap.Step
+		}
+	}
+	capture := func(step int) *ckpt.Snapshot {
+		res, rng := lc.ExportState()
+		for v := range workerRNG {
+			rng[workerRNGKey(v)] = uint64(workerRNG[v].Save())
+		}
+		tensors := map[string][]float32{
+			"w":          tensor.Clone(w),
+			"vel/global": tensor.Clone(globalVel),
+		}
+		for v := range localVel {
+			tensors["vel/local/"+strconv.Itoa(v)] = tensor.Clone(localVel[v])
+		}
+		return &ckpt.Snapshot{
+			Step: step, Algo: cfg.Algo, Params: cloneParams(cfg.Params),
+			Tensors: tensors, Residuals: res, RNG: rng,
+			Meta: map[string]string{"task": "linear", "workers": strconv.Itoa(cfg.Workers)},
+		}
+	}
+
+	for it := startIt; it < cfg.Iters; it++ {
 		grads := make([]map[string][]float32, cfg.Workers)
 		for v := 0; v < cfg.Workers; v++ {
 			g := make([]float32, dim)
@@ -210,6 +275,9 @@ func TrainLinear(task *LinearTask, cfg Config) (*Curve, []float32, error) {
 		if it%cfg.EvalEvery == 0 || it == cfg.Iters-1 {
 			curve.Iters = append(curve.Iters, it)
 			curve.Losses = append(curve.Losses, mse())
+		}
+		if err := cr.maybeSave(it, func() *ckpt.Snapshot { return capture(it + 1) }); err != nil {
+			return nil, nil, err
 		}
 	}
 	return curve, w, nil
@@ -332,9 +400,54 @@ func TrainMLP(task *MLPTask, cfg Config) (*Curve, error) {
 		return sum / evalN
 	}
 
+	// Recovery plane: see TrainLinear. The MLP snapshot carries the four
+	// student parameter tensors plus worker RNG and cluster state.
+	cr, err := newCkptRunner(cfg.Checkpoint, cfg.Telemetry)
+	if err != nil {
+		return nil, err
+	}
+	startIt := 0
+	if cr != nil && cfg.Checkpoint.Resume {
+		snap, err := cr.resume(&cfg, "mlp")
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			for name, dst := range student.gradsMap() {
+				if err := restoreTensor(snap, name, dst); err != nil {
+					return nil, err
+				}
+			}
+			for v := range workerRNG {
+				if err := restoreRNG(snap, workerRNGKey(v), workerRNG[v]); err != nil {
+					return nil, err
+				}
+			}
+			if err := lc.ImportState(snap.Residuals, snap.RNG); err != nil {
+				return nil, err
+			}
+			startIt = snap.Step
+		}
+	}
+	capture := func(step int) *ckpt.Snapshot {
+		res, rng := lc.ExportState()
+		for v := range workerRNG {
+			rng[workerRNGKey(v)] = uint64(workerRNG[v].Save())
+		}
+		tensors := map[string][]float32{}
+		for name, src := range student.gradsMap() {
+			tensors[name] = tensor.Clone(src)
+		}
+		return &ckpt.Snapshot{
+			Step: step, Algo: cfg.Algo, Params: cloneParams(cfg.Params),
+			Tensors: tensors, Residuals: res, RNG: rng,
+			Meta: map[string]string{"task": "mlp", "workers": strconv.Itoa(cfg.Workers)},
+		}
+	}
+
 	curve := &Curve{}
 	x := make([]float32, task.In)
-	for it := 0; it < cfg.Iters; it++ {
+	for it := startIt; it < cfg.Iters; it++ {
 		grads := make([]map[string][]float32, cfg.Workers)
 		for v := 0; v < cfg.Workers; v++ {
 			g := &mlp{in: task.In, hidden: task.Hidden,
@@ -362,6 +475,9 @@ func TrainMLP(task *MLPTask, cfg Config) (*Curve, error) {
 		if it%cfg.EvalEvery == 0 || it == cfg.Iters-1 {
 			curve.Iters = append(curve.Iters, it)
 			curve.Losses = append(curve.Losses, mse())
+		}
+		if err := cr.maybeSave(it, func() *ckpt.Snapshot { return capture(it + 1) }); err != nil {
+			return nil, err
 		}
 	}
 	return curve, nil
