@@ -89,7 +89,8 @@ func putHeader(buf []byte, magic uint16, algo uint16, n int) {
 
 func checkHeader(payload []byte, magic uint16, algo uint16, n int) error {
 	if len(payload) < headerSize {
-		return fmt.Errorf("compress: payload too short (%d bytes)", len(payload))
+		return fmt.Errorf("%w: %d bytes, need at least the %d-byte header",
+			ErrTruncatedPayload, len(payload), headerSize)
 	}
 	if m := binary.LittleEndian.Uint16(payload[0:]); m != magic {
 		return fmt.Errorf("compress: bad magic %#04x", m)

@@ -42,6 +42,22 @@ func (ef *ErrorFeedback) Compressor() Compressor { return ef.c }
 // EncodeWithFeedback compresses grad under key, applying and updating the
 // residual. The input slice is not modified.
 func (ef *ErrorFeedback) EncodeWithFeedback(key string, grad []float32) ([]byte, error) {
+	return ef.EncodeWithFeedbackInto(key, nil, grad)
+}
+
+// EncodeWithFeedbackInto is the zero-alloc variant: the payload is written
+// into dst (sized via MaxEncodedSize; see EncoderInto for the capacity
+// contract) and the residual update is fused into the encode passes when the
+// wrapped compressor supports FusedEncoder — one combined
+// residual-add+encode sweep plus one residual-update sweep instead of four
+// separate passes, halving memory traffic on the hot path. Payload bytes and
+// the resulting residual are bit-identical to the unfused construction.
+//
+// Concurrent encodes under the *same* key race on the residual buffer and
+// are not supported (they never were: the unfused path read the residual
+// outside the lock); distinct keys are safe, which matches the live plane's
+// one-gradient-per-key layout.
+func (ef *ErrorFeedback) EncodeWithFeedbackInto(key string, dst []byte, grad []float32) ([]byte, error) {
 	ef.mu.Lock()
 	res := ef.residuals[key]
 	if len(res) != len(grad) {
@@ -49,27 +65,12 @@ func (ef *ErrorFeedback) EncodeWithFeedback(key string, grad []float32) ([]byte,
 		ef.residuals[key] = res
 	}
 	ef.mu.Unlock()
-
-	v := tensor.Clone(grad)
-	tensor.Add(v, res)
-	payload, err := ef.c.Encode(v)
-	if err != nil {
-		return nil, err
-	}
-	dec, err := ef.c.Decode(payload, len(v))
-	if err != nil {
-		return nil, err
-	}
-	ef.mu.Lock()
-	// Another goroutine may have replaced the slice (e.g. after a resize);
-	// re-fetch under the lock before writing.
-	res = ef.residuals[key]
-	for i := range res {
-		res[i] = v[i] - dec[i]
-	}
-	ef.mu.Unlock()
-	return payload, nil
+	return encodeFused(ef.c, dst, grad, res)
 }
+
+// MaxEncodedSize reports the worst-case payload length of the wrapped
+// compressor — the capacity to lease for EncodeWithFeedbackInto.
+func (ef *ErrorFeedback) MaxEncodedSize(n int) int { return MaxEncodedSize(ef.c, n) }
 
 // Residual returns a copy of the residual currently stored for key, or nil
 // if none exists. Intended for tests and diagnostics.

@@ -3,8 +3,10 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
+	"hipress/internal/kernels"
 	"hipress/internal/tensor"
 )
 
@@ -54,15 +56,27 @@ func (g *GradDrop) CompressedSize(n int) int {
 	return headerSize + 4 + 8*k
 }
 
+// samplePool recycles the threshold-estimation scratch so steady-state
+// encodes allocate nothing.
+var samplePool = sync.Pool{New: func() any {
+	s := make([]float64, 0, sampleSize)
+	return &s
+}}
+
 // threshold estimates the |value| cut so that about ratio of elements
-// survive, from a random sample of the gradient.
+// survive, from a random sample of the gradient. The sampling is
+// deliberately sequential (the draws define the compressor's RNG stream,
+// which checkpoints capture); it touches at most sampleSize elements, so it
+// is never the hot loop.
 func (g *GradDrop) threshold(grad []float32) float32 {
 	n := len(grad)
 	s := sampleSize
 	if s > n {
 		s = n
 	}
-	sample := make([]float64, s)
+	sp := samplePool.Get().(*[]float64)
+	defer samplePool.Put(sp)
+	sample := growSlice(*sp, s)
 	if s == n {
 		for i, x := range grad {
 			a := float64(x)
@@ -80,7 +94,7 @@ func (g *GradDrop) threshold(grad []float32) float32 {
 			sample[i] = x
 		}
 	}
-	sort.Float64s(sample)
+	slices.Sort(sample)
 	cut := int(float64(s) * (1 - g.ratio))
 	if cut >= s {
 		cut = s - 1
@@ -91,86 +105,133 @@ func (g *GradDrop) threshold(grad []float32) float32 {
 	return float32(sample[cut])
 }
 
+// MaxEncodedSize reports the worst-case payload length (every element
+// survives the sampled threshold) — the capacity to lease for EncodeInto.
+func (g *GradDrop) MaxEncodedSize(n int) int { return headerSize + 4 + 8*n }
+
 // Encode implements Compressor.
 func (g *GradDrop) Encode(grad []float32) ([]byte, error) {
+	return g.EncodeInto(nil, grad)
+}
+
+// EncodeInto implements EncoderInto: threshold estimation stays sequential
+// (it samples ≤ sampleSize elements and defines the RNG stream), while the
+// count and write passes over the full gradient run chunk-parallel with the
+// same count/prefix/write scheme as TBQ. Byte-identical to serial for any
+// worker count.
+func (g *GradDrop) EncodeInto(dst []byte, grad []float32) ([]byte, error) {
+	return g.encode(dst, grad, nil)
+}
+
+// EncodeFused implements FusedEncoder.
+func (g *GradDrop) EncodeFused(dst []byte, grad, residual []float32) ([]byte, error) {
+	if len(residual) != len(grad) {
+		return nil, errSize("graddrop residual", len(residual), len(grad))
+	}
+	return g.encode(dst, grad, residual)
+}
+
+func (g *GradDrop) encode(dst []byte, grad, res []float32) ([]byte, error) {
 	n := len(grad)
 	if n == 0 {
-		out := make([]byte, headerSize+4)
+		out := ensurePayload(dst, headerSize+4)
 		putHeader(out, payloadMagic, algoGradDrop, 0)
+		binary.LittleEndian.PutUint32(out[headerSize:], 0)
 		return out, nil
 	}
-	thr := g.threshold(grad)
-	// Count survivors, then fill. A zero threshold would keep everything;
-	// clamp to keep at least one and at most all.
+	chunks := kernels.NumChunks(n)
+	op := gdropOpPool.Get().(*gdropOp)
+	op.n, op.grad, op.res = n, grad, res
+	op.counts = growSlice(op.counts, chunks)
+	op.offs = growSlice(op.offs, chunks)
+
+	src := grad
+	if res != nil {
+		// Fused pass 0: v = grad + residual stored into the residual
+		// buffer; the sampled threshold and all later passes see v.
+		op.phase = gdropVStore
+		kernels.Default().Run(chunks, op)
+		src = res
+	}
+	thr := g.threshold(src)
+	op.thr = thr
+
+	op.phase = gdropCount
+	kernels.Default().Run(chunks, op)
 	k := 0
-	for _, x := range grad {
-		a := x
-		if a < 0 {
-			a = -a
-		}
-		if a >= thr && a > 0 {
-			k++
-		}
+	for c := 0; c < chunks; c++ {
+		op.offs[c] = k
+		k += op.counts[c]
 	}
 	if k == 0 {
 		// Degenerate all-zero (or threshold-above-max) gradient: send the
-		// single largest element so progress is never silently lost.
-		k = 1
+		// single first element so progress is never silently lost.
+		out := ensurePayload(dst, headerSize+4+8)
+		putHeader(out, payloadMagic, algoGradDrop, n)
+		binary.LittleEndian.PutUint32(out[headerSize:], 1)
+		binary.LittleEndian.PutUint32(out[headerSize+4:], 0)
+		putF32(out[headerSize+8:], src[0])
+		if res != nil {
+			res[0] = 0 // decode reproduces v[0] exactly
+		}
+		op.release()
+		return out, nil
 	}
-	out := make([]byte, headerSize+4+8*k)
+	out := ensurePayload(dst, headerSize+4+8*k)
 	putHeader(out, payloadMagic, algoGradDrop, n)
 	binary.LittleEndian.PutUint32(out[headerSize:], uint32(k))
-	idxBody := out[headerSize+4:]
-	valBody := out[headerSize+4+4*k:]
-	w := 0
-	for i, x := range grad {
-		a := x
-		if a < 0 {
-			a = -a
-		}
-		if a >= thr && a > 0 && w < k {
-			binary.LittleEndian.PutUint32(idxBody[4*w:], uint32(i))
-			putF32(valBody[4*w:], x)
-			w++
-		}
-	}
-	if w == 0 {
-		// The degenerate case above: emit element 0.
-		binary.LittleEndian.PutUint32(idxBody[0:], 0)
-		putF32(valBody[0:], grad[0])
-		w = 1
-	}
-	if w != k {
-		// Fewer survivors than counted can only happen via the w<k guard,
-		// which is unreachable when counting and filling use one predicate;
-		// fail loudly if the invariant is ever broken.
-		return nil, fmt.Errorf("compress: graddrop wrote %d of %d survivors", w, k)
-	}
+	op.idxBody = out[headerSize+4:]
+	op.valBody = out[headerSize+4+4*k:]
+	op.phase = gdropWrite
+	kernels.Default().Run(chunks, op)
+	op.release()
 	return out, nil
 }
 
 // Decode implements Compressor.
 func (g *GradDrop) Decode(payload []byte, n int) ([]float32, error) {
 	out := make([]float32, n)
-	if err := g.DecodeAdd(payload, out); err != nil {
+	if err := g.DecodeInto(out, payload); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// DecodeAdd implements DecodeAdder.
-func (g *GradDrop) DecodeAdd(payload []byte, dst []float32) error {
-	n := len(dst)
-	if err := checkHeader(payload, payloadMagic, algoGradDrop, n); err != nil {
+// DecodeInto implements DecoderInto: chunk-parallel zero, serial scatter.
+func (g *GradDrop) DecodeInto(dst []float32, payload []byte) error {
+	k, err := g.validate(payload, len(dst))
+	if err != nil {
 		return err
 	}
+	zeroF32(dst)
+	return g.scatter(payload, dst, k)
+}
+
+// DecodeAdd implements DecodeAdder.
+func (g *GradDrop) DecodeAdd(payload []byte, dst []float32) error {
+	k, err := g.validate(payload, len(dst))
+	if err != nil {
+		return err
+	}
+	return g.scatter(payload, dst, k)
+}
+
+func (g *GradDrop) validate(payload []byte, n int) (int, error) {
+	if err := checkHeader(payload, payloadMagic, algoGradDrop, n); err != nil {
+		return 0, err
+	}
 	if len(payload) < headerSize+4 {
-		return errSize("graddrop", len(payload), headerSize+4)
+		return 0, errSize("graddrop", len(payload), headerSize+4)
 	}
 	k := int(binary.LittleEndian.Uint32(payload[headerSize:]))
 	if want := headerSize + 4 + 8*k; len(payload) != want {
-		return errSize("graddrop", len(payload), want)
+		return 0, errSize("graddrop", len(payload), want)
 	}
+	return k, nil
+}
+
+func (g *GradDrop) scatter(payload []byte, dst []float32, k int) error {
+	n := len(dst)
 	idxBody := payload[headerSize+4:]
 	valBody := payload[headerSize+4+4*k:]
 	for j := 0; j < k; j++ {
@@ -181,4 +242,82 @@ func (g *GradDrop) DecodeAdd(payload []byte, dst []float32) error {
 		dst[idx] += getF32(valBody[4*j:])
 	}
 	return nil
+}
+
+// --- chunked kernel ----------------------------------------------------------
+
+const (
+	gdropVStore = iota + 1
+	gdropCount
+	gdropWrite
+)
+
+type gdropOp struct {
+	phase            int
+	n                int
+	grad             []float32
+	res              []float32 // fused: residual in, v then updated residual out
+	thr              float32
+	counts           []int
+	offs             []int
+	idxBody, valBody []byte
+}
+
+var gdropOpPool = sync.Pool{New: func() any { return new(gdropOp) }}
+
+func (o *gdropOp) release() {
+	o.grad, o.res, o.idxBody, o.valBody = nil, nil, nil, nil
+	gdropOpPool.Put(o)
+}
+
+func (o *gdropOp) RunChunk(c int) {
+	lo, hi := kernels.ChunkRange(o.n, c)
+	switch o.phase {
+	case gdropVStore:
+		grad, res := o.grad, o.res
+		for i := lo; i < hi; i++ {
+			res[i] += grad[i]
+		}
+	case gdropCount:
+		src := o.grad
+		if o.res != nil {
+			src = o.res
+		}
+		thr := o.thr
+		k := 0
+		for i := lo; i < hi; i++ {
+			a := src[i]
+			if a < 0 {
+				a = -a
+			}
+			if a >= thr && a > 0 {
+				k++
+			}
+		}
+		o.counts[c] = k
+	case gdropWrite:
+		src := o.grad
+		res := o.res
+		if res != nil {
+			src = res
+		}
+		thr := o.thr
+		idxBody, valBody := o.idxBody, o.valBody
+		w := o.offs[c]
+		for i := lo; i < hi; i++ {
+			x := src[i]
+			a := x
+			if a < 0 {
+				a = -a
+			}
+			if a >= thr && a > 0 {
+				binary.LittleEndian.PutUint32(idxBody[4*w:], uint32(i))
+				putF32(valBody[4*w:], x)
+				w++
+				if res != nil {
+					res[i] = 0 // v - decode(v) == 0 for survivors
+				}
+			}
+		}
+	}
 }

@@ -2,6 +2,7 @@ package compress
 
 import (
 	"strconv"
+	"time"
 
 	"hipress/internal/telemetry"
 )
@@ -17,19 +18,25 @@ import (
 type Instrumented struct {
 	inner Compressor
 
-	encodes, decodes    *telemetry.Counter
-	rawBytes, wireBytes *telemetry.Counter
-	errors              *telemetry.Counter
+	encodes, decodes      *telemetry.Counter
+	rawBytes, wireBytes   *telemetry.Counter
+	errors                *telemetry.Counter
+	encodeNs, decodeNs    *telemetry.Counter
+	encodeElems, decElems *telemetry.Counter
 }
 
 // Metric names the wrapper registers (one family each, labeled by whatever
 // the caller passes to NewInstrumentedWith).
 const (
-	MetricEncodes   = "hipress_compress_encodes_total"
-	MetricDecodes   = "hipress_compress_decodes_total"
-	MetricRawBytes  = "hipress_compress_raw_bytes_total"
-	MetricWireBytes = "hipress_compress_wire_bytes_total"
-	MetricErrors    = "hipress_compress_errors_total"
+	MetricEncodes     = "hipress_compress_encodes_total"
+	MetricDecodes     = "hipress_compress_decodes_total"
+	MetricRawBytes    = "hipress_compress_raw_bytes_total"
+	MetricWireBytes   = "hipress_compress_wire_bytes_total"
+	MetricErrors      = "hipress_compress_errors_total"
+	MetricEncodeNs    = "hipress_compress_encode_ns_total"
+	MetricDecodeNs    = "hipress_compress_decode_ns_total"
+	MetricEncodeElems = "hipress_compress_encode_elems_total"
+	MetricDecodeElems = "hipress_compress_decode_elems_total"
 )
 
 // NewInstrumented wraps c with counters on a private registry.
@@ -46,12 +53,16 @@ func NewInstrumentedWith(c Compressor, reg *telemetry.Registry, labels ...string
 		reg = telemetry.NewRegistry()
 	}
 	return &Instrumented{
-		inner:     c,
-		encodes:   reg.Counter(MetricEncodes, "gradient encode operations", labels...),
-		decodes:   reg.Counter(MetricDecodes, "gradient decode operations", labels...),
-		rawBytes:  reg.Counter(MetricRawBytes, "bytes before compression", labels...),
-		wireBytes: reg.Counter(MetricWireBytes, "bytes after compression (on the wire)", labels...),
-		errors:    reg.Counter(MetricErrors, "encode/decode failures", labels...),
+		inner:       c,
+		encodes:     reg.Counter(MetricEncodes, "gradient encode operations", labels...),
+		decodes:     reg.Counter(MetricDecodes, "gradient decode operations", labels...),
+		rawBytes:    reg.Counter(MetricRawBytes, "bytes before compression", labels...),
+		wireBytes:   reg.Counter(MetricWireBytes, "bytes after compression (on the wire)", labels...),
+		errors:      reg.Counter(MetricErrors, "encode/decode failures", labels...),
+		encodeNs:    reg.Counter(MetricEncodeNs, "nanoseconds spent in encode kernels", labels...),
+		decodeNs:    reg.Counter(MetricDecodeNs, "nanoseconds spent in decode kernels", labels...),
+		encodeElems: reg.Counter(MetricEncodeElems, "gradient elements encoded", labels...),
+		decElems:    reg.Counter(MetricDecodeElems, "gradient elements decoded", labels...),
 	}
 }
 
@@ -63,36 +74,124 @@ func (m *Instrumented) Name() string { return m.inner.Name() }
 
 // Encode implements Compressor.
 func (m *Instrumented) Encode(grad []float32) ([]byte, error) {
+	start := time.Now()
 	payload, err := m.inner.Encode(grad)
+	m.noteEncode(len(grad), payload, err, start)
 	if err != nil {
-		m.errors.Inc()
 		return nil, err
 	}
-	m.encodes.Inc()
-	m.rawBytes.Add(float64(4 * len(grad)))
-	m.wireBytes.Add(float64(len(payload)))
 	return payload, nil
+}
+
+// EncodeInto implements EncoderInto, forwarding to the wrapped compressor's
+// chunked kernel (or the allocating fallback).
+func (m *Instrumented) EncodeInto(dst []byte, grad []float32) ([]byte, error) {
+	start := time.Now()
+	payload, err := EncodeInto(m.inner, dst, grad)
+	m.noteEncode(len(grad), payload, err, start)
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeFused implements FusedEncoder, forwarding the fused error-feedback
+// encode.
+func (m *Instrumented) EncodeFused(dst []byte, grad, residual []float32) ([]byte, error) {
+	start := time.Now()
+	payload, err := encodeFused(m.inner, dst, grad, residual)
+	m.noteEncode(len(grad), payload, err, start)
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func (m *Instrumented) noteEncode(n int, payload []byte, err error, start time.Time) {
+	if err != nil {
+		m.errors.Inc()
+		return
+	}
+	m.encodeNs.Add(float64(time.Since(start).Nanoseconds()))
+	m.encodes.Inc()
+	m.encodeElems.Add(float64(n))
+	m.rawBytes.Add(float64(4 * n))
+	m.wireBytes.Add(float64(len(payload)))
 }
 
 // Decode implements Compressor.
 func (m *Instrumented) Decode(payload []byte, n int) ([]float32, error) {
+	start := time.Now()
 	out, err := m.inner.Decode(payload, n)
 	if err != nil {
 		m.errors.Inc()
 		return nil, err
 	}
-	m.decodes.Inc()
+	m.noteDecode(n, start)
 	return out, nil
+}
+
+// DecodeInto implements DecoderInto, forwarding to the wrapped compressor.
+func (m *Instrumented) DecodeInto(dst []float32, payload []byte) error {
+	start := time.Now()
+	if err := DecodeInto(m.inner, dst, payload); err != nil {
+		m.errors.Inc()
+		return err
+	}
+	m.noteDecode(len(dst), start)
+	return nil
+}
+
+// DecodeAdd implements DecodeAdder, forwarding the fused decode+merge so
+// wrapping a compressor does not silently fall back to Decode+add on the
+// live merge path.
+func (m *Instrumented) DecodeAdd(payload []byte, dst []float32) error {
+	start := time.Now()
+	if err := DecodeAdd(m.inner, payload, dst); err != nil {
+		m.errors.Inc()
+		return err
+	}
+	m.noteDecode(len(dst), start)
+	return nil
+}
+
+func (m *Instrumented) noteDecode(n int, start time.Time) {
+	m.decodeNs.Add(float64(time.Since(start).Nanoseconds()))
+	m.decodes.Inc()
+	m.decElems.Add(float64(n))
 }
 
 // CompressedSize implements Compressor.
 func (m *Instrumented) CompressedSize(n int) int { return m.inner.CompressedSize(n) }
 
+// MaxEncodedSize forwards the worst-case payload bound of the wrapped
+// compressor.
+func (m *Instrumented) MaxEncodedSize(n int) int { return MaxEncodedSize(m.inner, n) }
+
 // Stats is a snapshot of the counters.
 type Stats struct {
-	Encodes, Decodes    int64
-	RawBytes, WireBytes int64
-	Errors              int64
+	Encodes, Decodes         int64
+	RawBytes, WireBytes      int64
+	Errors                   int64
+	EncodeNs, DecodeNs       int64
+	EncodeElems, DecodeElems int64
+}
+
+// EncodeNsPerElem returns average encode cost in ns/element (0 before any
+// encode) — the per-kernel figure the `kernels` experiment tables.
+func (s Stats) EncodeNsPerElem() float64 {
+	if s.EncodeElems == 0 {
+		return 0
+	}
+	return float64(s.EncodeNs) / float64(s.EncodeElems)
+}
+
+// DecodeNsPerElem returns average decode cost in ns/element.
+func (s Stats) DecodeNsPerElem() float64 {
+	if s.DecodeElems == 0 {
+		return 0
+	}
+	return float64(s.DecodeNs) / float64(s.DecodeElems)
 }
 
 // Ratio returns realized wire/raw bytes, or 1 before any encode.
@@ -110,11 +209,15 @@ func (s Stats) Saved() int64 { return s.RawBytes - s.WireBytes }
 // atomic).
 func (m *Instrumented) Stats() Stats {
 	return Stats{
-		Encodes:   int64(m.encodes.Value()),
-		Decodes:   int64(m.decodes.Value()),
-		RawBytes:  int64(m.rawBytes.Value()),
-		WireBytes: int64(m.wireBytes.Value()),
-		Errors:    int64(m.errors.Value()),
+		Encodes:     int64(m.encodes.Value()),
+		Decodes:     int64(m.decodes.Value()),
+		RawBytes:    int64(m.rawBytes.Value()),
+		WireBytes:   int64(m.wireBytes.Value()),
+		Errors:      int64(m.errors.Value()),
+		EncodeNs:    int64(m.encodeNs.Value()),
+		DecodeNs:    int64(m.decodeNs.Value()),
+		EncodeElems: int64(m.encodeElems.Value()),
+		DecodeElems: int64(m.decElems.Value()),
 	}
 }
 
@@ -125,4 +228,8 @@ func (m *Instrumented) Reset() {
 	m.rawBytes.Reset()
 	m.wireBytes.Reset()
 	m.errors.Reset()
+	m.encodeNs.Reset()
+	m.decodeNs.Reset()
+	m.encodeElems.Reset()
+	m.decElems.Reset()
 }

@@ -1,0 +1,188 @@
+package compress
+
+import (
+	"errors"
+	"sync"
+
+	"hipress/internal/kernels"
+)
+
+// This file is the zero-alloc face of the package: EncodeInto/DecodeInto
+// variants that write into caller-provided buffers (typically leased from
+// the kernels buffer arena) instead of allocating per call, plus the fused
+// error-feedback encode. The five in-tree algorithms implement all three
+// optional interfaces with chunked kernels on the shared worker pool; the
+// package-level helpers below fall back to the allocating paths for
+// compressors that do not.
+
+// ErrTruncatedPayload tags decode failures caused by payloads too short for
+// their declared contents (truncated frames, corrupted length fields).
+// Decoders validate payload length and the header-declared element count
+// against the algorithm's layout *before* indexing, so malformed input
+// yields this error instead of a panic. Test with errors.Is.
+var ErrTruncatedPayload = errors.New("compress: truncated payload")
+
+// EncoderInto is implemented by compressors whose encode can write into a
+// caller-provided buffer. dst supplies capacity (size it with
+// MaxEncodedSize); the returned slice is dst resliced to the exact payload
+// length, or a fresh buffer when cap(dst) is insufficient. The steady-state
+// path performs no heap allocation.
+type EncoderInto interface {
+	EncodeInto(dst []byte, grad []float32) ([]byte, error)
+}
+
+// DecoderInto is implemented by compressors whose decode can overwrite a
+// caller-provided gradient buffer. len(dst) must equal the encoded element
+// count; every element of dst is (re)written.
+type DecoderInto interface {
+	DecodeInto(dst []float32, payload []byte) error
+}
+
+// FusedEncoder is implemented by compressors that fuse the error-feedback
+// residual update into the encode:
+//
+//	v        = grad + residual   (stored into residual in the first pass)
+//	payload  = Encode(v)
+//	residual = v - Decode(payload)
+//
+// in two passes over the data instead of the four (clone, encode, decode,
+// subtract) the unfused path needs — halving memory traffic, which is what
+// the encode hot loop is bound by. residual is updated in place and must
+// have len(grad) elements. The payload and the final residual are
+// bit-identical to the unfused construction.
+type FusedEncoder interface {
+	EncodeFused(dst []byte, grad, residual []float32) ([]byte, error)
+}
+
+// maxSizer is implemented by compressors whose payload size is
+// data-dependent (TBQ, GradDrop) to report the worst case.
+type maxSizer interface{ MaxEncodedSize(n int) int }
+
+// MaxEncodedSize returns an upper bound on the payload length Encode can
+// produce for an n-element gradient — the capacity to lease for EncodeInto.
+// For fixed-size algorithms this equals CompressedSize.
+func MaxEncodedSize(c Compressor, n int) int {
+	if m, ok := c.(maxSizer); ok {
+		return m.MaxEncodedSize(n)
+	}
+	return c.CompressedSize(n)
+}
+
+// EncodeInto compresses grad into dst when c supports it, falling back to
+// the allocating Encode otherwise. See EncoderInto for the dst contract.
+func EncodeInto(c Compressor, dst []byte, grad []float32) ([]byte, error) {
+	if ei, ok := c.(EncoderInto); ok {
+		return ei.EncodeInto(dst, grad)
+	}
+	return fallbackEncodeInto(c, dst, grad)
+}
+
+// fallbackEncodeInto routes through the allocating Encode and copies into
+// dst when it has capacity. The OSS baselines shadow their embedded
+// optimized types with this so benchmarks keep measuring the naive encode.
+func fallbackEncodeInto(c Compressor, dst []byte, grad []float32) ([]byte, error) {
+	p, err := c.Encode(grad)
+	if err != nil {
+		return nil, err
+	}
+	if cap(dst) >= len(p) {
+		dst = dst[:len(p)]
+		copy(dst, p)
+		return dst, nil
+	}
+	return p, nil
+}
+
+// DecodeInto reconstructs the gradient into dst (overwriting it) when c
+// supports it, falling back to Decode+copy otherwise.
+func DecodeInto(c Compressor, dst []float32, payload []byte) error {
+	if di, ok := c.(DecoderInto); ok {
+		return di.DecodeInto(dst, payload)
+	}
+	dec, err := c.Decode(payload, len(dst))
+	if err != nil {
+		return err
+	}
+	copy(dst, dec)
+	return nil
+}
+
+// encodeFused runs the fused error-feedback encode, falling back to the
+// unfused four-pass construction for compressors without a fused kernel.
+// residual is updated in place either way.
+func encodeFused(c Compressor, dst []byte, grad, residual []float32) ([]byte, error) {
+	if fe, ok := c.(FusedEncoder); ok {
+		return fe.EncodeFused(dst, grad, residual)
+	}
+	return fallbackEncodeFused(c, dst, grad, residual)
+}
+
+// fallbackEncodeFused is the unfused four-pass error-feedback construction
+// (clone, encode, decode, subtract); the fused kernels are bit-identical to
+// it by contract.
+func fallbackEncodeFused(c Compressor, dst []byte, grad, residual []float32) ([]byte, error) {
+	v := make([]float32, len(grad))
+	for i := range v {
+		v[i] = grad[i] + residual[i]
+	}
+	payload, err := EncodeInto(c, dst, v)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := c.Decode(payload, len(v))
+	if err != nil {
+		return nil, err
+	}
+	for i := range residual {
+		residual[i] = v[i] - dec[i]
+	}
+	return payload, nil
+}
+
+// ensurePayload reslices dst to n bytes, allocating only when the capacity
+// is insufficient. Callers must fully overwrite the returned bytes — the
+// buffer may hold stale content from a previous lease.
+func ensurePayload(dst []byte, n int) []byte {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]byte, n)
+}
+
+// growSlice reslices s to n elements, reallocating only when capacity is
+// insufficient. Contents are unspecified; used for pooled per-chunk partial
+// arrays that every pass fully rewrites.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// --- shared parallel zero kernel ---------------------------------------------
+
+// zeroOp clears a float32 buffer chunk-parallel; the sparse decoders use it
+// before scattering their k ≪ n survivors.
+type zeroOp struct {
+	n   int
+	dst []float32
+}
+
+var zeroOpPool = sync.Pool{New: func() any { return new(zeroOp) }}
+
+func (z *zeroOp) RunChunk(c int) {
+	lo, hi := kernels.ChunkRange(z.n, c)
+	d := z.dst[lo:hi]
+	for i := range d {
+		d[i] = 0
+	}
+}
+
+// zeroF32 clears dst on the worker pool.
+func zeroF32(dst []float32) {
+	z := zeroOpPool.Get().(*zeroOp)
+	z.n, z.dst = len(dst), dst
+	kernels.Default().Run(kernels.NumChunks(z.n), z)
+	z.dst = nil
+	zeroOpPool.Put(z)
+}

@@ -121,6 +121,18 @@ func (o OSSTBQ) Encode(grad []float32) ([]byte, error) {
 	return out, nil
 }
 
+// EncodeInto shadows the embedded TBQ's chunked kernel so the baseline's
+// encode stays naive; payload bytes are unchanged.
+func (o OSSTBQ) EncodeInto(dst []byte, grad []float32) ([]byte, error) {
+	return fallbackEncodeInto(o, dst, grad)
+}
+
+// EncodeFused shadows the embedded TBQ's fused kernel with the unfused
+// construction for the same reason.
+func (o OSSTBQ) EncodeFused(dst []byte, grad, residual []float32) ([]byte, error) {
+	return fallbackEncodeFused(o, dst, grad, residual)
+}
+
 // OSSDGC is the naive top-k sparsifier: it sorts the entire gradient by
 // magnitude (O(n log n)) where the optimized path uses quickselect (O(n)),
 // the dominant cost gap the paper attributes to its hierarchical selection.
@@ -163,4 +175,16 @@ func (o OSSDGC) Encode(grad []float32) ([]byte, error) {
 		putF32(valBody[4*j:], grad[idx])
 	}
 	return out, nil
+}
+
+// EncodeInto shadows the embedded DGC's chunked kernel so the baseline's
+// encode stays naive (full sort); the selected set still matches.
+func (o OSSDGC) EncodeInto(dst []byte, grad []float32) ([]byte, error) {
+	return fallbackEncodeInto(o, dst, grad)
+}
+
+// EncodeFused shadows the embedded DGC's fused kernel with the unfused
+// construction for the same reason.
+func (o OSSDGC) EncodeFused(dst []byte, grad, residual []float32) ([]byte, error) {
+	return fallbackEncodeFused(o, dst, grad, residual)
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package compress
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// deliberately bypasses its caches under -race, so alloc-free assertions
+// must be skipped.
+const raceEnabled = true

@@ -3,6 +3,9 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+
+	"hipress/internal/kernels"
 )
 
 // TBQ implements threshold binary quantization (Strom, Interspeech 2015; the
@@ -46,61 +49,110 @@ func (t TBQ) CompressedSize(n int) int {
 	return headerSize + 8 + 4*int(float64(n)*estSurvival)
 }
 
+// MaxEncodedSize reports the worst-case payload length (every element
+// survives the threshold) — the capacity to lease for EncodeInto.
+func (t TBQ) MaxEncodedSize(n int) int { return headerSize + 8 + 4*n }
+
 // Encode implements Compressor.
 func (t TBQ) Encode(grad []float32) ([]byte, error) {
+	return t.EncodeInto(nil, grad)
+}
+
+// EncodeInto implements EncoderInto: the chunked kernel. Pass 1 counts
+// survivors per chunk in parallel; a serial prefix sum over the per-chunk
+// counts assigns each chunk a disjoint output range; pass 2 writes entries
+// in parallel. Because chunks scan in index order and write at their
+// prefix-sum offsets, the payload is byte-identical to a serial
+// index-order scan for any worker count.
+func (t TBQ) EncodeInto(dst []byte, grad []float32) ([]byte, error) {
+	return t.encode(dst, grad, nil)
+}
+
+// EncodeFused implements FusedEncoder.
+func (t TBQ) EncodeFused(dst []byte, grad, residual []float32) ([]byte, error) {
+	if len(residual) != len(grad) {
+		return nil, errSize("tbq residual", len(residual), len(grad))
+	}
+	return t.encode(dst, grad, residual)
+}
+
+func (t TBQ) encode(dst []byte, grad, res []float32) ([]byte, error) {
 	n := len(grad)
 	if n >= 1<<31 {
 		return nil, fmt.Errorf("compress: tbq gradient too long (%d)", n)
 	}
-	// First pass counts survivors so the payload is allocated exactly once.
+	chunks := kernels.NumChunks(n)
+	op := tbqOpPool.Get().(*tbqOp)
+	op.n, op.grad, op.res, op.tau = n, grad, res, t.tau
+	op.counts = growSlice(op.counts, chunks)
+	op.offs = growSlice(op.offs, chunks)
+	op.phase = tbqCount
+	kernels.Default().Run(chunks, op)
+
 	k := 0
-	for _, g := range grad {
-		if g >= t.tau || g <= -t.tau {
-			k++
-		}
+	for c := 0; c < chunks; c++ {
+		op.offs[c] = k
+		k += op.counts[c]
 	}
-	out := make([]byte, headerSize+8+4*k)
+	out := ensurePayload(dst, headerSize+8+4*k)
 	putHeader(out, payloadMagic, algoTBQ, n)
 	putF32(out[headerSize:], t.tau)
 	binary.LittleEndian.PutUint32(out[headerSize+4:], uint32(k))
-	body := out[headerSize+8:]
-	w := 0
-	for i, g := range grad {
-		switch {
-		case g >= t.tau:
-			binary.LittleEndian.PutUint32(body[w:], uint32(i))
-			w += 4
-		case g <= -t.tau:
-			binary.LittleEndian.PutUint32(body[w:], uint32(i)|1<<31)
-			w += 4
-		}
-	}
+	op.body = out[headerSize+8:]
+	op.phase = tbqWrite
+	kernels.Default().Run(chunks, op)
+	op.release()
 	return out, nil
 }
 
 // Decode implements Compressor.
 func (t TBQ) Decode(payload []byte, n int) ([]float32, error) {
 	out := make([]float32, n)
-	if err := t.DecodeAdd(payload, out); err != nil {
+	if err := t.DecodeInto(out, payload); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// DecodeAdd implements DecodeAdder.
-func (t TBQ) DecodeAdd(payload []byte, dst []float32) error {
-	n := len(dst)
-	if err := checkHeader(payload, payloadMagic, algoTBQ, n); err != nil {
+// DecodeInto implements DecoderInto: dst is zeroed chunk-parallel, then the
+// k ≪ n survivors scatter serially.
+func (t TBQ) DecodeInto(dst []float32, payload []byte) error {
+	k, err := t.validate(payload, len(dst))
+	if err != nil {
 		return err
 	}
-	if len(payload) < headerSize+8 {
-		return errSize("tbq", len(payload), headerSize+8)
+	zeroF32(dst)
+	return t.scatter(payload, dst, k)
+}
+
+// DecodeAdd implements DecodeAdder.
+func (t TBQ) DecodeAdd(payload []byte, dst []float32) error {
+	k, err := t.validate(payload, len(dst))
+	if err != nil {
+		return err
 	}
-	tau := getF32(payload[headerSize:])
+	return t.scatter(payload, dst, k)
+}
+
+// validate bounds-checks the payload against the layout before any
+// indexing, returning the survivor count.
+func (t TBQ) validate(payload []byte, n int) (int, error) {
+	if err := checkHeader(payload, payloadMagic, algoTBQ, n); err != nil {
+		return 0, err
+	}
+	if len(payload) < headerSize+8 {
+		return 0, errSize("tbq", len(payload), headerSize+8)
+	}
 	k := int(binary.LittleEndian.Uint32(payload[headerSize+4:]))
 	if want := headerSize + 8 + 4*k; len(payload) != want {
-		return errSize("tbq", len(payload), want)
+		return 0, errSize("tbq", len(payload), want)
 	}
+	return k, nil
+}
+
+func (t TBQ) scatter(payload []byte, dst []float32, k int) error {
+	n := len(dst)
+	tau := getF32(payload[headerSize:])
 	body := payload[headerSize+8:]
 	for j := 0; j < k; j++ {
 		word := binary.LittleEndian.Uint32(body[4*j:])
@@ -115,4 +167,73 @@ func (t TBQ) DecodeAdd(payload []byte, dst []float32) error {
 		}
 	}
 	return nil
+}
+
+// --- chunked kernel ----------------------------------------------------------
+
+const (
+	tbqCount = iota + 1
+	tbqWrite
+)
+
+type tbqOp struct {
+	phase  int
+	n      int
+	grad   []float32
+	res    []float32 // fused: residual in, v then updated residual out
+	tau    float32
+	body   []byte
+	counts []int // per-chunk survivor count
+	offs   []int // per-chunk entry offset (prefix sum of counts)
+}
+
+var tbqOpPool = sync.Pool{New: func() any { return new(tbqOp) }}
+
+func (o *tbqOp) release() {
+	o.grad, o.res, o.body = nil, nil, nil
+	tbqOpPool.Put(o)
+}
+
+func (o *tbqOp) RunChunk(c int) {
+	lo, hi := kernels.ChunkRange(o.n, c)
+	grad, res, tau := o.grad, o.res, o.tau
+	switch o.phase {
+	case tbqCount:
+		k := 0
+		for i := lo; i < hi; i++ {
+			g := grad[i]
+			if res != nil {
+				g += res[i]
+				res[i] = g // stash v for the write pass
+			}
+			if g >= tau || g <= -tau {
+				k++
+			}
+		}
+		o.counts[c] = k
+	case tbqWrite:
+		body := o.body
+		w := 4 * o.offs[c]
+		src := grad
+		if res != nil {
+			src = res
+		}
+		for i := lo; i < hi; i++ {
+			g := src[i]
+			switch {
+			case g >= tau:
+				binary.LittleEndian.PutUint32(body[w:], uint32(i))
+				w += 4
+				if res != nil {
+					res[i] = g - tau // v - decode(+tau)
+				}
+			case g <= -tau:
+				binary.LittleEndian.PutUint32(body[w:], uint32(i)|1<<31)
+				w += 4
+				if res != nil {
+					res[i] = g + tau // v - decode(-tau)
+				}
+			}
+		}
+	}
 }

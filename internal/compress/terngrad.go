@@ -2,7 +2,9 @@ package compress
 
 import (
 	"fmt"
+	"sync"
 
+	"hipress/internal/kernels"
 	"hipress/internal/tensor"
 )
 
@@ -51,14 +53,58 @@ func (t *TernGrad) CompressedSize(n int) int {
 
 // Encode implements Compressor.
 func (t *TernGrad) Encode(grad []float32) ([]byte, error) {
+	return t.EncodeInto(nil, grad)
+}
+
+// EncodeInto implements EncoderInto: the chunked kernel. min/max are found
+// by per-chunk partials (min/max reduction is exact under any grouping), and
+// each chunk packs its own disjoint byte range of the body — lo*bitwidth is
+// always byte-aligned because ChunkElems is a multiple of 8. Stochastic
+// rounding draws come from tensor.Float64At over the generator's saved
+// state, so element i sees the exact draw the sequential encoder would have
+// given it no matter which worker packs it; the generator is then advanced
+// past n draws with Skip. The payload and the RNG stream position are
+// bit-identical to the sequential implementation.
+func (t *TernGrad) EncodeInto(dst []byte, grad []float32) ([]byte, error) {
+	return t.encode(dst, grad, nil)
+}
+
+// EncodeFused implements FusedEncoder.
+func (t *TernGrad) EncodeFused(dst []byte, grad, residual []float32) ([]byte, error) {
+	if len(residual) != len(grad) {
+		return nil, errSize("terngrad residual", len(residual), len(grad))
+	}
+	return t.encode(dst, grad, residual)
+}
+
+func (t *TernGrad) encode(dst []byte, grad, res []float32) ([]byte, error) {
 	n := len(grad)
-	out := make([]byte, t.CompressedSize(n))
+	out := ensurePayload(dst, t.CompressedSize(n))
 	putHeader(out, payloadMagic, algoTernGrad, n)
 	out[headerSize] = byte(t.bitwidth)
+	out[headerSize+1], out[headerSize+2], out[headerSize+3] = 0, 0, 0
+
+	chunks := kernels.NumChunks(n)
+	op := ternOpPool.Get().(*ternOp)
+	op.n, op.bitwidth = n, t.bitwidth
+	op.grad, op.res = grad, res
+	op.parts = growSlice(op.parts, chunks)
+	op.phase = ternMinMax
+	kernels.Default().Run(chunks, op)
 
 	var mn, mx float32
-	if n > 0 {
-		mn, mx = tensor.Min(grad), tensor.Max(grad)
+	for c := 0; c < chunks; c++ {
+		p := &op.parts[c]
+		if c == 0 {
+			mn, mx = p.mn, p.mx
+			continue
+		}
+		if p.mn < mn {
+			mn = p.mn
+		}
+		if p.mx > mx {
+			mx = p.mx
+		}
 	}
 	putF32(out[headerSize+4:], mn)
 	putF32(out[headerSize+8:], mx)
@@ -66,45 +112,40 @@ func (t *TernGrad) Encode(grad []float32) ([]byte, error) {
 	levels := uint32(1)<<uint(t.bitwidth) - 1
 	gap := (float64(mx) - float64(mn)) / float64(levels)
 	body := out[headerSize+12:]
-	if gap == 0 {
-		// Constant gradient: all q values are zero, body stays zeroed.
-		return out, nil
+	op.body = body
+	op.mn, op.gap, op.levels = float64(mn), gap, levels
+	op.s0 = t.rng.Save()
+	op.phase = ternPack
+	kernels.Default().Run(chunks, op)
+	if gap != 0 {
+		// The pack pass consumed draw i for element i via Float64At; leave
+		// the generator exactly where n sequential draws would.
+		t.rng.Skip(uint64(n))
 	}
-	var acc uint64 // bit accumulator
-	accBits := 0
-	bi := 0
-	for _, g := range grad {
-		r := (float64(g) - float64(mn)) / gap
-		q := uint32(r + t.rng.Float64())
-		if q > levels {
-			q = levels
-		}
-		acc |= uint64(q) << uint(accBits)
-		accBits += t.bitwidth
-		for accBits >= 8 {
-			body[bi] = byte(acc)
-			acc >>= 8
-			accBits -= 8
-			bi++
-		}
-	}
-	if accBits > 0 {
-		body[bi] = byte(acc)
-	}
+	op.release()
 	return out, nil
 }
 
 // Decode implements Compressor.
 func (t *TernGrad) Decode(payload []byte, n int) ([]float32, error) {
 	out := make([]float32, n)
-	if err := t.DecodeAdd(payload, out); err != nil {
+	if err := t.DecodeInto(out, payload); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// DecodeAdd implements DecodeAdder.
+// DecodeInto implements DecoderInto, chunk-parallel.
+func (t *TernGrad) DecodeInto(dst []float32, payload []byte) error {
+	return t.decode(dst, payload, false)
+}
+
+// DecodeAdd implements DecodeAdder, chunk-parallel.
 func (t *TernGrad) DecodeAdd(payload []byte, dst []float32) error {
+	return t.decode(dst, payload, true)
+}
+
+func (t *TernGrad) decode(dst []float32, payload []byte, add bool) error {
 	n := len(dst)
 	if err := checkHeader(payload, payloadMagic, algoTernGrad, n); err != nil {
 		return err
@@ -118,23 +159,160 @@ func (t *TernGrad) DecodeAdd(payload []byte, dst []float32) error {
 	mn := float64(getF32(payload[headerSize+4:]))
 	mx := float64(getF32(payload[headerSize+8:]))
 	levels := uint32(1)<<uint(t.bitwidth) - 1
-	gap := (mx - mn) / float64(levels)
-	body := payload[headerSize+12:]
 
-	mask := uint64(levels)
-	var acc uint64
-	accBits := 0
-	bi := 0
-	for i := 0; i < n; i++ {
-		for accBits < t.bitwidth {
-			acc |= uint64(body[bi]) << uint(accBits)
-			accBits += 8
-			bi++
-		}
-		q := acc & mask
-		acc >>= uint(t.bitwidth)
-		accBits -= t.bitwidth
-		dst[i] += float32(mn + float64(q)*gap)
-	}
+	op := ternOpPool.Get().(*ternOp)
+	op.n, op.bitwidth = n, t.bitwidth
+	op.dst, op.add = dst, add
+	op.body = payload[headerSize+12:]
+	op.mn, op.gap, op.levels = mn, (mx-mn)/float64(levels), levels
+	op.phase = ternDecode
+	kernels.Default().Run(kernels.NumChunks(n), op)
+	op.release()
 	return nil
+}
+
+// --- chunked kernel ----------------------------------------------------------
+
+type ternPart struct{ mn, mx float32 }
+
+const (
+	ternMinMax = iota + 1
+	ternPack
+	ternDecode
+)
+
+type ternOp struct {
+	phase    int
+	n        int
+	bitwidth int
+	grad     []float32 // encode input
+	res      []float32 // fused: residual in, v then updated residual out
+	body     []byte    // packed-bits region of the payload
+	parts    []ternPart
+	dst      []float32 // decode output
+	add      bool
+
+	mn, gap float64
+	levels  uint32
+	s0      tensor.RNGState // saved generator state for Float64At
+}
+
+var ternOpPool = sync.Pool{New: func() any { return new(ternOp) }}
+
+func (o *ternOp) release() {
+	o.grad, o.res, o.body, o.dst = nil, nil, nil, nil
+	ternOpPool.Put(o)
+}
+
+func (o *ternOp) RunChunk(c int) {
+	lo, hi := kernels.ChunkRange(o.n, c)
+	bw := o.bitwidth
+	switch o.phase {
+	case ternMinMax:
+		grad, res := o.grad, o.res
+		g := grad[lo]
+		if res != nil {
+			g += res[lo]
+			res[lo] = g
+		}
+		mn, mx := g, g
+		for i := lo + 1; i < hi; i++ {
+			g := grad[i]
+			if res != nil {
+				g += res[i]
+				res[i] = g
+			}
+			if g < mn {
+				mn = g
+			}
+			if g > mx {
+				mx = g
+			}
+		}
+		o.parts[c] = ternPart{mn: mn, mx: mx}
+	case ternPack:
+		body := o.body
+		// This chunk owns bytes [lo*bw/8, ceil(hi*bw/8)): lo*bw is a
+		// multiple of 8 by chunk geometry, and only the final chunk can end
+		// mid-byte. Clear the range first — the buffer may be reused.
+		bi := lo * bw >> 3
+		for b := bi; b < (hi*bw+7)>>3; b++ {
+			body[b] = 0
+		}
+		src := o.grad
+		if o.res != nil {
+			src = o.res // holds v after the min/max pass
+		}
+		if o.gap == 0 {
+			// Constant input: all q are zero (no RNG draws, matching the
+			// sequential encoder); only the fused residual needs finishing.
+			if res := o.res; res != nil {
+				mn := float32(o.mn)
+				for i := lo; i < hi; i++ {
+					res[i] -= mn
+				}
+			}
+			return
+		}
+		mn, gap := o.mn, o.gap
+		levels := o.levels
+		res := o.res
+		var acc uint64
+		accBits := 0
+		for i := lo; i < hi; i++ {
+			r := (float64(src[i]) - mn) / gap
+			q := uint32(r + tensor.Float64At(o.s0, uint64(i)))
+			if q > levels {
+				q = levels
+			}
+			if res != nil {
+				// Fused residual: v - decode(q), with decode computed
+				// exactly as DecodeAdd would.
+				res[i] = src[i] - float32(mn+float64(q)*gap)
+			}
+			acc |= uint64(q) << uint(accBits)
+			accBits += bw
+			for accBits >= 8 {
+				body[bi] = byte(acc)
+				acc >>= 8
+				accBits -= 8
+				bi++
+			}
+		}
+		if accBits > 0 {
+			body[bi] = byte(acc)
+		}
+	case ternDecode:
+		body, dst := o.body, o.dst
+		mn, gap := o.mn, o.gap
+		mask := uint64(o.levels)
+		bi := lo * bw >> 3
+		var acc uint64
+		accBits := 0
+		if o.add {
+			for i := lo; i < hi; i++ {
+				for accBits < bw {
+					acc |= uint64(body[bi]) << uint(accBits)
+					accBits += 8
+					bi++
+				}
+				q := acc & mask
+				acc >>= uint(bw)
+				accBits -= bw
+				dst[i] += float32(mn + float64(q)*gap)
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				for accBits < bw {
+					acc |= uint64(body[bi]) << uint(accBits)
+					accBits += 8
+					bi++
+				}
+				q := acc & mask
+				acc >>= uint(bw)
+				accBits -= bw
+				dst[i] = float32(mn + float64(q)*gap)
+			}
+		}
+	}
 }

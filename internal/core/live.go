@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hipress/internal/compress"
+	"hipress/internal/kernels"
 	"hipress/internal/netsim"
 	"hipress/internal/telemetry"
 )
@@ -199,6 +200,12 @@ func NewLiveCluster(n int, cfg LiveConfig) (*LiveCluster, error) {
 			}
 		}
 	}
+	// Hook the kernel plane (worker pool + buffer arena) into the shared
+	// metrics registry so pool occupancy and arena hit rate export next to
+	// the compression counters.
+	if reg := cfg.Telemetry.M(); reg != nil {
+		kernels.SetTelemetry(reg)
+	}
 	return lc, nil
 }
 
@@ -263,6 +270,15 @@ type nodeRT struct {
 	mu        sync.Mutex    // guards this node's buffer maps across its goroutines
 	recvIdx   map[mkey]int
 	seen      map[mkey]bool // dispatcher-only: idempotent dedup of transfers
+
+	// lease holds every arena buffer this node checks out during the round
+	// (accumulators, decode scratch, encoded payloads). It is guarded by mu
+	// like the buffer maps and released wholesale at round teardown — after
+	// every worker goroutine has exited and results have been assembled into
+	// independently allocated slices — so payloads stay valid while the
+	// transport or a retrying sender still references them, and steady-state
+	// rounds allocate nothing.
+	lease kernels.Lease
 }
 
 // SyncRound synchronizes one set of gradients: grads[v][name] is node v's
@@ -566,6 +582,14 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 			seen:    map[mkey]bool{},
 		}
 	}
+	// Return every leased buffer to the arena once the round has fully torn
+	// down (runs after the waits below, so no goroutine still references a
+	// payload, and after assembly, which copies into fresh result slices).
+	defer func() {
+		for _, rt := range nodes {
+			rt.lease.Release()
+		}
+	}()
 	// Index recv tasks for message matching, and sanity-check the builder
 	// invariant the live plane relies on: recvs have exactly one dep (their
 	// send).
@@ -927,14 +951,16 @@ func (rt *nodeRT) resultSlice(grad string, ne int) []float32 {
 
 // accSlice returns the node's accumulator for a partition, lazily
 // initialized to a copy of the local gradient partition (the node's own
-// contribution).
+// contribution). The buffer is leased from the kernel arena (callers hold
+// rt.mu, which also guards the lease) and recycled at round teardown;
+// assembly copies out of it before release.
 func (rt *nodeRT) accSlice(grad string, ne, parts, p int) []float32 {
 	k := pkey{grad, p}
 	if a, ok := rt.acc[k]; ok {
 		return a
 	}
 	lo, hi := PartRange(ne, parts, p)
-	a := make([]float32, hi-lo)
+	a := rt.lease.F32(hi - lo)
 	copy(a, rt.local[grad][lo:hi])
 	rt.acc[k] = a
 	return a
@@ -964,11 +990,16 @@ func (r *liveRound) execComp(rt *nodeRT, t *Task) error {
 			// mid-ring re-encodes, and aggregator re-encodes each keep
 			// their own residual, keyed by pipeline position (stable
 			// across iterations), so gradient mass is never permanently
-			// dropped — only deferred to later rounds.
+			// dropped — only deferred to later rounds. The fused
+			// residual-add+encode writes straight into a leased payload
+			// buffer (fresh per encode; the previous step's payload may
+			// still be in flight, so in-round reuse would race).
 			key := fmt.Sprintf("%s/p%d/ph%d/s%d", t.Grad, t.Part, t.Phase, t.Step)
-			payload, err = lc.ef[rt.id].EncodeWithFeedback(key, acc)
+			dst := rt.lease.Bytes(lc.ef[rt.id].MaxEncodedSize(len(acc)))
+			payload, err = lc.ef[rt.id].EncodeWithFeedbackInto(key, dst, acc)
 		} else {
-			payload, err = lc.comp[rt.id].Encode(acc)
+			dst := rt.lease.Bytes(compress.MaxEncodedSize(lc.comp[rt.id], len(acc)))
+			payload, err = compress.EncodeInto(lc.comp[rt.id], dst, acc)
 		}
 		if err != nil {
 			return err
@@ -977,14 +1008,13 @@ func (r *liveRound) execComp(rt *nodeRT, t *Task) error {
 		if t.Phase == 2 {
 			// The aggregate holder broadcasts this payload; it must adopt
 			// the same lossy view itself, or nodes would diverge (BSP
-			// requires identical parameters everywhere).
+			// requires identical parameters everywhere). Decode straight
+			// into the result slice — no intermediate buffer.
 			lo, hi := PartRange(ne, np, t.Part)
-			dec, err := lc.comp[rt.id].Decode(payload, hi-lo)
-			if err != nil {
+			res := rt.resultSlice(t.Grad, ne)
+			if err := compress.DecodeInto(lc.comp[rt.id], res[lo:hi], payload); err != nil {
 				return err
 			}
-			res := rt.resultSlice(t.Grad, ne)
-			copy(res[lo:hi], dec)
 			rt.markFilled(t.Grad, t.Part)
 		}
 		return nil
@@ -996,15 +1026,17 @@ func (r *liveRound) execComp(rt *nodeRT, t *Task) error {
 			return fmt.Errorf("core: node %d decode %s/p%d from %d with no received payload", rt.id, t.Grad, t.Part, t.Peer)
 		}
 		lo, hi := PartRange(ne, np, t.Part)
-		dec, err := lc.comp[rt.id].Decode(in, hi-lo)
-		if err != nil {
-			return err
-		}
 		if t.Phase == 2 {
 			res := rt.resultSlice(t.Grad, ne)
-			copy(res[lo:hi], dec)
+			if err := compress.DecodeInto(lc.comp[rt.id], res[lo:hi], in); err != nil {
+				return err
+			}
 			rt.markFilled(t.Grad, t.Part)
 			return nil
+		}
+		dec := rt.lease.F32(hi - lo)
+		if err := compress.DecodeInto(lc.comp[rt.id], dec, in); err != nil {
+			return err
 		}
 		rt.tmp[bk] = dec
 		return nil
@@ -1039,22 +1071,13 @@ func (r *liveRound) execComp(rt *nodeRT, t *Task) error {
 			delete(rt.tmp, bk)
 			return nil
 		}
-		// Uncompressed: merge the raw received bytes directly.
+		// Uncompressed: merge the raw received bytes directly (in place,
+		// no intermediate []float32).
 		in := rt.in[bk]
 		if in == nil {
 			return fmt.Errorf("core: node %d raw merge %s/p%d from %d with no payload", rt.id, t.Grad, t.Part, t.Peer)
 		}
-		vals, err := bytesToF32(in)
-		if err != nil {
-			return err
-		}
-		if len(vals) != len(acc) {
-			return fmt.Errorf("core: raw merge size mismatch %d vs %d", len(vals), len(acc))
-		}
-		for i, x := range vals {
-			acc[i] += x
-		}
-		return nil
+		return addBytesF32(acc, in)
 
 	default:
 		return fmt.Errorf("core: comp queue got %v task", t.Kind)
@@ -1103,15 +1126,8 @@ func (r *liveRound) mergeBarrierPS(rt *nodeRT, t *Task, ne, np int) error {
 			}
 			return fmt.Errorf("core: node %d raw aggregate %s/p%d missing contribution from %d", rt.id, t.Grad, t.Part, peer)
 		}
-		vals, err := bytesToF32(in)
-		if err != nil {
+		if err := addBytesF32(acc, in); err != nil {
 			return err
-		}
-		if len(vals) != len(acc) {
-			return fmt.Errorf("core: raw merge size mismatch %d vs %d", len(vals), len(acc))
-		}
-		for i, x := range vals {
-			acc[i] += x
 		}
 	}
 	if excluded > 0 {
@@ -1161,7 +1177,9 @@ func (r *liveRound) execSend(rt *nodeRT, t *Task) error {
 			return fmt.Errorf("core: node %d sending %s/p%d before encode", rt.id, t.Grad, t.Part)
 		}
 	default:
-		payload = f32ToBytes(rt.accSlice(t.Grad, r.elems[t.Grad], r.parts[t.Grad], t.Part))
+		acc := rt.accSlice(t.Grad, r.elems[t.Grad], r.parts[t.Grad], t.Part)
+		payload = rt.lease.Bytes(4 * len(acc))
+		f32IntoBytes(payload, acc)
 	}
 	rt.mu.Unlock()
 	msg := netsim.Message{
@@ -1197,39 +1215,44 @@ func (r *liveRound) execRecv(rt *nodeRT, t *Task, payload []byte) error {
 				rt.id, len(payload), t.Grad, t.Part, t.Peer, 4*(hi-lo))
 		}
 		if t.Phase == 2 {
-			vals, err := bytesToF32(payload)
-			if err != nil {
+			res := rt.resultSlice(t.Grad, ne)
+			if err := copyBytesF32(res[lo:hi], payload); err != nil {
 				return err
 			}
-			res := rt.resultSlice(t.Grad, ne)
-			copy(res[lo:hi], vals)
 			rt.markFilled(t.Grad, t.Part)
 		}
 	}
 	return nil
 }
 
-// f32ToBytes serializes a float32 slice little-endian.
-func f32ToBytes(v []float32) []byte {
-	if v == nil {
-		return nil
-	}
-	out := make([]byte, 4*len(v))
+// f32IntoBytes serializes v little-endian into dst; len(dst) must be
+// 4*len(v).
+func f32IntoBytes(dst []byte, v []float32) {
 	for i, x := range v {
-		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(x))
 	}
-	return out
 }
 
-// bytesToF32 parses a little-endian float32 slice, rejecting truncated
-// input loudly.
-func bytesToF32(b []byte) ([]float32, error) {
-	if len(b)%4 != 0 {
-		return nil, fmt.Errorf("core: raw payload length %d not a multiple of 4 (truncated or corrupted frame)", len(b))
+// copyBytesF32 parses a little-endian float32 payload into dst without
+// allocating, rejecting size mismatches loudly.
+func copyBytesF32(dst []float32, b []byte) error {
+	if len(b) != 4*len(dst) {
+		return fmt.Errorf("core: raw payload length %d, want %d bytes for %d elements (truncated or corrupted frame)", len(b), 4*len(dst), len(dst))
 	}
-	out := make([]float32, len(b)/4)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
 	}
-	return out, nil
+	return nil
+}
+
+// addBytesF32 adds a little-endian float32 payload into dst element-wise
+// without allocating — the raw (uncompressed) merge kernel.
+func addBytesF32(dst []float32, b []byte) error {
+	if len(b) != 4*len(dst) {
+		return fmt.Errorf("core: raw merge size mismatch: %d bytes vs %d elements", len(b), len(dst))
+	}
+	for i := range dst {
+		dst[i] += math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return nil
 }

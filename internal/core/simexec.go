@@ -60,6 +60,12 @@ type SimConfig struct {
 	// engine (seconds). Batch compression (BulkComp) amortizes it — the
 	// "single callback function for a batch of gradients" of §3.2.
 	Dispatch float64
+	// CompWorkers models multicore compression kernels (the live plane's
+	// chunked worker pool): the data-parallel portion of each
+	// encode/decode/merge duration — everything beyond the serial
+	// launch+dispatch overhead — divides by this worker count (Amdahl).
+	// 0 or 1 leaves kernel durations unchanged.
+	CompWorkers int
 
 	// Chaos optionally injects timing-plane faults: stragglers multiply a
 	// node's kernel durations while active, link outages defer transfers
@@ -318,6 +324,19 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 		})
 	}
 
+	// scaleComp applies the multicore-kernel model: the launch+dispatch
+	// overhead stays serial, the remainder splits across CompWorkers.
+	scaleComp := func(dur float64) float64 {
+		if cfg.CompWorkers <= 1 {
+			return dur
+		}
+		fixed := cfg.CompDev.Launch + cfg.Dispatch
+		if dur <= fixed {
+			return dur
+		}
+		return fixed + (dur-fixed)/float64(cfg.CompWorkers)
+	}
+
 	compKernel := func(now float64, id int, node int, dur float64, isDecode bool) {
 		r := comp[node]
 		if cfg.BulkComp && r.FreeAt() >= now && r.FreeAt() == lastCompEnd[node] && r.BusyTime() > 0 {
@@ -372,7 +391,7 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 			eng.At(end, func(tt float64) { completeAt(id, tt) })
 
 		case KEncode:
-			dur := cfg.CompDev.EncodeTime(t.Algo, t.Bytes) + cfg.Dispatch
+			dur := scaleComp(cfg.CompDev.EncodeTime(t.Algo, t.Bytes) + cfg.Dispatch)
 			if cfg.PCIeCross {
 				dur += float64(t.Bytes) / gpu.PCIeBW
 			}
@@ -382,7 +401,7 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 			compKernel(now, id, t.Node, dur, false)
 
 		case KDecode:
-			dur := cfg.CompDev.DecodeTime(t.Algo, t.Bytes) + cfg.Dispatch
+			dur := scaleComp(cfg.CompDev.DecodeTime(t.Algo, t.Bytes) + cfg.Dispatch)
 			if cfg.PCIeCross {
 				dur += float64(t.Bytes) / gpu.PCIeBW
 			}
@@ -396,7 +415,7 @@ func (x *SimExecutor) Run(g *Graph) SimResult {
 				completeAt(id, now) // barrier
 				return
 			}
-			compKernel(now, id, t.Node, cfg.CompDev.MergeTime(t.Bytes), false)
+			compKernel(now, id, t.Node, scaleComp(cfg.CompDev.MergeTime(t.Bytes)), false)
 
 		case KSend:
 			if t.Node == t.Peer {

@@ -26,7 +26,7 @@ func Experiments() []string {
 		"table1", "table3", "table5", "table6", "table7",
 		"fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13",
-		"micro", "jitter", "strategies", "wire",
+		"micro", "kernels", "jitter", "strategies", "wire",
 		"chaos", "plan-robustness", "trace", "recovery",
 	}
 }
@@ -75,6 +75,8 @@ func RunExperiment(id string, scale float64) (*Table, error) {
 		return Fig13Exp(scale)
 	case "micro":
 		return MicroExp()
+	case "kernels":
+		return KernelsExp(scale)
 	case "jitter":
 		return JitterExp()
 	case "strategies":

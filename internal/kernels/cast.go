@@ -1,0 +1,22 @@
+package kernels
+
+import "unsafe"
+
+// bytesAsF32 reinterprets a byte slice as float32s without copying. The
+// slice must be 4-byte aligned and len(b)%4 == 0; arena backing arrays are
+// allocated through []float32 for exactly this reason. Used only inside the
+// arena — payload byte layouts on the wire remain explicit little-endian.
+func bytesAsF32(b []byte) []float32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// f32AsBytes reinterprets a float32 slice as bytes without copying.
+func f32AsBytes(f []float32) []byte {
+	if len(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), len(f)*4)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package kernels
+
+// raceEnabled reports that the race detector is active. Under -race,
+// sync.Pool intentionally bypasses its caches at random to expose races, so
+// alloc-free assertions on pooled paths are skipped.
+const raceEnabled = true

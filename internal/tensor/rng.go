@@ -34,14 +34,45 @@ func (r *RNG) Save() RNGState { return RNGState(r.state) }
 // saving generator would have produced next.
 func (r *RNG) Restore(s RNGState) { r.state = uint64(s) }
 
-// Uint64 returns the next 64 random bits.
-func (r *RNG) Uint64() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
+// rngGamma is the splitmix64 Weyl increment: the state advances by exactly
+// this constant per draw, which is what makes the stream randomly
+// addressable (see Uint64At).
+const rngGamma = 0x9e3779b97f4a7c15
+
+// rngFinalize is the splitmix64 output mix applied to a state word.
+func rngFinalize(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += rngGamma
+	return rngFinalize(r.state)
+}
+
+// Uint64At returns draw i (0-indexed) of the stream continuing from saved
+// state s, without touching any generator. Because splitmix64's state is a
+// Weyl sequence (state += gamma per draw), draw i is a pure function of
+// (s, i): this is what lets the parallel TernGrad kernel give every chunk
+// O(1) random access to its slice of the stream while staying bit-identical
+// to the sequential generator.
+func Uint64At(s RNGState, i uint64) uint64 {
+	return rngFinalize(uint64(s) + (i+1)*rngGamma)
+}
+
+// Float64At returns Float64 draw i of the stream continuing from state s.
+// Float64At(r.Save(), i) == the (i+1)-th r.Float64() call, bit for bit.
+func Float64At(s RNGState, i uint64) float64 {
+	return float64(Uint64At(s, i)>>11) / (1 << 53)
+}
+
+// Skip advances the generator past n draws in O(1), as if Uint64 had been
+// called n times. Used by parallel kernels that consumed n draws through
+// Uint64At to leave the generator in the exact state a sequential
+// implementation would.
+func (r *RNG) Skip(n uint64) { r.state += n * rngGamma }
 
 // Uint64n returns a uniform value in [0, n). n must be > 0.
 func (r *RNG) Uint64n(n uint64) uint64 {

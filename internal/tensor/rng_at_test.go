@@ -1,0 +1,50 @@
+package tensor
+
+import "testing"
+
+// TestRandomAccessMatchesSequential pins the property the parallel TernGrad
+// kernel depends on: Uint64At/Float64At over a saved state reproduce the
+// sequential stream bit for bit, and Skip leaves the generator exactly where
+// n sequential draws would.
+func TestRandomAccessMatchesSequential(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		r := NewRNG(seed)
+		r.Uint64() // desync from the seed so Save captures a mid-stream state
+		s := r.Save()
+
+		seq := NewRNG(seed)
+		seq.Restore(s)
+		for i := uint64(0); i < 1000; i++ {
+			wantU := seq.Uint64()
+			if got := Uint64At(s, i); got != wantU {
+				t.Fatalf("seed %d: Uint64At(s, %d) = %#x, want %#x", seed, i, got, wantU)
+			}
+		}
+
+		seqF := NewRNG(seed)
+		seqF.Restore(s)
+		for i := uint64(0); i < 1000; i++ {
+			wantF := seqF.Float64()
+			if got := Float64At(s, i); got != wantF {
+				t.Fatalf("seed %d: Float64At(s, %d) = %v, want %v", seed, i, got, wantF)
+			}
+		}
+
+		skipped := NewRNG(seed)
+		skipped.Restore(s)
+		skipped.Skip(1000)
+		if skipped.Save() != seq.Save() {
+			t.Fatalf("seed %d: Skip(1000) state %#x != 1000 sequential draws %#x",
+				seed, skipped.Save(), seq.Save())
+		}
+	}
+}
+
+func TestSkipZeroIsNoop(t *testing.T) {
+	r := NewRNG(7)
+	s := r.Save()
+	r.Skip(0)
+	if r.Save() != s {
+		t.Fatal("Skip(0) changed state")
+	}
+}

@@ -238,10 +238,21 @@ func TrainLinear(task *LinearTask, cfg Config) (*Curve, []float32, error) {
 		}
 	}
 
+	// Per-worker gradient buffers and the grads maps are allocated once and
+	// reused every iteration (SyncRound reads them during the round only and
+	// returns freshly allocated results), so the step loop stays off the
+	// allocator. Values are identical to per-iteration allocation — resume
+	// bit-identity is unaffected.
+	grads := make([]map[string][]float32, cfg.Workers)
+	gbuf := make([][]float32, cfg.Workers)
+	for v := range gbuf {
+		gbuf[v] = make([]float32, dim)
+		grads[v] = map[string][]float32{"w": gbuf[v]}
+	}
 	for it := startIt; it < cfg.Iters; it++ {
-		grads := make([]map[string][]float32, cfg.Workers)
 		for v := 0; v < cfg.Workers; v++ {
-			g := make([]float32, dim)
+			g := gbuf[v]
+			clear(g)
 			rng := workerRNG[v]
 			for b := 0; b < cfg.Batch; b++ {
 				y := task.sample(rng, x)
@@ -255,9 +266,8 @@ func TrainLinear(task *LinearTask, cfg Config) (*Curve, []float32, error) {
 				// velocity is what gets (sparsely) synchronized.
 				tensor.Scale(localVel[v], float32(cfg.Momentum))
 				tensor.Add(localVel[v], g)
-				g = tensor.Clone(localVel[v])
+				copy(g, localVel[v])
 			}
-			grads[v] = map[string][]float32{"w": g}
 		}
 		out, err := lc.SyncRound(grads)
 		if err != nil {
@@ -447,21 +457,31 @@ func TrainMLP(task *MLPTask, cfg Config) (*Curve, error) {
 
 	curve := &Curve{}
 	x := make([]float32, task.In)
+	// Per-worker gradient accumulators allocated once, zeroed per iteration
+	// (see TrainLinear: SyncRound does not retain its inputs).
+	gw := make([]*mlp, cfg.Workers)
+	grads := make([]map[string][]float32, cfg.Workers)
+	for v := range gw {
+		gw[v] = &mlp{in: task.In, hidden: task.Hidden,
+			w1: make([]float32, task.In*task.Hidden),
+			b1: make([]float32, task.Hidden),
+			w2: make([]float32, task.Hidden),
+			b2: make([]float32, 1)}
+		grads[v] = gw[v].gradsMap()
+	}
 	for it := startIt; it < cfg.Iters; it++ {
-		grads := make([]map[string][]float32, cfg.Workers)
 		for v := 0; v < cfg.Workers; v++ {
-			g := &mlp{in: task.In, hidden: task.Hidden,
-				w1: make([]float32, task.In*task.Hidden),
-				b1: make([]float32, task.Hidden),
-				w2: make([]float32, task.Hidden),
-				b2: make([]float32, 1)}
+			g := gw[v]
+			clear(g.w1)
+			clear(g.b1)
+			clear(g.w2)
+			clear(g.b2)
 			rng := workerRNG[v]
 			for b := 0; b < cfg.Batch; b++ {
 				rng.FillNormal(x, 1)
 				y := task.teacher.forward(x, hid)
 				student.grads(x, y, hid, g, 1/float32(cfg.Batch))
 			}
-			grads[v] = g.gradsMap()
 		}
 		out, err := lc.SyncRound(grads)
 		if err != nil {
