@@ -20,14 +20,17 @@ race:
 
 # Short fuzz smoke over the byte-level decoders that face untrusted input:
 # the checkpoint format (disk corruption after a crash), the TCP wire frame
-# (chaos-corrupted streams), and the five compression payload decoders
-# (truncated/corrupted gradient frames off the wire). 10s each — enough to
-# catch parser regressions without stalling the gate; run with
-# -fuzztime=10m for a real campaign.
+# (chaos-corrupted streams), the five compression payload decoders
+# (truncated/corrupted gradient frames off the wire), and the phi-accrual
+# health plane's state machine (arbitrary interleavings of arrivals, clock
+# advances, convictions, and revivals). 10s each — enough to catch parser
+# regressions without stalling the gate; run with -fuzztime=10m for a real
+# campaign.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s ./internal/ckpt/
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/netsim/
 	$(GO) test -run='^$$' -fuzz=FuzzCompressorDecode -fuzztime=10s ./internal/compress/
+	$(GO) test -run='^$$' -fuzz=FuzzPhiDetector -fuzztime=10s ./internal/core/
 
 # The gate used before committing: vet + full race-enabled test suite +
 # fuzz smoke.

@@ -12,7 +12,8 @@
 // Experiment ids: table1 table3 table5 table6 table7 fig7a fig7b fig7c
 // fig8a fig8b fig8c fig9 fig10 fig11 fig12a fig12b fig13 micro, plus the
 // beyond-the-paper studies jitter, strategies, wire, chaos, plan-robustness,
-// and trace.
+// trace, recovery, and stragglers (adaptive failure detection vs static
+// deadlines under a 10x straggler).
 //
 // The chaos experiment accepts a fault schedule via -chaos, e.g.
 //

@@ -53,6 +53,44 @@ type RetryPolicy struct {
 	// subsequent waits double, capped at MaxBackoff.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// FullJitter draws each wait uniformly from (0, d] where d is the
+	// deterministic capped-exponential value — AWS-style full jitter, so
+	// concurrent retries against one congested peer desynchronize instead
+	// of hammering it in lockstep. The cap is unchanged: a jittered wait
+	// never exceeds the deterministic one.
+	FullJitter bool
+	// JitterSeed seeds the jitter stream (0 takes a fixed default), so
+	// jittered runs stay reproducible per seed.
+	JitterSeed uint64
+
+	// jit is the shared draw counter, created by withDefaults so copies
+	// of one policy (liveRound keeps its own copy) share one stream.
+	jit *jitterState
+}
+
+// jitterState is one seeded jitter stream: a counter hashed with
+// splitmix64 per draw, safe for concurrent senders.
+type jitterState struct {
+	seed uint64
+	ctr  atomic.Uint64
+}
+
+// next returns a uniform value in (0, d].
+func (j *jitterState) next(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	h := mix64(j.seed ^ j.ctr.Add(1)*0x9e3779b97f4a7c15)
+	return 1 + time.Duration(h%uint64(d))
+}
+
+// mix64 is the splitmix64 finalizer (same construction the chaos plane
+// uses for deterministic fault rolls).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // withDefaults fills zero fields: 5 attempts, 10ms base, 100ms cap.
@@ -66,20 +104,32 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxBackoff <= 0 {
 		p.MaxBackoff = 100 * time.Millisecond
 	}
+	if p.FullJitter && p.jit == nil {
+		seed := p.JitterSeed
+		if seed == 0 {
+			seed = 0x9e3779b97f4a7c15
+		}
+		p.jit = &jitterState{seed: seed}
+	}
 	return p
 }
 
-// backoff returns the wait after 0-based attempt i failed.
+// backoff returns the wait after 0-based attempt i failed: deterministic
+// capped exponential, optionally full-jittered to (0, d].
 func (p RetryPolicy) backoff(i int) time.Duration {
 	d := p.BaseBackoff
 	for k := 0; k < i; k++ {
 		d *= 2
 		if d >= p.MaxBackoff {
-			return p.MaxBackoff
+			d = p.MaxBackoff
+			break
 		}
 	}
 	if d > p.MaxBackoff {
-		return p.MaxBackoff
+		d = p.MaxBackoff
+	}
+	if p.FullJitter && p.jit != nil {
+		return p.jit.next(d)
 	}
 	return d
 }
@@ -111,11 +161,26 @@ type PeerFailureError struct {
 	Attempts int
 	// Reason describes the detector's verdict.
 	Reason string
+	// LastRTT is the most recent round-trip sample observed on the failing
+	// link (0 when no ack ever crossed it).
+	LastRTT time.Duration
+	// SamplesSeen counts the RTT samples harvested on the link before the
+	// failure — LastRTT over many samples points at a mistuned timeout, a
+	// zero count at a genuinely dead link.
+	SamplesSeen int
+	// Phi is the peer's φ-accrual suspicion level at failure time (0 when
+	// the health plane is off).
+	Phi float64
 }
 
 // Error implements error.
 func (e *PeerFailureError) Error() string {
-	return fmt.Sprintf("core: node %d lost peer %d after %d attempts: %s", e.Node, e.Peer, e.Attempts, e.Reason)
+	s := fmt.Sprintf("core: node %d lost peer %d after %d attempts: %s", e.Node, e.Peer, e.Attempts, e.Reason)
+	if e.SamplesSeen > 0 {
+		s += fmt.Sprintf(" [link evidence: last RTT %v over %d samples, φ=%.2f]",
+			e.LastRTT.Round(time.Microsecond), e.SamplesSeen, e.Phi)
+	}
+	return s
 }
 
 // RoundHealth reports how a live round actually went: the fault plane's
@@ -160,6 +225,15 @@ type RoundHealth struct {
 	// Renormalized records whether surviving aggregates were rescaled by
 	// n/(n-excluded).
 	Renormalized bool
+	// Hedges counts speculative retransmits fired by the adaptive health
+	// plane at the per-link p99 point (bounded by HealthConfig.HedgeBudget).
+	Hedges int64
+	// SlowPeers lists peers the health plane classified Slow at round end
+	// (srtt above SlowFactor × the cluster median), ascending.
+	SlowPeers []int
+	// Phi is the per-peer φ suspicion level at round end (nil when the
+	// health plane is off).
+	Phi []float64
 	// Chaos carries the injector's counters when the round ran over a
 	// ChaosTransport.
 	Chaos *netsim.ChaosStats
@@ -211,6 +285,7 @@ type roundState struct {
 	corruptDrops     int64
 	skipped          int64
 	excludedContribs int64
+	hedges           int64
 	renormalized     int32
 
 	// onDead fires once per newly convicted node, outside rs.mu.
@@ -377,6 +452,63 @@ func (rs *roundState) suspect(from, to int) int {
 	return victim
 }
 
+// succOf reads one endpoint's success score (adaptive φ tie-break).
+func (rs *roundState) succOf(v int) int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if v < 0 || v >= len(rs.succ) {
+		return 0
+	}
+	return rs.succ[v]
+}
+
+// markSuspect records inconclusive suspicion against an endpoint (the
+// adaptive plane's analogue of the tied-scoreboard path in suspect).
+func (rs *roundState) markSuspect(v int) {
+	rs.mu.Lock()
+	if v >= 0 && v < len(rs.suspected) {
+		rs.suspected[v] = true
+	}
+	rs.mu.Unlock()
+}
+
+// convict declares v dead directly (the φ detector's verdict, vs the
+// scoreboard inference in suspect). The onDead hook fires outside the
+// lock, exactly once per conviction.
+func (rs *roundState) convict(v int) {
+	if v < 0 {
+		return
+	}
+	rs.mu.Lock()
+	newly := false
+	if v < len(rs.dead) && !rs.dead[v] {
+		rs.dead[v] = true
+		newly = true
+	}
+	hook := rs.onDead
+	rs.mu.Unlock()
+	if newly && hook != nil {
+		hook(v)
+	}
+}
+
+// takeHedge claims one unit of the round's hedge budget, returning false
+// when the budget is exhausted (or hedging disabled).
+func (rs *roundState) takeHedge(budget int) bool {
+	if budget <= 0 {
+		return false
+	}
+	for {
+		cur := atomic.LoadInt64(&rs.hedges)
+		if cur >= int64(budget) {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&rs.hedges, cur, cur+1) {
+			return true
+		}
+	}
+}
+
 // health snapshots the counters into a RoundHealth.
 func (rs *roundState) health(reliable bool, elapsed time.Duration) *RoundHealth {
 	return &RoundHealth{
@@ -390,5 +522,6 @@ func (rs *roundState) health(reliable bool, elapsed time.Duration) *RoundHealth 
 		SuspectedPeers:   rs.suspectedList(),
 		ExcludedContribs: atomic.LoadInt64(&rs.excludedContribs),
 		Renormalized:     atomic.LoadInt32(&rs.renormalized) != 0,
+		Hedges:           atomic.LoadInt64(&rs.hedges),
 	}
 }

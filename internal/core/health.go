@@ -1,0 +1,724 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"hipress/internal/telemetry"
+)
+
+// This file is the adaptive health plane: a per-peer φ-accrual failure
+// detector fed by per-link RTT samples harvested from the ack path (plus
+// lightweight idle heartbeats), Jacobson/Karels RTT-adaptive retry
+// deadlines, and the hedged-retransmit budget. It replaces the fixed
+// verdicts of the static RetryPolicy path with a continuous suspicion
+// level and typed Healthy/Slow/Suspect/Probation/Dead transitions that
+// drive the existing Degrade/Convict/Rejoin machinery.
+//
+// Peer lifecycle (the health plane's view; the elastic membership plane in
+// rejoin.go keeps its own coarser lifecycle in sync through the
+// convicted/revive/promote hooks):
+//
+//	Healthy ◀──────────────┐
+//	   │  φ ≥ PhiSuspect   │ φ < PhiSuspect, or clean round
+//	   ▼                   │
+//	Suspect ───────────────┘
+//	   │  φ ≥ PhiConvict (or scoreboard tie-break)
+//	   ▼
+//	 Dead ──revive/next round──▶ Probation ──clean round──▶ Healthy
+//	                                 │
+//	                                 └──re-conviction──▶ Dead
+//	Healthy ◀──srtt back under the bar── Slow ◀──srtt > SlowFactor·median──
+//
+// Invariant (enforced by setStateLocked, exercised by FuzzPhiDetector): a
+// Dead peer can only leave through Probation — there is no Dead→Healthy
+// shortcut.
+
+// HealthState is one peer's position in the health plane's lifecycle.
+type HealthState int
+
+const (
+	// HealthHealthy is full trust: φ below the suspicion threshold.
+	HealthHealthy HealthState = iota
+	// HealthSlow marks a live but straggling peer (srtt above
+	// SlowFactor × cluster median at round end). Slow peers participate
+	// normally — the adaptive deadlines simply stretch for them.
+	HealthSlow
+	// HealthSuspect means φ crossed PhiSuspect without reaching
+	// PhiConvict: suspicion is accruing but evidence is inconclusive.
+	HealthSuspect
+	// HealthProbation is the trial state between Dead and Healthy: the
+	// peer participates again, and one clean round (non-elastic) or the
+	// membership plane's promotion (elastic) restores it.
+	HealthProbation
+	// HealthDead is a conviction: the peer is excluded per policy.
+	HealthDead
+)
+
+// String implements fmt.Stringer.
+func (s HealthState) String() string {
+	switch s {
+	case HealthHealthy:
+		return "healthy"
+	case HealthSlow:
+		return "slow"
+	case HealthSuspect:
+		return "suspect"
+	case HealthProbation:
+		return "probation"
+	case HealthDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("HealthState(%d)", int(s))
+	}
+}
+
+// HealthConfig tunes the adaptive health plane. The zero value (all fields
+// default) gives a passive plane that only harvests RTT evidence for error
+// reports; set Adaptive for φ-accrual convictions, RTT-adaptive deadlines,
+// heartbeats, and hedged retransmits.
+type HealthConfig struct {
+	// Adaptive turns on the adaptive send path: per-link RTO deadlines,
+	// φ-accrual convictions, hedged retransmits, and (when HeartbeatEvery
+	// is set) idle heartbeats. Off, the plane still harvests RTT samples
+	// from the ack path so PeerFailureError carries link evidence.
+	Adaptive bool
+	// PhiSuspect is the suspicion threshold (default 4): φ at or above it
+	// moves a peer to HealthSuspect.
+	PhiSuspect float64
+	// PhiConvict is the conviction threshold (default 10): when a send's
+	// adaptive deadline expires and an endpoint's φ has reached it, that
+	// endpoint is convicted. φ ≈ 10 corresponds to a silence ~23× the
+	// mean arrival interval (exponential accrual).
+	PhiConvict float64
+	// MinRTO / MaxRTO clamp the per-link retransmission timeout
+	// (defaults 1ms / 2s).
+	MinRTO time.Duration
+	MaxRTO time.Duration
+	// BootstrapRTO seeds deadlines and detector intervals before a link
+	// has real samples (default 25ms).
+	BootstrapRTO time.Duration
+	// HedgeBudget bounds speculative retransmits per round (default 64;
+	// negative disables hedging). A hedge fires when a first attempt is
+	// outstanding past the link's p99 estimate.
+	HedgeBudget int
+	// HeartbeatEvery sends idle liveness probes on every live link at
+	// this period so the detector keeps accruing arrivals between data
+	// transfers. Zero disables heartbeats.
+	HeartbeatEvery time.Duration
+	// SlowFactor classifies a peer Slow when its srtt exceeds
+	// SlowFactor × the cluster median srtt at round end (default 3;
+	// negative disables the classification).
+	SlowFactor float64
+	// MaxAttempts bounds the adaptive send loop (default 10). With
+	// doubling RTOs this is a far larger wall-clock budget than the
+	// static policy's, because the φ detector — not attempt exhaustion —
+	// is the intended conviction path.
+	MaxAttempts int
+	// Window is the φ detector's inter-arrival sample window (default 64).
+	Window int
+	// Now, when non-nil, supplies the plane's timestamps (a virtual
+	// clock). Live rounds still wait on wall timers; Now only stamps
+	// detector observations and RTT samples, which is what tests and the
+	// fuzz harness drive deterministically.
+	Now func() time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.PhiSuspect <= 0 {
+		c.PhiSuspect = 4
+	}
+	if c.PhiConvict <= 0 {
+		c.PhiConvict = 10
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 2 * time.Second
+	}
+	if c.BootstrapRTO <= 0 {
+		c.BootstrapRTO = 25 * time.Millisecond
+	}
+	if c.HedgeBudget == 0 {
+		c.HedgeBudget = 64
+	}
+	if c.SlowFactor == 0 {
+		c.SlowFactor = 3
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 10
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	return c
+}
+
+// rttEstimator is the Jacobson/Karels smoothed RTT state for one directed
+// link. Units are seconds; methods are not goroutine-safe (the health
+// plane's mutex guards them).
+type rttEstimator struct {
+	srtt    float64 // smoothed RTT
+	rttvar  float64 // mean deviation
+	last    float64 // most recent raw sample
+	samples int
+}
+
+// observe folds one RTT sample in (RFC 6298 coefficients: α=1/8, β=1/4).
+func (e *rttEstimator) observe(rtt float64) {
+	if rtt < 0 || math.IsNaN(rtt) || math.IsInf(rtt, 0) {
+		return
+	}
+	e.last = rtt
+	if e.samples == 0 {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+	} else {
+		e.rttvar += (math.Abs(e.srtt-rtt) - e.rttvar) / 4
+		e.srtt += (rtt - e.srtt) / 8
+	}
+	e.samples++
+}
+
+// rto returns srtt + 4·rttvar clamped to [min, max], or 0 when the link
+// has no samples yet (callers fall back to the bootstrap RTO).
+func (e *rttEstimator) rto(min, max float64) float64 {
+	if e.samples == 0 {
+		return 0
+	}
+	r := e.srtt + 4*e.rttvar
+	if r < min {
+		r = min
+	}
+	if r > max {
+		r = max
+	}
+	return r
+}
+
+// p99 approximates the link's tail latency as srtt + 3·rttvar — the hedge
+// point for speculative retransmits.
+func (e *rttEstimator) p99() float64 {
+	return e.srtt + 3*e.rttvar
+}
+
+// phiDetector is one peer's φ-accrual failure detector (exponential form,
+// as deployed in Cassandra/Akka): arrivals feed a sliding window of
+// inter-arrival intervals, and the suspicion level is
+//
+//	φ(t) = log10(e) · (t − t_last) / mean_interval
+//
+// which grows without bound during silence and snaps back on arrival.
+// φ is clamped to be finite and non-negative for any input.
+//
+// minMean floors the window mean: messages delayed in flight bunch up on
+// delivery, filling the window with near-zero intervals, and an unfloored
+// mean then turns any ordinary delivery gap into a conviction-grade φ
+// (the classic accrual-detector burst pathology). The floor is the
+// expected arrival cadence — heartbeat period when heartbeats run, the
+// bootstrap RTO otherwise.
+type phiDetector struct {
+	window  []float64 // ring of inter-arrival intervals (seconds)
+	sum     float64
+	next    int
+	count   int
+	last    float64 // timestamp of the most recent arrival (seconds)
+	minMean float64
+	primed  bool
+}
+
+func newPhiDetector(window int, minMean float64) *phiDetector {
+	if minMean < 0 || math.IsNaN(minMean) || math.IsInf(minMean, 0) {
+		minMean = 0
+	}
+	return &phiDetector{window: make([]float64, window), minMean: minMean}
+}
+
+// prime seeds the detector with one synthetic interval so φ is meaningful
+// before the first real arrival (a blacked-out-from-birth peer must still
+// accrue suspicion).
+func (d *phiDetector) prime(now, meanInterval float64) {
+	if meanInterval <= 0 || math.IsNaN(meanInterval) || math.IsInf(meanInterval, 0) {
+		meanInterval = 1e-3
+	}
+	d.push(meanInterval)
+	d.last = now
+	d.primed = true
+}
+
+// observe records an arrival at time now.
+func (d *phiDetector) observe(now float64) {
+	if !d.primed {
+		return
+	}
+	iv := now - d.last
+	if iv < 0 {
+		iv = 0
+	}
+	d.push(iv)
+	d.last = now
+}
+
+func (d *phiDetector) push(iv float64) {
+	if d.count == len(d.window) {
+		d.sum -= d.window[d.next]
+	} else {
+		d.count++
+	}
+	d.window[d.next] = iv
+	d.sum += iv
+	d.next = (d.next + 1) % len(d.window)
+	if d.sum < 0 {
+		d.sum = 0 // floating-point drift guard
+	}
+}
+
+// phi returns the suspicion level at time now: 0 for an unprimed detector,
+// never NaN, never negative.
+func (d *phiDetector) phi(now float64) float64 {
+	if !d.primed || d.count == 0 {
+		return 0
+	}
+	mean := d.sum / float64(d.count)
+	if mean < d.minMean {
+		mean = d.minMean
+	}
+	if mean < 1e-9 {
+		mean = 1e-9
+	}
+	t := now - d.last
+	if t < 0 || math.IsNaN(t) {
+		t = 0
+	}
+	p := math.Log10(math.E) * t / mean
+	if math.IsNaN(p) || p < 0 {
+		return 0
+	}
+	return p
+}
+
+// linkEvidence is the RTT/φ evidence snapshot surfaced in
+// PeerFailureError so operators can distinguish "dead" from "mistuned
+// timeout".
+type linkEvidence struct {
+	LastRTT time.Duration
+	Samples int
+	Phi     float64
+}
+
+// healthPlane is the per-cluster adaptive health state: an rttEstimator
+// per directed link, a φ detector and lifecycle state per peer. It
+// persists across rounds (that is the point — steady-state rounds inherit
+// learned deadlines), and all methods are nil-safe so the static path pays
+// only a nil check.
+type healthPlane struct {
+	cfg     HealthConfig
+	n       int
+	elastic bool
+	birth   time.Time
+	tel     *telemetry.Set
+
+	mu    sync.Mutex
+	links []rttEstimator // n×n, flat [from*n+to]
+	det   []*phiDetector
+	state []HealthState
+}
+
+func newHealthPlane(n int, cfg *HealthConfig, elastic bool, tel *telemetry.Set) *healthPlane {
+	var c HealthConfig
+	if cfg != nil {
+		c = *cfg
+	}
+	c = c.withDefaults()
+	hp := &healthPlane{
+		cfg:     c,
+		n:       n,
+		elastic: elastic,
+		birth:   time.Now(),
+		tel:     tel,
+		links:   make([]rttEstimator, n*n),
+		det:     make([]*phiDetector, n),
+		state:   make([]HealthState, n),
+	}
+	minMean := c.BootstrapRTO.Seconds()
+	if c.HeartbeatEvery > 0 {
+		minMean = c.HeartbeatEvery.Seconds()
+	}
+	for v := range hp.det {
+		hp.det[v] = newPhiDetector(c.Window, minMean)
+	}
+	return hp
+}
+
+// clock returns the plane's current timestamp (virtual when cfg.Now is
+// injected, wall-clock since birth otherwise).
+func (hp *healthPlane) clock() time.Duration {
+	if hp.cfg.Now != nil {
+		return hp.cfg.Now()
+	}
+	return time.Since(hp.birth)
+}
+
+func (hp *healthPlane) seconds() float64 { return hp.clock().Seconds() }
+
+// setStateLocked performs one lifecycle transition, enforcing the
+// Dead-only-exits-via-Probation invariant and emitting the transition to
+// telemetry. Called with hp.mu held.
+func (hp *healthPlane) setStateLocked(v int, to HealthState) {
+	from := hp.state[v]
+	if from == to {
+		return
+	}
+	if from == HealthDead && to != HealthProbation {
+		panic(fmt.Sprintf("core: health plane: illegal transition node %d %v→%v (Dead exits only via Probation)", v, from, to))
+	}
+	hp.state[v] = to
+	hp.emitTransition(v, from, to)
+}
+
+// roundStart re-arms the plane for a new round: detectors are primed (or
+// their idle inter-round gap forgiven — the driver's compute time between
+// rounds is not evidence of peer failure), and in non-elastic mode a
+// convicted peer gets its implicit probation trial, since non-elastic
+// rounds start from a blank per-round scoreboard anyway.
+func (hp *healthPlane) roundStart() {
+	if hp == nil {
+		return
+	}
+	now := hp.seconds()
+	hp.mu.Lock()
+	for v := 0; v < hp.n; v++ {
+		if hp.state[v] == HealthDead && !hp.elastic {
+			hp.setStateLocked(v, HealthProbation)
+		}
+		d := hp.det[v]
+		if d.primed {
+			d.last = now
+		} else {
+			d.prime(now, hp.cfg.BootstrapRTO.Seconds())
+		}
+	}
+	hp.mu.Unlock()
+}
+
+// arrival records any sign of life from peer (an ack, a data message, a
+// heartbeat echo): the detector accrues the inter-arrival interval, and a
+// Suspect peer whose φ dropped back under the threshold recovers.
+func (hp *healthPlane) arrival(peer int) {
+	if hp == nil || peer < 0 || peer >= hp.n {
+		return
+	}
+	now := hp.seconds()
+	hp.mu.Lock()
+	d := hp.det[peer]
+	if !d.primed {
+		d.prime(now, hp.cfg.BootstrapRTO.Seconds())
+	}
+	d.observe(now)
+	if hp.state[peer] == HealthSuspect && d.phi(now) < hp.cfg.PhiSuspect {
+		hp.setStateLocked(peer, HealthHealthy)
+	}
+	hp.mu.Unlock()
+}
+
+// observeRTT folds one round-trip sample into the from→to link estimator.
+func (hp *healthPlane) observeRTT(from, to int, rtt time.Duration) {
+	if hp == nil || from < 0 || to < 0 || from >= hp.n || to >= hp.n || rtt < 0 {
+		return
+	}
+	hp.mu.Lock()
+	hp.links[from*hp.n+to].observe(rtt.Seconds())
+	hp.mu.Unlock()
+}
+
+// rto returns the adaptive retransmission deadline for attempt (0-based)
+// on the from→to link: the Jacobson/Karels RTO doubled per retry (Karn's
+// backoff), clamped to [MinRTO, MaxRTO]. Virgin links use BootstrapRTO.
+func (hp *healthPlane) rto(from, to, attempt int) time.Duration {
+	base := 0.0
+	hp.mu.Lock()
+	base = hp.links[from*hp.n+to].rto(hp.cfg.MinRTO.Seconds(), hp.cfg.MaxRTO.Seconds())
+	hp.mu.Unlock()
+	if base == 0 {
+		base = hp.cfg.BootstrapRTO.Seconds()
+	}
+	d := time.Duration(base * float64(time.Second))
+	for k := 0; k < attempt; k++ {
+		d *= 2
+		if d >= hp.cfg.MaxRTO {
+			return hp.cfg.MaxRTO
+		}
+	}
+	if d < hp.cfg.MinRTO {
+		d = hp.cfg.MinRTO
+	}
+	return d
+}
+
+// hedgeDelay returns the link's p99 estimate — the point at which a
+// speculative retransmit fires — and whether the estimate is trustworthy
+// (at least 4 samples).
+func (hp *healthPlane) hedgeDelay(from, to int) (time.Duration, bool) {
+	if hp == nil {
+		return 0, false
+	}
+	hp.mu.Lock()
+	e := &hp.links[from*hp.n+to]
+	ok := e.samples >= 4
+	p := e.p99()
+	hp.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	d := time.Duration(p * float64(time.Second))
+	if d < hp.cfg.MinRTO {
+		d = hp.cfg.MinRTO
+	}
+	return d, true
+}
+
+// phi returns peer v's current suspicion level.
+func (hp *healthPlane) phi(v int) float64 {
+	if hp == nil || v < 0 || v >= hp.n {
+		return 0
+	}
+	now := hp.seconds()
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	return hp.det[v].phi(now)
+}
+
+// stateOf returns peer v's lifecycle state.
+func (hp *healthPlane) stateOf(v int) HealthState {
+	if hp == nil || v < 0 || v >= hp.n {
+		return HealthHealthy
+	}
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	return hp.state[v]
+}
+
+// judge is consulted when an adaptive send's deadline expires on from→to:
+// it convicts the endpoint whose φ has crossed PhiConvict (the higher one
+// when both have), falls back to the success-scoreboard tie-break when the
+// φ evidence alone cannot separate the endpoints, and otherwise records
+// suspicion and returns -1 (keep retrying). The caller performs the actual
+// conviction through roundState so the onDead hook fires exactly once.
+func (hp *healthPlane) judge(from, to int, rs *roundState) int {
+	now := hp.seconds()
+	hp.mu.Lock()
+	pf := hp.det[from].phi(now)
+	pt := hp.det[to].phi(now)
+	mark := func(v int, p float64) {
+		if p >= hp.cfg.PhiSuspect && (hp.state[v] == HealthHealthy || hp.state[v] == HealthSlow) {
+			hp.setStateLocked(v, HealthSuspect)
+		}
+	}
+	mark(from, pf)
+	mark(to, pt)
+	hp.mu.Unlock()
+
+	fc, tc := pf >= hp.cfg.PhiConvict, pt >= hp.cfg.PhiConvict
+	switch {
+	case !fc && !tc:
+		if pf >= hp.cfg.PhiSuspect {
+			rs.markSuspect(from)
+		}
+		if pt >= hp.cfg.PhiSuspect {
+			rs.markSuspect(to)
+		}
+		return -1
+	case tc && (!fc || pt > pf):
+		return to
+	case fc && (!tc || pf > pt):
+		return from
+	}
+	// Both convictable with equal φ: let the per-round scoreboard break
+	// the tie (strictly fewer acked transfers loses), as the static
+	// detector does.
+	sf, st := rs.succOf(from), rs.succOf(to)
+	switch {
+	case sf < st:
+		return from
+	case st < sf:
+		return to
+	}
+	return -1
+}
+
+// convicted records a roundState conviction in the lifecycle (called from
+// the onDead hook, outside rs.mu).
+func (hp *healthPlane) convicted(v int) {
+	if hp == nil || v < 0 || v >= hp.n {
+		return
+	}
+	hp.mu.Lock()
+	if hp.state[v] != HealthDead {
+		hp.setStateLocked(v, HealthDead)
+	}
+	hp.mu.Unlock()
+}
+
+// revive moves a Dead peer to Probation — the elastic membership plane's
+// RequestRejoin hook.
+func (hp *healthPlane) revive(v int) {
+	if hp == nil || v < 0 || v >= hp.n {
+		return
+	}
+	hp.mu.Lock()
+	if hp.state[v] == HealthDead {
+		hp.setStateLocked(v, HealthProbation)
+	}
+	hp.mu.Unlock()
+}
+
+// promote completes probation (elastic membership promotion after N clean
+// rounds).
+func (hp *healthPlane) promote(v int) {
+	if hp == nil || v < 0 || v >= hp.n {
+		return
+	}
+	hp.mu.Lock()
+	if hp.state[v] == HealthProbation {
+		hp.setStateLocked(v, HealthHealthy)
+	}
+	hp.mu.Unlock()
+}
+
+// roundEnd closes one round: slow peers are (re)classified against the
+// cluster-median srtt, per-peer φ is snapshotted into the RoundHealth, a
+// clean round clears residual suspicion, and — in non-elastic mode, where
+// no membership plane tracks probation — a clean round completes the
+// probation trial started at roundStart.
+func (hp *healthPlane) roundEnd(h *RoundHealth, clean bool) {
+	if hp == nil {
+		return
+	}
+	now := hp.seconds()
+	hp.mu.Lock()
+	srtts := hp.peerSRTTsLocked()
+	var slow []int
+	if hp.cfg.SlowFactor > 0 {
+		if med := medianPositive(srtts); med > 0 {
+			for v, s := range srtts {
+				straggling := s > hp.cfg.SlowFactor*med
+				switch hp.state[v] {
+				case HealthHealthy:
+					if straggling {
+						hp.setStateLocked(v, HealthSlow)
+					}
+				case HealthSlow:
+					if !straggling {
+						hp.setStateLocked(v, HealthHealthy)
+					}
+				}
+			}
+		}
+	}
+	phis := make([]float64, hp.n)
+	for v := range phis {
+		phis[v] = hp.det[v].phi(now)
+		if hp.state[v] == HealthSlow {
+			slow = append(slow, v)
+		}
+	}
+	if clean {
+		for v := range hp.state {
+			switch hp.state[v] {
+			case HealthSuspect:
+				hp.setStateLocked(v, HealthHealthy)
+			case HealthProbation:
+				if !hp.elastic {
+					hp.setStateLocked(v, HealthHealthy)
+				}
+			}
+		}
+	}
+	hp.mu.Unlock()
+	sort.Ints(slow)
+	if h != nil {
+		h.SlowPeers = slow
+		h.Phi = phis
+	}
+}
+
+// peerSRTTsLocked derives a per-peer latency figure: the best (smallest)
+// smoothed RTT over every sampled link touching the peer, in either
+// direction. The best link is what identifies the peer itself as slow — a
+// straggling peer is slow on every path, while a single congested link
+// must not tar an otherwise fast peer (and would tar everyone, since each
+// fast peer also owns a link to the straggler). Called with hp.mu held.
+func (hp *healthPlane) peerSRTTsLocked() []float64 {
+	out := make([]float64, hp.n)
+	for v := 0; v < hp.n; v++ {
+		s := 0.0
+		for u := 0; u < hp.n; u++ {
+			if u == v {
+				continue
+			}
+			if e := &hp.links[u*hp.n+v]; e.samples > 0 && (s == 0 || e.srtt < s) {
+				s = e.srtt
+			}
+			if e := &hp.links[v*hp.n+u]; e.samples > 0 && (s == 0 || e.srtt < s) {
+				s = e.srtt
+			}
+		}
+		out[v] = s
+	}
+	return out
+}
+
+// medianPositive returns the median of the positive entries (0 when fewer
+// than two peers have samples — no meaningful baseline to compare against).
+func medianPositive(xs []float64) float64 {
+	var pos []float64
+	for _, x := range xs {
+		if x > 0 {
+			pos = append(pos, x)
+		}
+	}
+	if len(pos) < 2 {
+		return 0
+	}
+	sort.Float64s(pos)
+	return pos[len(pos)/2]
+}
+
+// evidence snapshots the from→to link's RTT history and the peer's φ for
+// failure-error reporting.
+func (hp *healthPlane) evidence(from, to int) linkEvidence {
+	if hp == nil || from < 0 || to < 0 || from >= hp.n || to >= hp.n {
+		return linkEvidence{}
+	}
+	now := hp.seconds()
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	e := &hp.links[from*hp.n+to]
+	return linkEvidence{
+		LastRTT: time.Duration(e.last * float64(time.Second)),
+		Samples: e.samples,
+		Phi:     hp.det[to].phi(now),
+	}
+}
+
+// HealthStates snapshots every peer's health-plane lifecycle state (all
+// HealthHealthy when the cluster runs without the health plane).
+func (lc *LiveCluster) HealthStates() []HealthState {
+	out := make([]HealthState, lc.n)
+	if lc.health == nil {
+		return out
+	}
+	lc.health.mu.Lock()
+	copy(out, lc.health.state)
+	lc.health.mu.Unlock()
+	return out
+}
+
+// PeerPhi returns peer v's current φ suspicion level (0 without the
+// health plane).
+func (lc *LiveCluster) PeerPhi(v int) float64 { return lc.health.phi(v) }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffFullJitter proves the full-jitter contract: every draw lands
+// in (0, d] where d is the deterministic capped-exponential wait, the
+// spread genuinely covers the range (not just the top), the cap is
+// unchanged, and a seed makes the stream reproducible.
+func TestBackoffFullJitter(t *testing.T) {
+	base := RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff: 100 * time.Millisecond}.withDefaults()
+	det := base.backoff(3) // 10ms · 2³ = 80ms, under the cap
+	if det != 80*time.Millisecond {
+		t.Fatalf("deterministic backoff(3) = %v, want 80ms", det)
+	}
+
+	jp := RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff: 100 * time.Millisecond, FullJitter: true, JitterSeed: 42}.withDefaults()
+	min, max := time.Duration(1<<62), time.Duration(0)
+	for i := 0; i < 500; i++ {
+		d := jp.backoff(3)
+		if d <= 0 || d > det {
+			t.Fatalf("draw %d: jittered backoff %v outside (0, %v]", i, d, det)
+		}
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	// A uniform (0, 80ms] stream of 500 draws is overwhelmingly likely to
+	// dip below a quarter and rise above three quarters of the range.
+	if min >= det/4 {
+		t.Fatalf("500 draws never went below %v (min %v): not spread across the range", det/4, min)
+	}
+	if max <= det*3/4 {
+		t.Fatalf("500 draws never rose above %v (max %v): not spread across the range", det*3/4, max)
+	}
+
+	// The cap is untouched by jitter: deep attempts never exceed MaxBackoff.
+	for i := 0; i < 100; i++ {
+		if d := jp.backoff(10); d <= 0 || d > jp.MaxBackoff {
+			t.Fatalf("capped jittered backoff = %v, outside (0, %v]", d, jp.MaxBackoff)
+		}
+	}
+
+	// Seeded determinism: two separately constructed policies with one seed
+	// replay the same stream; a different seed diverges somewhere.
+	a := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+		FullJitter: true, JitterSeed: 7}.withDefaults()
+	b := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+		FullJitter: true, JitterSeed: 7}.withDefaults()
+	c := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+		FullJitter: true, JitterSeed: 8}.withDefaults()
+	diverged := false
+	for i := 0; i < 50; i++ {
+		da, db, dc := a.backoff(2), b.backoff(2), c.backoff(2)
+		if da != db {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da != dc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("50 draws from different seeds never diverged")
+	}
+
+	// Copies of one constructed policy share a single stream (the round
+	// keeps its own copy of the policy): draws interleave, never repeat in
+	// lockstep.
+	orig := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+		FullJitter: true, JitterSeed: 9}.withDefaults()
+	cp := orig
+	if orig.backoff(2) == cp.backoff(2) && orig.backoff(2) == cp.backoff(2) {
+		t.Fatal("policy copies replayed identical draws: they must share one stream")
+	}
+}

@@ -92,6 +92,12 @@ type LiveConfig struct {
 	// dropped message would hang the round. Replaceable between rounds via
 	// LiveCluster.SetChaos (e.g. to lift a scripted blackout).
 	Chaos *netsim.ChaosConfig
+	// Health configures the adaptive health plane (health.go): φ-accrual
+	// failure detection, per-link RTT-adaptive retry deadlines, idle
+	// heartbeats, and hedged retransmits. Nil (or Adaptive unset) keeps
+	// the static Retry policy; reliable clusters still harvest RTT
+	// evidence passively for failure reports. Adaptive requires Reliable.
+	Health *HealthConfig
 
 	// --- elastic membership (recovery plane) ---
 
@@ -125,6 +131,11 @@ type LiveCluster struct {
 	// chaosMu guards cfg.Chaos, which SetChaos may replace between rounds.
 	mem     *membership
 	chaosMu sync.Mutex
+
+	// health is the adaptive health plane (nil unless Reliable): per-link
+	// RTT estimators and per-peer φ detectors that persist across rounds,
+	// so steady-state rounds inherit learned deadlines.
+	health *healthPlane
 }
 
 // NewLiveCluster builds an n-node live cluster.
@@ -152,10 +163,16 @@ func NewLiveCluster(n int, cfg LiveConfig) (*LiveCluster, error) {
 			cfg.ProbationRounds = 2
 		}
 	}
+	if cfg.Health != nil && cfg.Health.Adaptive && !cfg.Reliable {
+		return nil, fmt.Errorf("core: the adaptive health plane requires Reliable delivery (its evidence is the ack path)")
+	}
 	cfg.Retry = cfg.Retry.withDefaults()
 	lc := &LiveCluster{n: n, cfg: cfg}
 	if cfg.Elastic {
 		lc.mem = newMembership(n, cfg.ProbationRounds)
+	}
+	if cfg.Reliable {
+		lc.health = newHealthPlane(n, cfg.Health, cfg.Elastic, cfg.Telemetry)
 	}
 	switch cfg.Strategy {
 	case StrategyRing:
@@ -361,6 +378,11 @@ type liveRound struct {
 	retry    RetryPolicy
 	timeout  time.Duration
 
+	// hp is the cluster's health plane (non-nil whenever reliable);
+	// adaptive selects the RTT-adaptive send path over the static one.
+	hp       *healthPlane
+	adaptive bool
+
 	gmu       sync.Mutex // guards graph dependency counters + completed
 	remaining int
 	completed []bool
@@ -508,6 +530,7 @@ func (r *liveRound) route(id int) {
 // recvs so the surviving DAG drains (their downstream tasks skip via
 // route/drainer checks and the merge barrier accounts the exclusion).
 func (r *liveRound) onPeerDead(victim int) {
+	r.hp.convicted(victim)
 	if r.trc.Enabled() {
 		r.traceEvent(fmt.Sprintf("peer-dead node%d (%v)", victim, r.lc.cfg.OnPeerFail), "fault", victim)
 	}
@@ -539,6 +562,10 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 	capacity := len(g.Tasks)/n + 16
 	if lc.cfg.Reliable {
 		capacity *= 4 // duplicates and retries need headroom
+	}
+	adaptive := lc.health != nil && lc.health.cfg.Adaptive
+	if adaptive && lc.health.cfg.HeartbeatEvery > 0 {
+		capacity *= 2 // heartbeat probes and echoes share the inboxes
 	}
 	var tr netsim.Transport
 	switch lc.cfg.Transport {
@@ -614,6 +641,8 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		reliable:  lc.cfg.Reliable,
 		retry:     lc.cfg.Retry.withDefaults(),
 		timeout:   lc.cfg.RoundTimeout,
+		hp:        lc.health,
+		adaptive:  adaptive,
 		remaining: len(g.Tasks),
 		completed: make([]bool, len(g.Tasks)),
 		doneCh:    make(chan struct{}),
@@ -624,6 +653,9 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 	// Elastic membership: exclude carried convictions up front, so the DAG
 	// routes around a known-dead peer without re-paying detection timeouts.
 	carried := lc.preseedExcluded(r.rs)
+	// Re-arm the health plane: prime detectors, forgive the inter-round
+	// idle gap, start non-elastic probation trials.
+	r.hp.roundStart()
 	if r.trc.Enabled() {
 		for _, v := range carried {
 			r.traceEvent(fmt.Sprintf("membership-excluded node%d", v), "rejoin", v)
@@ -708,6 +740,13 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 			defer wg.Done()
 			r.dispatch(rt)
 		}()
+		if r.adaptive && r.hp.cfg.HeartbeatEvery > 0 {
+			wg.Add(1)
+			go func() { // idle liveness probes feeding the φ detectors
+				defer wg.Done()
+				r.heartbeatLoop(rt.id)
+			}()
+		}
 	}
 
 	// Kick off the roots.
@@ -732,6 +771,7 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		st := chaosTr.Stats()
 		health.Chaos = &st
 	}
+	r.hp.roundEnd(health, r.runErr == nil)
 	lc.updateMembership(health, r.rs, carried, r.runErr == nil)
 	r.emitRoundTelemetry(health, roundStart)
 	if r.runErr != nil {
@@ -799,9 +839,24 @@ func (r *liveRound) dispatch(rt *nodeRT) {
 		if !ok {
 			return
 		}
+		if msg.Heartbeat {
+			// Heartbeats live outside the ack/dedup machinery: a probe is
+			// echoed back (Step carries the probe's send timestamp), an
+			// echo yields one RTT sample plus an arrival observation.
+			if msg.Ack {
+				if hp := r.hp; hp != nil {
+					hp.observeRTT(rt.id, msg.From, hp.clock()-time.Duration(msg.Step))
+					hp.arrival(msg.From)
+				}
+			} else {
+				r.replyHeartbeat(rt.id, msg)
+			}
+			continue
+		}
 		if msg.Ack {
 			// The ack flows receiver→sender: the original transfer ran
 			// msg.To → msg.From.
+			r.hp.arrival(msg.From)
 			r.rs.ackArrived(ackKey{src: msg.To, dst: msg.From, grad: msg.Gradient, step: msg.Step})
 			continue
 		}
@@ -818,6 +873,8 @@ func (r *liveRound) dispatch(rt *nodeRT) {
 				rt.id, msg.Gradient, msg.From, sum, msg.Sum, len(msg.Payload)))
 			return
 		}
+		// A checksum-valid data message is as good as an ack for liveness.
+		r.hp.arrival(msg.From)
 		step, part := unpackStep(msg.Step)
 		key := mkey{msg.Gradient, part, step, msg.From}
 		if r.reliable && rt.seen[key] {
@@ -867,13 +924,19 @@ func (r *liveRound) sendAck(node int, msg netsim.Message) {
 // reliableSend is the acknowledged-or-retried delivery loop: transmit,
 // wait for the ack with capped exponential backoff, retransmit with a
 // fresh attempt number. After MaxAttempts the failure detector is
-// consulted; if it convicts a node the send resolves per policy, if the
-// evidence is tied a grace phase of equal length runs before a typed
-// *PeerFailureError.
+// consulted on every further expiry (the grace phase); if it convicts a
+// node the send resolves per policy, if the evidence stays tied the loop
+// ends in a typed *PeerFailureError carrying the link's RTT evidence.
+// Adaptive clusters route through adaptiveSend instead.
 func (r *liveRound) reliableSend(msg netsim.Message) error {
+	if r.adaptive {
+		return r.adaptiveSend(msg)
+	}
+	hp := r.hp
 	key := ackKey{src: msg.From, dst: msg.To, grad: msg.Gradient, step: msg.Step}
 	ackCh := r.rs.ackChan(key)
 	maxTotal := 2 * r.retry.MaxAttempts
+	var sentAt time.Duration
 	for attempt := 0; attempt < maxTotal; attempt++ {
 		if r.rs.isDead(msg.To) || r.rs.isDead(msg.From) {
 			return nil // degraded: the merge barrier accounts the exclusion
@@ -884,6 +947,9 @@ func (r *liveRound) reliableSend(msg netsim.Message) error {
 			if r.trc.Enabled() {
 				r.traceEvent(fmt.Sprintf("retry %s→%d #%d", msg.Gradient, msg.To, attempt), "retry", msg.From)
 			}
+		}
+		if hp != nil {
+			sentAt = hp.clock()
 		}
 		if err := r.tr.Send(msg); err != nil {
 			select {
@@ -898,6 +964,12 @@ func (r *liveRound) reliableSend(msg netsim.Message) error {
 		select {
 		case <-ackCh:
 			timer.Stop()
+			if hp != nil && attempt == 0 {
+				// Karn's rule: only unambiguous first-attempt acks yield
+				// RTT samples (a retransmitted transfer's ack could belong
+				// to any attempt).
+				hp.observeRTT(msg.From, msg.To, hp.clock()-sentAt)
+			}
 			return nil
 		case <-r.doneCh:
 			timer.Stop()
@@ -907,7 +979,10 @@ func (r *liveRound) reliableSend(msg netsim.Message) error {
 			return &RoundTimeoutError{Timeout: r.timeout}
 		case <-timer.C:
 		}
-		if attempt == r.retry.MaxAttempts-1 {
+		if attempt >= r.retry.MaxAttempts-1 {
+			// Suspicion and the whole grace phase consult the detector: a
+			// conviction that becomes decidable mid-grace (the scoreboard
+			// moved) must not wait out the remaining attempts.
 			if victim := r.rs.suspect(msg.From, msg.To); victim >= 0 {
 				// Conviction: degradation (or abort, via onPeerDead→fail)
 				// is already in motion; this send resolves.
@@ -917,8 +992,170 @@ func (r *liveRound) reliableSend(msg netsim.Message) error {
 			// phase.
 		}
 	}
-	return &PeerFailureError{Node: msg.From, Peer: msg.To, Attempts: maxTotal,
+	pf := &PeerFailureError{Node: msg.From, Peer: msg.To, Attempts: maxTotal,
 		Reason: "no acknowledgement after retries and grace phase (failure detector inconclusive)"}
+	if hp != nil {
+		ev := hp.evidence(msg.From, msg.To)
+		pf.LastRTT, pf.SamplesSeen, pf.Phi = ev.LastRTT, ev.Samples, ev.Phi
+	}
+	return pf
+}
+
+// adaptiveSend is the health plane's delivery loop: each attempt waits out
+// the link's Jacobson/Karels RTO (doubled per retry), a speculative hedge
+// fires at the link's p99 point while an attempt is outstanding (one per
+// attempt, shared round budget — so a lost retransmit recovers at p99
+// speed instead of waiting out its doubled RTO), and an expired deadline
+// consults the φ detector instead of the blunt attempt counter — so a
+// slow-but-alive peer accrues stretched deadlines rather than a
+// conviction.
+func (r *liveRound) adaptiveSend(msg netsim.Message) error {
+	hp := r.hp
+	key := ackKey{src: msg.From, dst: msg.To, grad: msg.Gradient, step: msg.Step}
+	ackCh := r.rs.ackChan(key)
+	maxAttempts := hp.cfg.MaxAttempts
+	hedged := 0
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if r.rs.isDead(msg.To) || r.rs.isDead(msg.From) {
+			return nil // degraded: the merge barrier accounts the exclusion
+		}
+		msg.Attempt = attempt
+		if attempt > 0 {
+			atomic.AddInt64(&r.rs.retries, 1)
+			if r.trc.Enabled() {
+				r.traceEvent(fmt.Sprintf("retry %s→%d #%d", msg.Gradient, msg.To, attempt), "retry", msg.From)
+			}
+		}
+		sentAt := hp.clock()
+		if err := r.tr.Send(msg); err != nil {
+			select {
+			case <-r.doneCh:
+				return nil
+			default:
+			}
+		}
+		rto := hp.rto(msg.From, msg.To, attempt)
+		hedgeAt := time.Duration(-1)
+		if hp.cfg.HedgeBudget > 0 {
+			if hd, ok := hp.hedgeDelay(msg.From, msg.To); ok && hd < rto {
+				hedgeAt = hd
+			}
+		}
+		acked, err := r.awaitAck(ackCh, msg, sentAt, rto, hedgeAt, &hedged)
+		if err != nil {
+			return err
+		}
+		if acked {
+			if attempt == 0 && hedged == 0 {
+				// Karn's rule, hedge-aware: a hedged transfer's ack is
+				// ambiguous between the original and the hedge.
+				hp.observeRTT(msg.From, msg.To, hp.clock()-sentAt)
+			}
+			return nil
+		}
+		// Deadline expired: ask the φ detector. Inconclusive suspicion
+		// keeps retrying with a doubled deadline instead of convicting.
+		if victim := hp.judge(msg.From, msg.To, r.rs); victim >= 0 {
+			r.rs.convict(victim)
+			return nil
+		}
+	}
+	ev := hp.evidence(msg.From, msg.To)
+	return &PeerFailureError{Node: msg.From, Peer: msg.To, Attempts: maxAttempts,
+		LastRTT: ev.LastRTT, SamplesSeen: ev.Samples, Phi: ev.Phi,
+		Reason: fmt.Sprintf("adaptive retries exhausted with φ=%.2f below the conviction threshold %.1f", ev.Phi, hp.cfg.PhiConvict)}
+}
+
+// awaitAck blocks until the transfer acks, the round unwinds, or the RTO
+// expires — firing at most one budget-gated hedge at hedgeAt (< 0
+// disables) along the way. Returns acked=true when the send is settled
+// (ack or round teardown), acked=false on RTO expiry.
+func (r *liveRound) awaitAck(ackCh chan struct{}, msg netsim.Message, sentAt, rto, hedgeAt time.Duration, hedged *int) (bool, error) {
+	hp := r.hp
+	hedgeDone := hedgeAt < 0
+	for {
+		elapsed := hp.clock() - sentAt
+		if elapsed >= rto {
+			return false, nil
+		}
+		next := rto - elapsed
+		if !hedgeDone && hedgeAt-elapsed < next {
+			next = hedgeAt - elapsed
+		}
+		if next < 0 {
+			next = 0
+		}
+		timer := time.NewTimer(next)
+		select {
+		case <-ackCh:
+			timer.Stop()
+			return true, nil
+		case <-r.doneCh:
+			timer.Stop()
+			return true, nil // round unwinding: the send is moot
+		case <-r.ctx.Done():
+			timer.Stop()
+			return false, &RoundTimeoutError{Timeout: r.timeout}
+		case <-timer.C:
+		}
+		if !hedgeDone && hp.clock()-sentAt >= hedgeAt {
+			hedgeDone = true
+			if r.rs.takeHedge(hp.cfg.HedgeBudget) {
+				hm := msg
+				hm.Attempt = hedgeAttempt(msg.Attempt, *hedged)
+				*hedged++
+				if r.trc.Enabled() {
+					r.traceEvent(fmt.Sprintf("hedge %s→%d", msg.Gradient, msg.To), "hedge", msg.From)
+				}
+				_ = r.tr.Send(hm) // best-effort: the original is still in flight
+			}
+		}
+	}
+}
+
+// hedgeAttempt derives a hedge's attempt number: a high band (bit 12 set)
+// keeps it distinct from every regular attempt — so the chaos injector
+// rolls a fresh outcome and dedup still collapses the duplicate — while
+// staying within the wire format's u16.
+func hedgeAttempt(attempt, seq int) int { return 1<<12 | attempt<<4 | seq&0xf }
+
+// heartbeatLoop sends periodic liveness probes from node v to every live
+// peer while the round runs, so the φ detectors keep accruing arrivals
+// even when a slow link has no data traffic in flight. Probes carry their
+// send timestamp in Step; the echo turns it into an RTT sample.
+func (r *liveRound) heartbeatLoop(v int) {
+	hp := r.hp
+	ticker := time.NewTicker(hp.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	seq := 0
+	for {
+		select {
+		case <-r.doneCh:
+			return
+		case <-ticker.C:
+		}
+		seq++
+		for u := 0; u < r.lc.n; u++ {
+			if u == v || r.rs.isDead(u) || r.rs.isDead(v) {
+				continue
+			}
+			hb := netsim.Message{From: v, To: u, Heartbeat: true, Gradient: "hb",
+				Step: int(hp.clock()), Attempt: seq & 0x7fff}
+			_ = r.tr.Send(hb) // lost probes just delay the next sample
+		}
+	}
+}
+
+// replyHeartbeat echoes a probe back to its sender asynchronously (like
+// sendAck, a blocked echo must not stall the dispatcher).
+func (r *liveRound) replyHeartbeat(node int, msg netsim.Message) {
+	echo := netsim.Message{From: node, To: msg.From, Heartbeat: true, Ack: true,
+		Gradient: msg.Gradient, Step: msg.Step, Attempt: msg.Attempt}
+	r.ackWG.Add(1)
+	go func() {
+		defer r.ackWG.Done()
+		_ = r.tr.Send(echo)
+	}()
 }
 
 // markFilled records that a partition of result was written by a phase-2

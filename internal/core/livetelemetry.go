@@ -23,7 +23,23 @@ const (
 	MetricLiveExcludedContribs = "hipress_live_excluded_contribs_total"
 	MetricLiveUnsyncedParts    = "hipress_live_unsynced_parts_total"
 	MetricChaosInjected        = "hipress_chaos_injected_total"
+	MetricLiveHedges           = "hipress_live_hedges_total"
+	MetricHealthTransitions    = "hipress_health_transitions_total"
+	MetricHealthPhi            = "hipress_health_phi"
 )
+
+// emitTransition publishes one health-plane lifecycle transition (event +
+// labeled counter). Called with hp.mu held; the telemetry plane never
+// calls back into core, so no lock cycle is possible.
+func (hp *healthPlane) emitTransition(node int, from, to HealthState) {
+	if tr := hp.tel.T(); tr.Enabled() {
+		tr.Event(fmt.Sprintf("health node%d %v→%v", node, from, to), "health", node, "net", tr.Now())
+	}
+	if m := hp.tel.M(); m != nil {
+		m.Counter(MetricHealthTransitions, "health-plane peer lifecycle transitions",
+			"from", from.String(), "to", to.String()).Inc()
+	}
+}
 
 // emitRoundTelemetry records one finished round: a cluster-wide span
 // carrying the RoundHealth summary, plus the shared metric families (round
@@ -67,6 +83,11 @@ func (r *liveRound) emitRoundTelemetry(h *RoundHealth, start float64) {
 	add(MetricLiveSkippedTasks, "DAG tasks completed without executing (dead peer)", h.SkippedTasks)
 	add(MetricLiveExcludedContribs, "per-partition contributions excluded from aggregates", h.ExcludedContribs)
 	add(MetricLiveUnsyncedParts, "partitions that fell back to local gradients", int64(len(h.UnsyncedParts)))
+	add(MetricLiveHedges, "speculative retransmits fired at the per-link p99 point", h.Hedges)
+	for v, phi := range h.Phi {
+		m.Gauge(MetricHealthPhi, "per-peer φ-accrual suspicion level at round end",
+			"node", fmt.Sprintf("%d", v)).Set(phi)
+	}
 	if h.Chaos != nil {
 		cadd := func(kind string, v int64) {
 			m.Counter(MetricChaosInjected, "faults injected by the chaos transport",

@@ -158,6 +158,7 @@ func (lc *LiveCluster) RequestRejoin(v int) error {
 	if err := lc.ImportNodeState(v, lc.NodeResiduals(donor)); err != nil {
 		return err
 	}
+	lc.health.revive(v) // health plane mirrors the lifecycle: Dead → Probation
 	if tr := lc.cfg.Telemetry.T(); tr.Enabled() {
 		tr.Event(fmt.Sprintf("rejoin-request node%d (donor node%d)", v, donor), "rejoin", v, "net", tr.Now())
 	}
@@ -248,6 +249,9 @@ func (lc *LiveCluster) updateMembership(h *RoundHealth, rs *roundState, carried 
 	h.MembershipExcluded = carried
 	h.ProbationPeers = probation
 	h.RejoinedPeers = rejoined
+	for _, v := range rejoined {
+		lc.health.promote(v) // probation completed: Probation → Healthy
+	}
 
 	tr := lc.cfg.Telemetry.T()
 	met := lc.cfg.Telemetry.M()

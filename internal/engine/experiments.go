@@ -27,7 +27,7 @@ func Experiments() []string {
 		"fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13",
 		"micro", "kernels", "jitter", "strategies", "wire",
-		"chaos", "plan-robustness", "trace", "recovery",
+		"chaos", "plan-robustness", "trace", "recovery", "stragglers",
 	}
 }
 
@@ -91,6 +91,8 @@ func RunExperiment(id string, scale float64) (*Table, error) {
 		return TraceExp()
 	case "recovery":
 		return RecoveryExp()
+	case "stragglers":
+		return StragglersExp(scale)
 	default:
 		return nil, fmt.Errorf("engine: unknown experiment %q (have %v)", id, Experiments())
 	}

@@ -34,6 +34,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"jitter":     {"stable-plans", "casync-ring"},
 		"strategies": {"casync-hd", "resnet50"},
 		"wire":       {"realized-ratio", "onebit"},
+		"stragglers": {"false-convictions", "adaptive", "static-safe"},
 	}
 	for _, id := range Experiments() {
 		id := id

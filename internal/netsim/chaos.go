@@ -153,6 +153,9 @@ func (t *ChaosTransport) hashMsg(salt uint64, msg Message) uint64 {
 	if msg.Ack {
 		h = splitmix64(h ^ 0xacac_acac)
 	}
+	if msg.Heartbeat {
+		h = splitmix64(h ^ 0xbeab_beab)
+	}
 	for i := 0; i < len(msg.Gradient); i++ {
 		h = (h ^ uint64(msg.Gradient[i])) * 0x100000001b3
 	}

@@ -22,6 +22,8 @@ func FuzzFrameDecode(f *testing.F) {
 		{From: 1, To: 2, Gradient: "layer3.weight/p2", Step: 7, Attempt: 1,
 			Sum: 0xdeadbeef, Payload: []byte{1, 2, 3, 4}},
 		{From: 2, To: 1, Gradient: "layer3.weight/p2", Step: 7, Attempt: 3, Ack: true},
+		{From: 0, To: 3, Gradient: "hb", Step: 123456789, Attempt: 12, Heartbeat: true},
+		{From: 3, To: 0, Gradient: "hb", Step: 123456789, Attempt: 12, Ack: true, Heartbeat: true},
 		{From: -1, To: 0, Gradient: "", Step: -9, Attempt: 0, Payload: []byte("x")},
 		{},
 	}
@@ -53,6 +55,7 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 		if msg2.From != msg.From || msg2.To != msg.To || msg2.Gradient != msg.Gradient ||
 			msg2.Step != msg.Step || msg2.Attempt != msg.Attempt || msg2.Ack != msg.Ack ||
+			msg2.Heartbeat != msg.Heartbeat ||
 			msg2.Sum != msg.Sum || !bytes.Equal(msg2.Payload, msg.Payload) {
 			t.Fatalf("decode not deterministic: %+v vs %+v", msg, msg2)
 		}

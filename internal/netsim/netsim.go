@@ -83,6 +83,11 @@ type Message struct {
 	// Ack marks a zero-payload acknowledgement for the transfer identified by
 	// (Gradient, Step, Attempt) flowing receiver→sender in reliable mode.
 	Ack bool
+	// Heartbeat marks a zero-payload liveness probe (or, with Ack set, its
+	// echo) from the adaptive health plane: Step carries the probe's send
+	// timestamp so the echo yields an RTT sample, and receivers handle it
+	// outside the dedup/recv machinery.
+	Heartbeat bool
 	// Sum is the CRC-32 (IEEE) checksum of Payload, set by reliable senders
 	// so receivers can detect in-flight corruption.
 	Sum uint32

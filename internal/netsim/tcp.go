@@ -27,7 +27,7 @@ const defaultWriteTimeout = 5 * time.Second
 // Frame layout (little-endian):
 //
 //	u32 frameLen | u32 from | u32 to | u64 step | u32 sum | u16 attempt |
-//	u8 flags (bit0 = Ack) | u16 gradLen | grad | payload
+//	u8 flags (bit0 = Ack, bit1 = Heartbeat) | u16 gradLen | grad | payload
 //
 // Sends carry a write deadline (SetWriteTimeout): a peer that stops
 // draining its socket causes Send to return a net.Error with
@@ -143,7 +143,10 @@ func encodeFrame(msg Message) []byte {
 	binary.LittleEndian.PutUint32(out[20:], msg.Sum)
 	binary.LittleEndian.PutUint16(out[24:], uint16(msg.Attempt))
 	if msg.Ack {
-		out[26] = 1
+		out[26] |= 1
+	}
+	if msg.Heartbeat {
+		out[26] |= 2
 	}
 	binary.LittleEndian.PutUint16(out[27:], uint16(len(grad)))
 	copy(out[29:], grad)
@@ -164,7 +167,7 @@ func decodeFrame(frame []byte) (Message, error) {
 	sum := binary.LittleEndian.Uint32(frame[16:])
 	attempt := int(binary.LittleEndian.Uint16(frame[20:]))
 	flags := frame[22]
-	if flags&^1 != 0 {
+	if flags&^3 != 0 {
 		return Message{}, fmt.Errorf("netsim: frame with unknown flags 0x%02x", flags)
 	}
 	gradLen := int(binary.LittleEndian.Uint16(frame[23:]))
@@ -175,7 +178,8 @@ func decodeFrame(frame []byte) (Message, error) {
 	grad := string(frame[frameHdrLen : frameHdrLen+gradLen])
 	payload := append([]byte(nil), frame[frameHdrLen+gradLen:]...)
 	return Message{From: from, To: to, Gradient: grad, Step: step,
-		Attempt: attempt, Ack: flags&1 != 0, Sum: sum, Payload: payload}, nil
+		Attempt: attempt, Ack: flags&1 != 0, Heartbeat: flags&2 != 0,
+		Sum: sum, Payload: payload}, nil
 }
 
 // Send implements Transport. A stalled peer (not draining its socket)

@@ -1,0 +1,135 @@
+package trainer
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hipress/internal/core"
+)
+
+// This file is the self-healing layer on top of the recovery plane: a
+// supervisor loop that classifies round failures, restarts training from
+// the latest crash-consistent checkpoint on transient ones, and gives up
+// (surfacing the original error) on fatal ones or when the restart budget
+// is exhausted. Because resume-from-checkpoint is bit-identical (see
+// checkpoint.go), a supervised run that weathered k transient failures
+// produces exactly the same weights as an uninterrupted one.
+
+// ErrClass is the supervisor's verdict on a training error.
+type ErrClass int
+
+const (
+	// ErrTransient errors (round timeouts, peer failures) are worth a
+	// restart from the latest checkpoint: the cluster may have healed, a
+	// straggler recovered, or a convicted peer rejoined.
+	ErrTransient ErrClass = iota
+	// ErrFatal errors (bad config, I/O failures, anything not recognizably
+	// a distributed-round fault) are surfaced immediately.
+	ErrFatal
+)
+
+// String implements fmt.Stringer.
+func (c ErrClass) String() string {
+	switch c {
+	case ErrTransient:
+		return "transient"
+	case ErrFatal:
+		return "fatal"
+	default:
+		return fmt.Sprintf("ErrClass(%d)", int(c))
+	}
+}
+
+// Classify is the default error classifier: the live plane's typed round
+// faults — round deadline overruns and peer failures — are transient
+// (the cluster may heal between attempts); everything else is fatal.
+func Classify(err error) ErrClass {
+	var rte *core.RoundTimeoutError
+	var pfe *core.PeerFailureError
+	if errors.As(err, &rte) || errors.As(err, &pfe) {
+		return ErrTransient
+	}
+	return ErrFatal
+}
+
+// SupervisorConfig bounds the restart loop.
+type SupervisorConfig struct {
+	// MaxRestarts caps how many times the supervisor restarts a failed run
+	// (0 → 3; negative disables restarts entirely).
+	MaxRestarts int
+	// Backoff is an optional wait before each restart (straight delay, no
+	// escalation — checkpoint resume already bounds the repeated work).
+	Backoff time.Duration
+	// Classify overrides the error classifier (nil → Classify).
+	Classify func(error) ErrClass
+}
+
+func (s SupervisorConfig) withDefaults() SupervisorConfig {
+	if s.MaxRestarts == 0 {
+		s.MaxRestarts = 3
+	}
+	if s.Classify == nil {
+		s.Classify = Classify
+	}
+	return s
+}
+
+// MetricSupervisorRestarts counts checkpoint-resume restarts performed by
+// the trainer supervisor.
+const MetricSupervisorRestarts = "hipress_supervisor_restarts_total"
+
+// SupervisorReport records what the supervisor did.
+type SupervisorReport struct {
+	// Restarts is the number of checkpoint-resume restarts performed.
+	Restarts int
+	// Transient lists the error strings that triggered each restart, in
+	// order.
+	Transient []string
+}
+
+// SuperviseLinear runs TrainLinear under supervision: every iteration
+// checkpoints per cfg.Checkpoint, and when a run dies with a transient
+// error the supervisor restarts it with Resume=true — picking up from the
+// latest snapshot, bit-identical to never having failed. Fatal errors and
+// budget exhaustion surface the underlying error alongside the report of
+// everything tried. Requires an enabled checkpoint plane (Dir set,
+// Every > 0): supervision without durable state would silently replay from
+// scratch instead of resuming.
+func SuperviseLinear(task *LinearTask, cfg Config, sup SupervisorConfig) (*Curve, []float32, *SupervisorReport, error) {
+	if cfg.Checkpoint == nil || cfg.Checkpoint.Dir == "" || cfg.Checkpoint.Every <= 0 {
+		return nil, nil, nil, fmt.Errorf("trainer: the supervisor requires an enabled checkpoint plane (Checkpoint.Dir and Checkpoint.Every); restarts resume from its snapshots")
+	}
+	sup = sup.withDefaults()
+	report := &SupervisorReport{}
+	run := cfg
+	for {
+		curve, w, err := TrainLinear(task, run)
+		if err == nil {
+			return curve, w, report, nil
+		}
+		if class := sup.Classify(err); class != ErrTransient {
+			return nil, nil, report, fmt.Errorf("trainer: supervisor: fatal error (not restartable): %w", err)
+		}
+		if report.Restarts >= sup.MaxRestarts {
+			return nil, nil, report, fmt.Errorf("trainer: supervisor: restart budget (%d) exhausted: %w", sup.MaxRestarts, err)
+		}
+		report.Restarts++
+		report.Transient = append(report.Transient, err.Error())
+		if tr := cfg.Telemetry.T(); tr.Enabled() {
+			tr.Event(fmt.Sprintf("supervisor restart %d/%d: %v", report.Restarts, sup.MaxRestarts, err),
+				"supervisor", 0, "ckpt", tr.Now())
+		}
+		if m := cfg.Telemetry.M(); m != nil {
+			m.Counter(MetricSupervisorRestarts, "checkpoint-resume restarts performed by the trainer supervisor").Inc()
+		}
+		if sup.Backoff > 0 {
+			time.Sleep(sup.Backoff)
+		}
+		// Restart from the latest snapshot: same config, Resume forced on.
+		cc := *cfg.Checkpoint
+		cc.Resume = true
+		run = cfg
+		run.Checkpoint = &cc
+	}
+}

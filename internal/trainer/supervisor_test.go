@@ -1,0 +1,152 @@
+package trainer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"hipress/internal/core"
+)
+
+// TestClassify pins the default triage: the live plane's typed round
+// faults are transient (including when wrapped), everything else fatal.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrClass
+	}{
+		{"round-timeout", &core.RoundTimeoutError{Timeout: time.Second}, ErrTransient},
+		{"peer-failure", &core.PeerFailureError{Node: 0, Peer: 2, Attempts: 5, Reason: "x"}, ErrTransient},
+		{"wrapped-timeout", fmt.Errorf("round 7: %w", &core.RoundTimeoutError{}), ErrTransient},
+		{"generic", errors.New("disk on fire"), ErrFatal},
+		{"config", fmt.Errorf("trainer: need at least 2 workers"), ErrFatal},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestSupervisorBitIdenticalRestart is the self-healing guarantee: a run
+// that dies with a transient round fault mid-training and is auto-restarted
+// by the supervisor from its latest checkpoint converges bit-identically to
+// a run that never failed — same loss tail, same final weight bits.
+func TestSupervisorBitIdenticalRestart(t *testing.T) {
+	task := NewLinearTask(24, 0.05, 9)
+	cfg := Config{
+		Workers: 3, Strategy: core.StrategyPS,
+		Algo: "onebit", ErrorFeedback: true,
+		LR: 0.1, Batch: 4, Iters: 60, EvalEvery: 5, Seed: 11, Parts: 2,
+	}
+
+	// Uninterrupted reference (no checkpointing, no faults).
+	ref, refW, err := TrainLinear(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Supervised run: a simulated straggler collapse kills iteration 35
+	// exactly once; checkpoints land every 20 iterations, so the restart
+	// resumes from step 20 and retrains through the fault point.
+	fired := false
+	sup := cfg
+	sup.Checkpoint = &CheckpointConfig{Dir: t.TempDir(), Every: 20}
+	sup.FaultHook = func(iter int) error {
+		if iter == 35 && !fired {
+			fired = true
+			return &core.RoundTimeoutError{Timeout: time.Second}
+		}
+		return nil
+	}
+	got, gotW, report, err := SuperviseLinear(task, sup, SupervisorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("fault hook never fired: the test exercised nothing")
+	}
+	if report.Restarts != 1 {
+		t.Fatalf("want exactly 1 restart, got %d (%v)", report.Restarts, report.Transient)
+	}
+	requireBitIdenticalTail(t, "supervised", ref, got, 20)
+	for i := range refW {
+		if math.Float32bits(gotW[i]) != math.Float32bits(refW[i]) {
+			t.Fatalf("final weight [%d] diverged after supervised restart: %x vs %x",
+				i, math.Float32bits(gotW[i]), math.Float32bits(refW[i]))
+		}
+	}
+}
+
+// TestSupervisorFatalNotRetried: a fatal error surfaces immediately with
+// zero restarts — the supervisor must not burn checkpoint-resume cycles on
+// errors a retry cannot fix.
+func TestSupervisorFatalNotRetried(t *testing.T) {
+	task := NewLinearTask(16, 0.05, 5)
+	calls := 0
+	cfg := Config{
+		Workers: 2, Strategy: core.StrategyPS, Algo: "onebit", ErrorFeedback: true,
+		LR: 0.1, Batch: 4, Iters: 30, Seed: 7,
+		Checkpoint: &CheckpointConfig{Dir: t.TempDir(), Every: 10},
+		FaultHook: func(iter int) error {
+			if iter == 5 {
+				calls++
+				return errors.New("disk on fire")
+			}
+			return nil
+		},
+	}
+	_, _, report, err := SuperviseLinear(task, cfg, SupervisorConfig{})
+	if err == nil || !strings.Contains(err.Error(), "fatal") {
+		t.Fatalf("want fatal supervisor error, got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fatal error retried: hook fired %d times", calls)
+	}
+	if report.Restarts != 0 {
+		t.Fatalf("fatal error produced %d restarts", report.Restarts)
+	}
+}
+
+// TestSupervisorBudgetExhausted: a persistently failing run stops after
+// MaxRestarts restarts and surfaces the underlying fault.
+func TestSupervisorBudgetExhausted(t *testing.T) {
+	task := NewLinearTask(16, 0.05, 5)
+	cfg := Config{
+		Workers: 2, Strategy: core.StrategyPS, Algo: "onebit", ErrorFeedback: true,
+		LR: 0.1, Batch: 4, Iters: 30, Seed: 7,
+		Checkpoint: &CheckpointConfig{Dir: t.TempDir(), Every: 10},
+		FaultHook: func(iter int) error {
+			if iter == 15 {
+				return &core.RoundTimeoutError{Timeout: time.Second}
+			}
+			return nil
+		},
+	}
+	_, _, report, err := SuperviseLinear(task, cfg, SupervisorConfig{MaxRestarts: 2})
+	if err == nil || !strings.Contains(err.Error(), "restart budget") {
+		t.Fatalf("want budget-exhausted error, got %v", err)
+	}
+	if report.Restarts != 2 {
+		t.Fatalf("want 2 restarts before giving up, got %d", report.Restarts)
+	}
+	var rte *core.RoundTimeoutError
+	if !errors.As(err, &rte) {
+		t.Fatalf("budget error does not wrap the underlying fault: %v", err)
+	}
+}
+
+// TestSupervisorRequiresCheckpoint: supervision without a durable
+// checkpoint plane is refused up front (restarting from scratch would
+// silently replay work instead of resuming).
+func TestSupervisorRequiresCheckpoint(t *testing.T) {
+	task := NewLinearTask(16, 0.05, 5)
+	cfg := Config{Workers: 2, Strategy: core.StrategyPS, LR: 0.1, Batch: 4, Iters: 10, Seed: 7}
+	if _, _, _, err := SuperviseLinear(task, cfg, SupervisorConfig{}); err == nil {
+		t.Fatal("supervisor accepted a config with no checkpoint plane")
+	}
+}

@@ -59,6 +59,12 @@ type Config struct {
 	// and resumed run is bit-identical to an uninterrupted one (see
 	// CheckpointConfig).
 	Checkpoint *CheckpointConfig
+
+	// FaultHook, when non-nil, is called at the top of every iteration and
+	// may return an error to abort the run there — the injection point the
+	// supervisor tests use to simulate mid-training round failures. The
+	// returned error surfaces unwrapped so errors.As classification works.
+	FaultHook func(iter int) error
 }
 
 func (c *Config) defaults() error {
@@ -250,6 +256,11 @@ func TrainLinear(task *LinearTask, cfg Config) (*Curve, []float32, error) {
 		grads[v] = map[string][]float32{"w": gbuf[v]}
 	}
 	for it := startIt; it < cfg.Iters; it++ {
+		if cfg.FaultHook != nil {
+			if err := cfg.FaultHook(it); err != nil {
+				return nil, nil, err
+			}
+		}
 		for v := 0; v < cfg.Workers; v++ {
 			g := gbuf[v]
 			clear(g)
@@ -470,6 +481,11 @@ func TrainMLP(task *MLPTask, cfg Config) (*Curve, error) {
 		grads[v] = gw[v].gradsMap()
 	}
 	for it := startIt; it < cfg.Iters; it++ {
+		if cfg.FaultHook != nil {
+			if err := cfg.FaultHook(it); err != nil {
+				return nil, err
+			}
+		}
 		for v := 0; v < cfg.Workers; v++ {
 			g := gw[v]
 			clear(g.w1)
