@@ -21,9 +21,10 @@ race:
 # Short fuzz smoke over the byte-level decoders that face untrusted input:
 # the checkpoint format (disk corruption after a crash), the TCP wire frame
 # (chaos-corrupted streams), the five compression payload decoders
-# (truncated/corrupted gradient frames off the wire), and the phi-accrual
+# (truncated/corrupted gradient frames off the wire), the phi-accrual
 # health plane's state machine (arbitrary interleavings of arrivals, clock
-# advances, convictions, and revivals). 10s each — enough to catch parser
+# advances, convictions, and revivals), and the plan-epoch broadcast frame
+# (corrupted re-planning announcements). 10s each — enough to catch parser
 # regressions without stalling the gate; run with -fuzztime=10m for a real
 # campaign.
 fuzz:
@@ -31,6 +32,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/netsim/
 	$(GO) test -run='^$$' -fuzz=FuzzCompressorDecode -fuzztime=10s ./internal/compress/
 	$(GO) test -run='^$$' -fuzz=FuzzPhiDetector -fuzztime=10s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzPlanEpochDecode -fuzztime=10s ./internal/core/
 
 # The gate used before committing: vet + full race-enabled test suite +
 # fuzz smoke.

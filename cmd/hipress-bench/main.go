@@ -12,8 +12,11 @@
 // Experiment ids: table1 table3 table5 table6 table7 fig7a fig7b fig7c
 // fig8a fig8b fig8c fig9 fig10 fig11 fig12a fig12b fig13 micro, plus the
 // beyond-the-paper studies jitter, strategies, wire, chaos, plan-robustness,
-// trace, recovery, and stragglers (adaptive failure detection vs static
-// deadlines under a 10x straggler).
+// trace, recovery, stragglers (adaptive failure detection vs static
+// deadlines under a 10x straggler), and autotune (closed-loop cost-model
+// recalibration re-planning a live cluster through a mid-run bandwidth
+// drop, with a stationary control arm and a bit-identical decision-trace
+// replay).
 //
 // The chaos experiment accepts a fault schedule via -chaos, e.g.
 //

@@ -1,0 +1,141 @@
+package autotune
+
+import (
+	"sync"
+	"time"
+
+	"hipress/internal/core"
+)
+
+// This file makes autotuned runs replayable: a Recorder wraps a live Tuner
+// and writes down every proposal with the round it followed; a Script plays
+// such a DecisionTrace back as a core.Autotuner that ignores measurements
+// entirely. Because a round's bytes are fully determined by its epoch, a
+// scripted run reproduces the recorded run bit-for-bit even under different
+// timing or chaos — which is how the bench proves decision-trace
+// determinism and how checkpoint resume replays mid-flight switches.
+
+// TraceSwitch is one recorded decision: after observing round AfterRound,
+// the tuner proposed Epoch.
+type TraceSwitch struct {
+	AfterRound int64          `json:"after_round"`
+	Epoch      core.PlanEpoch `json:"epoch"`
+}
+
+// DecisionTrace is the full proposal schedule of one run.
+type DecisionTrace struct {
+	Switches []TraceSwitch `json:"switches"`
+}
+
+// Script replays a DecisionTrace: it proposes each recorded epoch right
+// after the recorded round index, and implements core.Seeker so checkpoint
+// resume fast-forwards past switches the restored epoch already includes.
+type Script struct {
+	mu    sync.Mutex
+	trace DecisionTrace
+	idx   int   // next switch to replay
+	round int64 // last observed round + 1
+}
+
+// NewScript builds a replaying autotuner from a recorded trace. Switches
+// must be ordered by AfterRound (Recorder produces them in order).
+func NewScript(trace DecisionTrace) *Script {
+	return &Script{trace: trace}
+}
+
+// ObserveLink implements core.Autotuner; a script has no use for
+// measurements.
+func (s *Script) ObserveLink(from, to, payloadBytes int, rtt time.Duration) {}
+
+// ObserveRound implements core.Autotuner: it only advances the round
+// cursor.
+func (s *Script) ObserveRound(obs core.RoundObservation) {
+	s.mu.Lock()
+	s.round = obs.Round + 1
+	s.mu.Unlock()
+}
+
+// Propose implements core.Autotuner: replay the next recorded switch once
+// the run has observed the round it followed. Versions are re-based on cur
+// so a script composes with restores that already advanced the version.
+func (s *Script) Propose(cur core.PlanEpoch) *core.PlanEpoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.idx >= len(s.trace.Switches) {
+		return nil
+	}
+	sw := s.trace.Switches[s.idx]
+	if s.round <= sw.AfterRound {
+		return nil
+	}
+	s.idx++
+	ep := sw.Epoch
+	if ep.Version <= cur.Version {
+		ep.Version = cur.Version + 1
+	}
+	return &ep
+}
+
+// SeekRound implements core.Seeker: checkpoint resume restored the plan as
+// of `round`, so switches recorded strictly before it are already baked
+// into the restored epoch and must not replay again.
+func (s *Script) SeekRound(round int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.round = round
+	s.idx = 0
+	for s.idx < len(s.trace.Switches) && s.trace.Switches[s.idx].AfterRound < round {
+		s.idx++
+	}
+}
+
+// Recorder wraps any core.Autotuner and writes down every proposal it
+// makes, producing a DecisionTrace a Script can replay.
+type Recorder struct {
+	inner core.Autotuner
+
+	mu    sync.Mutex
+	round int64
+	trace DecisionTrace
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner core.Autotuner) *Recorder { return &Recorder{inner: inner} }
+
+// ObserveLink implements core.Autotuner.
+func (r *Recorder) ObserveLink(from, to, payloadBytes int, rtt time.Duration) {
+	r.inner.ObserveLink(from, to, payloadBytes, rtt)
+}
+
+// ObserveRound implements core.Autotuner.
+func (r *Recorder) ObserveRound(obs core.RoundObservation) {
+	r.mu.Lock()
+	r.round = obs.Round
+	r.mu.Unlock()
+	r.inner.ObserveRound(obs)
+}
+
+// Propose implements core.Autotuner, recording any non-nil proposal.
+func (r *Recorder) Propose(cur core.PlanEpoch) *core.PlanEpoch {
+	p := r.inner.Propose(cur)
+	if p != nil {
+		r.mu.Lock()
+		r.trace.Switches = append(r.trace.Switches, TraceSwitch{AfterRound: r.round, Epoch: *p})
+		r.mu.Unlock()
+	}
+	return p
+}
+
+// SeekRound implements core.Seeker when the wrapped tuner does.
+func (r *Recorder) SeekRound(round int64) {
+	if s, ok := r.inner.(core.Seeker); ok {
+		s.SeekRound(round)
+	}
+}
+
+// Trace returns a copy of everything recorded so far.
+func (r *Recorder) Trace() DecisionTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return DecisionTrace{Switches: append([]TraceSwitch(nil), r.trace.Switches...)}
+}

@@ -1,0 +1,147 @@
+package autotune
+
+import (
+	"testing"
+	"time"
+
+	"hipress/internal/core"
+)
+
+func obs(round int64) core.RoundObservation {
+	return core.RoundObservation{Round: round, Health: &core.RoundHealth{}}
+}
+
+func TestScriptReplaysTraceAtRecordedRounds(t *testing.T) {
+	e1 := core.PlanEpoch{Version: 1, Strategy: core.StrategyPS, Parts: 2, CompressMin: -1}
+	e2 := core.PlanEpoch{Version: 2, Strategy: core.StrategyPS, Parts: 4, CompressMin: 0}
+	s := NewScript(DecisionTrace{Switches: []TraceSwitch{
+		{AfterRound: 2, Epoch: e1},
+		{AfterRound: 5, Epoch: e2},
+	}})
+	cur := core.PlanEpoch{Strategy: core.StrategyPS, Parts: 1, CompressMin: -1}
+	for round := int64(0); round < 8; round++ {
+		s.ObserveRound(obs(round))
+		p := s.Propose(cur)
+		switch round {
+		case 2:
+			if p == nil || *p != e1 {
+				t.Fatalf("round %d: proposal %v, want %v", round, p, e1)
+			}
+			cur = *p
+		case 5:
+			if p == nil || *p != e2 {
+				t.Fatalf("round %d: proposal %v, want %v", round, p, e2)
+			}
+			cur = *p
+		default:
+			if p != nil {
+				t.Fatalf("round %d: unexpected proposal %v", round, *p)
+			}
+		}
+	}
+}
+
+func TestScriptSeekSkipsAppliedSwitches(t *testing.T) {
+	e1 := core.PlanEpoch{Version: 1, Strategy: core.StrategyPS, Parts: 2, CompressMin: -1}
+	e2 := core.PlanEpoch{Version: 2, Strategy: core.StrategyPS, Parts: 4, CompressMin: -1}
+	s := NewScript(DecisionTrace{Switches: []TraceSwitch{
+		{AfterRound: 2, Epoch: e1},
+		{AfterRound: 5, Epoch: e2},
+	}})
+	// Resume from a checkpoint at round 4: the first switch (after round 2)
+	// is baked into the restored epoch already.
+	s.SeekRound(4)
+	cur := e1
+	for round := int64(4); round < 8; round++ {
+		s.ObserveRound(obs(round))
+		p := s.Propose(cur)
+		if round == 5 {
+			if p == nil || *p != e2 {
+				t.Fatalf("round %d: proposal %v, want %v", round, p, e2)
+			}
+			cur = *p
+		} else if p != nil {
+			t.Fatalf("round %d: unexpected proposal %v (already-applied switch replayed?)", round, *p)
+		}
+	}
+}
+
+func TestScriptRebasesStaleVersions(t *testing.T) {
+	s := NewScript(DecisionTrace{Switches: []TraceSwitch{
+		{AfterRound: 0, Epoch: core.PlanEpoch{Version: 1, Strategy: core.StrategyPS, Parts: 2, CompressMin: -1}},
+	}})
+	cur := core.PlanEpoch{Version: 7, Strategy: core.StrategyPS, Parts: 1, CompressMin: -1}
+	s.ObserveRound(obs(0))
+	p := s.Propose(cur)
+	if p == nil {
+		t.Fatal("no proposal")
+	}
+	if p.Version != 8 {
+		t.Fatalf("replayed version = %d, want rebased 8", p.Version)
+	}
+}
+
+// scriptedProposer proposes a fixed epoch after one specific round.
+type scriptedProposer struct {
+	after    int64
+	epoch    core.PlanEpoch
+	round    int64
+	proposed bool
+	sought   int64
+}
+
+func (f *scriptedProposer) ObserveLink(from, to, payloadBytes int, rtt time.Duration) {}
+func (f *scriptedProposer) ObserveRound(o core.RoundObservation)                      { f.round = o.Round }
+func (f *scriptedProposer) Propose(cur core.PlanEpoch) *core.PlanEpoch {
+	if f.proposed || f.round < f.after {
+		return nil
+	}
+	f.proposed = true
+	ep := f.epoch
+	ep.Version = cur.Version + 1
+	return &ep
+}
+func (f *scriptedProposer) SeekRound(round int64) { f.sought = round }
+
+func TestRecorderCapturesTraceAndReplays(t *testing.T) {
+	inner := &scriptedProposer{after: 3,
+		epoch: core.PlanEpoch{Strategy: core.StrategyPS, Parts: 2, CompressMin: -1}}
+	rec := NewRecorder(inner)
+	cur := core.PlanEpoch{Strategy: core.StrategyPS, Parts: 1, CompressMin: -1}
+	applied := []int64{}
+	for round := int64(0); round < 6; round++ {
+		rec.ObserveRound(obs(round))
+		if p := rec.Propose(cur); p != nil {
+			applied = append(applied, round)
+			cur = *p
+		}
+	}
+	trace := rec.Trace()
+	if len(trace.Switches) != 1 || trace.Switches[0].AfterRound != 3 {
+		t.Fatalf("trace = %+v, want one switch after round 3", trace)
+	}
+
+	// The recorded trace replays the identical schedule through a Script.
+	s := NewScript(trace)
+	cur2 := core.PlanEpoch{Strategy: core.StrategyPS, Parts: 1, CompressMin: -1}
+	replayed := []int64{}
+	for round := int64(0); round < 6; round++ {
+		s.ObserveRound(obs(round))
+		if p := s.Propose(cur2); p != nil {
+			replayed = append(replayed, round)
+			cur2 = *p
+		}
+	}
+	if len(replayed) != 1 || replayed[0] != applied[0] {
+		t.Fatalf("replay applied at rounds %v, recording at %v", replayed, applied)
+	}
+	if cur2 != cur {
+		t.Fatalf("replayed final epoch %v != recorded %v", cur2, cur)
+	}
+
+	// Seek forwards through the Recorder to the wrapped tuner.
+	rec.SeekRound(5)
+	if inner.sought != 5 {
+		t.Fatalf("SeekRound not forwarded, inner saw %d", inner.sought)
+	}
+}

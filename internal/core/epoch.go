@@ -1,0 +1,495 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"hipress/internal/compress"
+	"hipress/internal/netsim"
+)
+
+// This file is the autotune plane's core contract: the versioned PlanEpoch
+// every peer must agree on before the synchronization plan changes, its
+// CRC-guarded wire codec (the frame FuzzPlanEpochDecode hammers), the
+// Autotuner interface the closed loop implements (internal/autotune), and
+// the safe reconfiguration protocol — coordinator broadcast, all-peer ack,
+// activation at the next round barrier.
+//
+// Determinism contract: a round executed under epoch E always produces the
+// same bytes, no matter when (or why) the tuner decided E. The epoch fully
+// determines strategy, partition geometry, and per-gradient compression, so
+// recording the pending epoch and round index in checkpoints keeps
+// kill/resume bit-identical even when the kill lands mid-epoch-switch.
+
+// PlanEpoch is one versioned synchronization plan: the subset of the §3.3
+// planner's output that the live plane can change at runtime. All nodes of
+// a cluster execute every round under exactly one epoch; changes go through
+// ProposeEpoch (broadcast + ack + round-barrier activation), never mid-round.
+type PlanEpoch struct {
+	// Version orders epochs; proposals must be strictly newer than the
+	// active (or staged) epoch. Version 0 is the config-derived default.
+	Version uint64
+	// Strategy selects CaSync-Ring or CaSync-PS for subsequent rounds.
+	Strategy Strategy
+	// Parts is the partition count applied to every gradient (clamped to
+	// the element count per gradient, like LiveConfig.Parts).
+	Parts int
+	// CompressMin is the selective-compression size threshold in raw bytes:
+	// a gradient compresses iff CompressMin >= 0 and its raw size is at
+	// least CompressMin (so 0 compresses everything and a negative value
+	// compresses nothing). Compression additionally requires the cluster to
+	// have been built with a LiveConfig.Algo.
+	CompressMin int64
+}
+
+// String renders the epoch for logs and telemetry.
+func (e PlanEpoch) String() string {
+	cpr := "raw"
+	if e.CompressMin == 0 {
+		cpr = "compress-all"
+	} else if e.CompressMin > 0 {
+		cpr = fmt.Sprintf("compress>=%dB", e.CompressMin)
+	}
+	return fmt.Sprintf("epoch{v%d %s parts=%d %s}", e.Version, e.Strategy, e.Parts, cpr)
+}
+
+// compresses reports the epoch's decision for a gradient of m raw bytes
+// (the algorithm gate — cluster built with an Algo — is the caller's).
+func (e PlanEpoch) compresses(m int64) bool {
+	return e.CompressMin >= 0 && m >= e.CompressMin
+}
+
+// The epoch-broadcast wire frame: magic, format version, the four fields,
+// and a CRC-32 over everything before it. Fixed-size and canonical — one
+// epoch has exactly one encoding, which is what lets FuzzPlanEpochDecode
+// assert full round-trip identity.
+const (
+	epochMagic    = "HPEP"
+	epochFormat   = 1
+	epochFrameLen = 4 + 1 + 8 + 1 + 4 + 8 + 4
+	// maxEpochParts bounds decoded partition counts: partition indices pack
+	// into the high bits of netsim.Message.Step (packStep shifts by 20), so
+	// a hostile frame must not smuggle a count that overflows the packing.
+	maxEpochParts = 4096
+)
+
+// EncodePlanEpoch serializes e into its canonical 30-byte broadcast frame.
+func EncodePlanEpoch(e PlanEpoch) []byte {
+	b := make([]byte, epochFrameLen)
+	copy(b, epochMagic)
+	b[4] = epochFormat
+	binary.LittleEndian.PutUint64(b[5:], e.Version)
+	b[13] = byte(e.Strategy)
+	binary.LittleEndian.PutUint32(b[14:], uint32(e.Parts))
+	binary.LittleEndian.PutUint64(b[18:], uint64(e.CompressMin))
+	binary.LittleEndian.PutUint32(b[26:], crc32.ChecksumIEEE(b[:26]))
+	return b
+}
+
+// DecodePlanEpoch parses and validates a broadcast frame. Every structural
+// property is checked before any field is trusted — length, magic, format,
+// checksum, then field ranges — so a corrupted or hostile frame yields an
+// error, never a half-valid epoch.
+func DecodePlanEpoch(b []byte) (PlanEpoch, error) {
+	var e PlanEpoch
+	if len(b) != epochFrameLen {
+		return e, fmt.Errorf("core: epoch frame is %d bytes, want %d", len(b), epochFrameLen)
+	}
+	if string(b[:4]) != epochMagic {
+		return e, fmt.Errorf("core: epoch frame has bad magic %q", b[:4])
+	}
+	if b[4] != epochFormat {
+		return e, fmt.Errorf("core: epoch frame format %d, want %d", b[4], epochFormat)
+	}
+	if got, want := binary.LittleEndian.Uint32(b[26:]), crc32.ChecksumIEEE(b[:26]); got != want {
+		return e, fmt.Errorf("core: epoch frame checksum %08x, want %08x", got, want)
+	}
+	e.Version = binary.LittleEndian.Uint64(b[5:])
+	e.Strategy = Strategy(b[13])
+	if e.Strategy != StrategyRing && e.Strategy != StrategyPS {
+		return PlanEpoch{}, fmt.Errorf("core: epoch frame strategy %d is not a live-plane strategy", b[13])
+	}
+	parts := binary.LittleEndian.Uint32(b[14:])
+	if parts < 1 || parts > maxEpochParts {
+		return PlanEpoch{}, fmt.Errorf("core: epoch frame partition count %d outside [1, %d]", parts, maxEpochParts)
+	}
+	e.Parts = int(parts)
+	e.CompressMin = int64(binary.LittleEndian.Uint64(b[18:]))
+	return e, nil
+}
+
+// RoundObservation is the per-round digest handed to the autotuner after
+// each successful synchronization round: what ran, under which plan, and
+// what the instrumentation measured.
+type RoundObservation struct {
+	// Round is the 0-based index of the completed round (monotone across
+	// the cluster's life; restored on checkpoint resume).
+	Round int64
+	// Epoch is the plan epoch the round executed under.
+	Epoch PlanEpoch
+	// Health is the round's fault-plane report (never nil).
+	Health *RoundHealth
+	// Wire is the cluster-wide cumulative compression instrumentation
+	// snapshot; tuners diff successive snapshots for per-round deltas.
+	Wire compress.Stats
+	// GradBytes lists the raw byte size of every gradient synchronized this
+	// round, ascending.
+	GradBytes []int64
+}
+
+// Autotuner is the closed-loop calibration-and-decision engine plugged into
+// a live cluster via LiveConfig.Autotune. ObserveLink may be called
+// concurrently from many sender goroutines; ObserveRound and Propose are
+// called sequentially between rounds.
+type Autotuner interface {
+	// ObserveLink reports one unambiguous (Karn's rule) ack round trip on
+	// the directed link from→to for a payload of the given size.
+	ObserveLink(from, to, payloadBytes int, rtt time.Duration)
+	// ObserveRound reports one completed round.
+	ObserveRound(obs RoundObservation)
+	// Propose returns the next plan epoch to stage, or nil to keep cur.
+	// A non-nil proposal must carry Version > cur.Version.
+	Propose(cur PlanEpoch) *PlanEpoch
+}
+
+// Seeker is implemented by autotuners that replay a recorded decision trace
+// (autotune.Script): RestoreEpoch forwards the restored round index so a
+// resumed run continues the schedule exactly where the checkpoint left off.
+type Seeker interface {
+	SeekRound(round int64)
+}
+
+// defaultEpoch derives epoch v0 from the cluster configuration: the static
+// plan the cluster runs until an autotuner (or RestoreEpoch) changes it.
+func defaultEpoch(cfg *LiveConfig) PlanEpoch {
+	cm := int64(-1)
+	if cfg.Algo != "" {
+		cm = 0 // historical behavior: an Algo compresses every gradient
+	}
+	return PlanEpoch{Version: 0, Strategy: cfg.Strategy, Parts: cfg.Parts, CompressMin: cm}
+}
+
+// topoFor builds the topology for a live strategy.
+func topoFor(s Strategy, n int) *Topology {
+	if s == StrategyRing {
+		return Ring(n)
+	}
+	return PSBipartite(n)
+}
+
+// validateEpoch checks a candidate epoch against the cluster's invariants:
+// the degradation and membership machinery constrain which strategies are
+// reachable at runtime exactly as they constrain the initial config.
+func (lc *LiveCluster) validateEpoch(ep PlanEpoch) error {
+	if ep.Parts < 1 || ep.Parts > maxEpochParts {
+		return fmt.Errorf("core: %v: partition count outside [1, %d]", ep, maxEpochParts)
+	}
+	switch ep.Strategy {
+	case StrategyRing:
+		if lc.cfg.OnPeerFail == DegradeExclude || lc.cfg.Elastic {
+			return fmt.Errorf("core: %v: the ring strategy is unreachable under DegradeExclude/Elastic (a ring cannot route around a dead hop)", ep)
+		}
+	case StrategyPS:
+	default:
+		return fmt.Errorf("core: %v: not a live-plane strategy", ep)
+	}
+	if ep.CompressMin >= 0 && lc.cfg.Algo == "" {
+		return fmt.Errorf("core: %v: compression requires the cluster to be built with a LiveConfig.Algo", ep)
+	}
+	return nil
+}
+
+// Epoch returns the currently active plan epoch.
+func (lc *LiveCluster) Epoch() PlanEpoch {
+	lc.epochMu.Lock()
+	defer lc.epochMu.Unlock()
+	return lc.epoch
+}
+
+// NextEpoch returns the epoch the next round will execute under: the staged
+// pending epoch when a switch is in flight, the active epoch otherwise.
+// This is the value checkpoints must record — a snapshot taken between a
+// staged switch and its activation resumes into the post-switch plan, which
+// is exactly what the uninterrupted run would have executed.
+func (lc *LiveCluster) NextEpoch() PlanEpoch {
+	lc.epochMu.Lock()
+	defer lc.epochMu.Unlock()
+	if lc.pendingEpoch != nil {
+		return *lc.pendingEpoch
+	}
+	return lc.epoch
+}
+
+// Rounds returns the number of successfully completed rounds (the round
+// index the next round will carry).
+func (lc *LiveCluster) Rounds() int64 {
+	lc.epochMu.Lock()
+	defer lc.epochMu.Unlock()
+	return lc.rounds
+}
+
+// EpochSwitches returns how many epoch activations have occurred.
+func (lc *LiveCluster) EpochSwitches() int64 {
+	lc.epochMu.Lock()
+	defer lc.epochMu.Unlock()
+	return lc.epochSwitches
+}
+
+// RestoreEpoch installs ep as the active epoch at the given round index,
+// bypassing the broadcast protocol. It is the checkpoint-resume path (all
+// peers restore from the same snapshot, so agreement is implicit) and the
+// way experiments pin a non-default static plan. Any staged pending epoch
+// is discarded; an autotuner implementing Seeker is fast-forwarded to
+// round.
+func (lc *LiveCluster) RestoreEpoch(ep PlanEpoch, round int64) error {
+	if err := lc.validateEpoch(ep); err != nil {
+		return err
+	}
+	lc.epochMu.Lock()
+	prev := lc.epoch
+	lc.epoch = ep
+	lc.pendingEpoch = nil
+	lc.rounds = round
+	if ep.Strategy != prev.Strategy {
+		lc.topo = topoFor(ep.Strategy, lc.n)
+	}
+	lc.epochMu.Unlock()
+	if s, ok := lc.cfg.Autotune.(Seeker); ok && lc.cfg.Autotune != nil {
+		s.SeekRound(round)
+	}
+	return nil
+}
+
+// activateEpoch applies a staged pending epoch at the round barrier (the
+// start of SyncRoundContext, before any task of the round is built) and
+// returns the epoch the round must execute under.
+func (lc *LiveCluster) activateEpoch() PlanEpoch {
+	lc.epochMu.Lock()
+	defer lc.epochMu.Unlock()
+	if lc.pendingEpoch == nil {
+		return lc.epoch
+	}
+	prev := lc.epoch
+	lc.epoch = *lc.pendingEpoch
+	lc.pendingEpoch = nil
+	lc.epochSwitches++
+	if lc.epoch.Strategy != prev.Strategy {
+		lc.topo = topoFor(lc.epoch.Strategy, lc.n)
+	}
+	if tr := lc.cfg.Telemetry.T(); tr.Enabled() {
+		tr.Event(fmt.Sprintf("epoch-switch %v→%v", prev, lc.epoch), "autotune",
+			0, "net", tr.Now())
+	}
+	if m := lc.cfg.Telemetry.M(); m != nil {
+		m.Counter(MetricEpochSwitches, "plan epoch activations at round barriers").Inc()
+		m.Gauge(MetricEpochVersion, "active plan epoch version").Set(float64(lc.epoch.Version))
+	}
+	return lc.epoch
+}
+
+// epochGradName tags broadcast-protocol control messages; the protocol runs
+// on a dedicated transport, so the name cannot collide with gradient
+// traffic.
+const epochGradName = "__epoch__"
+
+// epochAckBackoff is the coordinator's per-attempt wait: short for the
+// in-memory control transport, doubling under loss, capped so a chaos-laden
+// link still converges quickly.
+func epochAckBackoff(attempt int) time.Duration {
+	d := 2 * time.Millisecond << uint(attempt)
+	if d > 200*time.Millisecond {
+		d = 200 * time.Millisecond
+	}
+	return d
+}
+
+// ProposeEpoch runs the safe reconfiguration protocol: validate ep, encode
+// it, broadcast the frame from the coordinator (node 0) to every peer over
+// a fresh control transport (chaos-wrapped when the cluster injects chaos,
+// so the protocol is tested under the same faults as gradient traffic),
+// collect an ack from every peer, and only then stage ep for activation at
+// the next round barrier. Failure at any point leaves the cluster on its
+// current epoch — an abandoned proposal is always safe.
+func (lc *LiveCluster) ProposeEpoch(ctx context.Context, ep PlanEpoch) error {
+	if err := lc.validateEpoch(ep); err != nil {
+		lc.emitProposal(ep, "rejected")
+		return err
+	}
+	lc.epochMu.Lock()
+	cur := lc.epoch
+	if p := lc.pendingEpoch; p != nil {
+		lc.epochMu.Unlock()
+		lc.emitProposal(ep, "rejected")
+		return fmt.Errorf("core: %v proposed while %v is still staged", ep, *p)
+	}
+	lc.epochMu.Unlock()
+	if ep.Version <= cur.Version {
+		lc.emitProposal(ep, "rejected")
+		return fmt.Errorf("core: %v does not supersede active %v", ep, cur)
+	}
+
+	if err := lc.broadcastEpoch(ctx, ep); err != nil {
+		lc.emitProposal(ep, "failed")
+		return err
+	}
+
+	lc.epochMu.Lock()
+	// Re-check under the lock: a concurrent proposer may have won the race
+	// while the broadcast was in flight.
+	if lc.pendingEpoch != nil || ep.Version <= lc.epoch.Version {
+		lc.epochMu.Unlock()
+		lc.emitProposal(ep, "rejected")
+		return fmt.Errorf("core: %v lost a concurrent proposal race", ep)
+	}
+	staged := ep
+	lc.pendingEpoch = &staged
+	lc.epochMu.Unlock()
+	lc.emitProposal(ep, "staged")
+	return nil
+}
+
+// emitProposal publishes one proposal outcome to the observability plane.
+func (lc *LiveCluster) emitProposal(ep PlanEpoch, outcome string) {
+	if tr := lc.cfg.Telemetry.T(); tr.Enabled() {
+		tr.Event(fmt.Sprintf("epoch-proposal %v [%s]", ep, outcome), "autotune", 0, "net", tr.Now())
+	}
+	if m := lc.cfg.Telemetry.M(); m != nil {
+		m.Counter(MetricEpochProposals, "plan epoch proposals by outcome",
+			"outcome", outcome).Inc()
+	}
+}
+
+// broadcastEpoch is the coordinator↔peer agreement round: node 0 transmits
+// the encoded frame to each peer with acknowledged-or-retried delivery
+// (fresh Attempt numbers per retry, so deterministic chaos re-rolls
+// outcomes); each peer CRC-checks, decodes, and acks — duplicates are
+// re-acked idempotently. The call returns nil only when every peer has
+// acknowledged the exact frame.
+func (lc *LiveCluster) broadcastEpoch(ctx context.Context, ep PlanEpoch) error {
+	n := lc.n
+	frame := EncodePlanEpoch(ep)
+	sum := crc32.ChecksumIEEE(frame)
+
+	base := netsim.NewChanTransport(n, 8)
+	var tr netsim.Transport = base
+	if chaos := lc.chaosCfg(); chaos != nil {
+		tr = netsim.WrapChaos(base, chaos)
+	}
+	defer tr.Close()
+
+	// Peer loops: decode-validate-ack until the transport closes. A frame
+	// that fails its checksum or decode draws no ack, which the coordinator
+	// converts into a retransmission.
+	recvWG := make(chan struct{})
+	peerCount := 0
+	for v := 1; v < n; v++ {
+		peerCount++
+		go func(v int) {
+			defer func() { recvWG <- struct{}{} }()
+			for {
+				msg, ok := tr.Recv(v)
+				if !ok {
+					return
+				}
+				if msg.Ack || msg.Gradient != epochGradName {
+					continue
+				}
+				if crc32.ChecksumIEEE(msg.Payload) != msg.Sum {
+					continue
+				}
+				if _, err := DecodePlanEpoch(msg.Payload); err != nil {
+					continue
+				}
+				_ = tr.Send(netsim.Message{From: v, To: 0, Gradient: epochGradName,
+					Step: msg.Step, Attempt: msg.Attempt, Ack: true})
+			}
+		}(v)
+	}
+
+	// Coordinator ack sink: first ack per peer closes its rendezvous.
+	acked := make([]chan struct{}, n)
+	for v := range acked {
+		acked[v] = make(chan struct{})
+	}
+	ackSeen := make([]bool, n)
+	go func() {
+		defer func() { recvWG <- struct{}{} }()
+		for {
+			msg, ok := tr.Recv(0)
+			if !ok {
+				return
+			}
+			if !msg.Ack || msg.Gradient != epochGradName {
+				continue
+			}
+			if msg.From >= 1 && msg.From < n && !ackSeen[msg.From] {
+				ackSeen[msg.From] = true
+				close(acked[msg.From])
+			}
+		}
+	}()
+
+	// Per-peer acknowledged-or-retried transmit.
+	const maxAttempts = 16
+	errCh := make(chan error, n)
+	for v := 1; v < n; v++ {
+		go func(v int) {
+			msg := netsim.Message{From: 0, To: v, Gradient: epochGradName,
+				Step: int(ep.Version & 0xffff), Sum: sum, Payload: frame}
+			for attempt := 0; attempt < maxAttempts; attempt++ {
+				msg.Attempt = attempt
+				_ = tr.Send(msg)
+				timer := time.NewTimer(epochAckBackoff(attempt))
+				select {
+				case <-acked[v]:
+					timer.Stop()
+					errCh <- nil
+					return
+				case <-ctx.Done():
+					timer.Stop()
+					errCh <- fmt.Errorf("core: %v broadcast to peer %d: %w", ep, v, ctx.Err())
+					return
+				case <-timer.C:
+				}
+			}
+			errCh <- fmt.Errorf("core: peer %d never acknowledged %v after %d attempts", v, ep, maxAttempts)
+		}(v)
+	}
+
+	var firstErr error
+	for v := 1; v < n; v++ {
+		if err := <-errCh; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	tr.Close()
+	// Drain the receive loops (peerCount peers + the coordinator sink).
+	for i := 0; i < peerCount+1; i++ {
+		<-recvWG
+	}
+	return firstErr
+}
+
+// observeAndTune runs the closed loop's between-round step after a
+// successful round: hand the tuner its observation, ask for a proposal, and
+// stage an accepted one. A proposal the protocol cannot land (validation,
+// lost race, unacked broadcast) is dropped — the cluster stays on its
+// current plan, which is always safe — and surfaced via telemetry.
+func (lc *LiveCluster) observeAndTune(ctx context.Context, ep PlanEpoch, h *RoundHealth, round int64, sizes []int64) {
+	at := lc.cfg.Autotune
+	if at == nil {
+		return
+	}
+	at.ObserveRound(RoundObservation{
+		Round: round, Epoch: ep, Health: h,
+		Wire: lc.WireStats(), GradBytes: sizes,
+	})
+	prop := at.Propose(ep)
+	if prop == nil {
+		return
+	}
+	_ = lc.ProposeEpoch(ctx, *prop) // outcome recorded by emitProposal
+}

@@ -237,6 +237,10 @@ type RoundHealth struct {
 	// Chaos carries the injector's counters when the round ran over a
 	// ChaosTransport.
 	Chaos *netsim.ChaosStats
+	// EpochVersion is the plan epoch the round executed under (0 until an
+	// autotuner or RestoreEpoch installs a newer plan) — the field that
+	// lets a decision trace be audited round by round.
+	EpochVersion uint64
 }
 
 // Degraded reports whether the round deviated from full participation.

@@ -99,6 +99,19 @@ type LiveConfig struct {
 	// evidence passively for failure reports. Adaptive requires Reliable.
 	Health *HealthConfig
 
+	// --- autotune plane (epoch.go, internal/autotune) ---
+
+	// Autotune, when non-nil, closes the planning loop: after every
+	// successful round the tuner receives a RoundObservation (and, on
+	// reliable clusters, per-link ack RTT samples as they arrive), and may
+	// propose a new PlanEpoch — strategy, partition count, selective
+	// compression threshold — which is broadcast, acked by every peer, and
+	// activated at the next round barrier. Setting it forces compressor
+	// instrumentation (the tuner's encode/decode evidence). Link
+	// calibration requires Reliable delivery; without it the tuner only
+	// sees round-level evidence.
+	Autotune Autotuner
+
 	// --- elastic membership (recovery plane) ---
 
 	// Elastic enables cross-round membership (see rejoin.go): failure-
@@ -136,6 +149,16 @@ type LiveCluster struct {
 	// RTT estimators and per-peer φ detectors that persist across rounds,
 	// so steady-state rounds inherit learned deadlines.
 	health *healthPlane
+
+	// Autotune-plane state (epoch.go): the active epoch, a staged pending
+	// epoch awaiting its round barrier, the completed-round counter, and
+	// the activation count. epochMu also guards topo, which an epoch
+	// switch rebuilds when the strategy changes.
+	epochMu       sync.Mutex
+	epoch         PlanEpoch
+	pendingEpoch  *PlanEpoch
+	rounds        int64
+	epochSwitches int64
 }
 
 // NewLiveCluster builds an n-node live cluster.
@@ -168,6 +191,7 @@ func NewLiveCluster(n int, cfg LiveConfig) (*LiveCluster, error) {
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
 	lc := &LiveCluster{n: n, cfg: cfg}
+	lc.epoch = defaultEpoch(&lc.cfg)
 	if cfg.Elastic {
 		lc.mem = newMembership(n, cfg.ProbationRounds)
 	}
@@ -201,8 +225,10 @@ func NewLiveCluster(n int, cfg LiveConfig) (*LiveCluster, error) {
 			}
 			// A shared metrics registry implies instrumentation: compression
 			// ratios are the headline quantity the observability plane
-			// exposes, and the wrapper's atomic counters are cheap.
-			if cfg.Instrument || cfg.Telemetry.M() != nil {
+			// exposes, and the wrapper's atomic counters are cheap. An
+			// autotuner implies it too — the encode/decode run stats are its
+			// calibration evidence.
+			if cfg.Instrument || cfg.Autotune != nil || cfg.Telemetry.M() != nil {
 				m := compress.NewInstrumentedWith(c, cfg.Telemetry.M(),
 					"algo", cfg.Algo, "node", compress.NodeLabel(v))
 				if lc.meters == nil {
@@ -244,6 +270,10 @@ func (lc *LiveCluster) WireStats() compress.Stats {
 		total.RawBytes += s.RawBytes
 		total.WireBytes += s.WireBytes
 		total.Errors += s.Errors
+		total.EncodeNs += s.EncodeNs
+		total.DecodeNs += s.DecodeNs
+		total.EncodeElems += s.EncodeElems
+		total.DecodeElems += s.DecodeElems
 	}
 	return total
 }
@@ -332,14 +362,29 @@ func (lc *LiveCluster) SyncRoundContext(ctx context.Context, grads []map[string]
 		}
 	}
 
-	// Build one DAG covering every gradient.
+	// The round barrier: a staged epoch switch takes effect here, before
+	// any task of the round is built, so every task of one round runs
+	// under exactly one plan.
+	ep := lc.activateEpoch()
+
+	// Build one DAG covering every gradient, with the epoch deciding the
+	// partition geometry and, per gradient size, compress-vs-raw.
 	g := NewGraph()
 	elems := map[string]int{}
 	parts := map[string]int{}
+	algos := map[string]string{}
+	sizes := make([]int64, 0, len(names))
 	for _, name := range names {
-		spec := GradSync{Name: name, Elems: len(grads[0][name]), Parts: lc.cfg.Parts, Algo: lc.cfg.Algo}
+		rawBytes := int64(4 * len(grads[0][name]))
+		sizes = append(sizes, rawBytes)
+		algo := ""
+		if lc.cfg.Algo != "" && ep.compresses(rawBytes) {
+			algo = lc.cfg.Algo
+		}
+		algos[name] = algo
+		spec := GradSync{Name: name, Elems: len(grads[0][name]), Parts: ep.Parts, Algo: algo}
 		var err error
-		switch lc.cfg.Strategy {
+		switch ep.Strategy {
 		case StrategyRing:
 			_, err = BuildRing(g, lc.topo, spec)
 		case StrategyPS:
@@ -349,17 +394,26 @@ func (lc *LiveCluster) SyncRoundContext(ctx context.Context, grads []map[string]
 			return nil, nil, err
 		}
 		elems[name] = len(grads[0][name])
-		p := lc.cfg.Parts
+		p := ep.Parts
 		if p > elems[name] {
 			p = elems[name]
 		}
 		parts[name] = p
 	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
 	if err := g.Validate(); err != nil {
 		return nil, nil, err
 	}
 
-	return lc.run(ctx, g, grads, elems, parts)
+	out, health, err := lc.run(ctx, g, grads, elems, parts, algos, ep)
+	if err == nil {
+		lc.epochMu.Lock()
+		round := lc.rounds
+		lc.rounds++
+		lc.epochMu.Unlock()
+		lc.observeAndTune(ctx, ep, health, round, sizes)
+	}
+	return out, health, err
 }
 
 // liveRound is the state of one executing round: the graph, the transport,
@@ -373,6 +427,11 @@ type liveRound struct {
 	nodes []*nodeRT
 	elems map[string]int
 	parts map[string]int
+	// algos maps each gradient to its effective compression algorithm for
+	// this round ("" = raw), and epoch is the plan the round runs under —
+	// both frozen at the round barrier by SyncRoundContext.
+	algos map[string]string
+	epoch PlanEpoch
 
 	reliable bool
 	retry    RetryPolicy
@@ -534,7 +593,7 @@ func (r *liveRound) onPeerDead(victim int) {
 	if r.trc.Enabled() {
 		r.traceEvent(fmt.Sprintf("peer-dead node%d (%v)", victim, r.lc.cfg.OnPeerFail), "fault", victim)
 	}
-	if r.lc.cfg.OnPeerFail != DegradeExclude || r.lc.cfg.Strategy != StrategyPS {
+	if r.lc.cfg.OnPeerFail != DegradeExclude || r.epoch.Strategy != StrategyPS {
 		r.fail(&PeerFailureError{Node: -1, Peer: victim, Attempts: r.retry.MaxAttempts,
 			Reason: fmt.Sprintf("failure detector convicted node %d (policy %v)", victim, r.lc.cfg.OnPeerFail)})
 		return
@@ -555,8 +614,8 @@ func (r *liveRound) onPeerDead(victim int) {
 	}
 }
 
-// run executes the DAG with real data.
-func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]float32, elems, parts map[string]int) ([]map[string][]float32, *RoundHealth, error) {
+// run executes the DAG with real data under one frozen plan epoch.
+func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]float32, elems, parts map[string]int, algos map[string]string, ep PlanEpoch) ([]map[string][]float32, *RoundHealth, error) {
 	n := lc.n
 	started := time.Now()
 	capacity := len(g.Tasks)/n + 16
@@ -638,6 +697,8 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		nodes:     nodes,
 		elems:     elems,
 		parts:     parts,
+		algos:     algos,
+		epoch:     ep,
 		reliable:  lc.cfg.Reliable,
 		retry:     lc.cfg.Retry.withDefaults(),
 		timeout:   lc.cfg.RoundTimeout,
@@ -767,6 +828,7 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 	wg.Wait()
 
 	health := r.rs.health(r.reliable, time.Since(started))
+	health.EpochVersion = ep.Version
 	if chaosTr != nil {
 		st := chaosTr.Stats()
 		health.Chaos = &st
@@ -967,8 +1029,13 @@ func (r *liveRound) reliableSend(msg netsim.Message) error {
 			if hp != nil && attempt == 0 {
 				// Karn's rule: only unambiguous first-attempt acks yield
 				// RTT samples (a retransmitted transfer's ack could belong
-				// to any attempt).
-				hp.observeRTT(msg.From, msg.To, hp.clock()-sentAt)
+				// to any attempt). The autotuner shares the same samples,
+				// paired with the payload size, to fit per-link send curves.
+				rtt := hp.clock() - sentAt
+				hp.observeRTT(msg.From, msg.To, rtt)
+				if at := r.lc.cfg.Autotune; at != nil {
+					at.ObserveLink(msg.From, msg.To, len(msg.Payload), rtt)
+				}
 			}
 			return nil
 		case <-r.doneCh:
@@ -1049,7 +1116,11 @@ func (r *liveRound) adaptiveSend(msg netsim.Message) error {
 			if attempt == 0 && hedged == 0 {
 				// Karn's rule, hedge-aware: a hedged transfer's ack is
 				// ambiguous between the original and the hedge.
-				hp.observeRTT(msg.From, msg.To, hp.clock()-sentAt)
+				rtt := hp.clock() - sentAt
+				hp.observeRTT(msg.From, msg.To, rtt)
+				if at := r.lc.cfg.Autotune; at != nil {
+					at.ObserveLink(msg.From, msg.To, len(msg.Payload), rtt)
+				}
 			}
 			return nil
 		}
@@ -1280,13 +1351,13 @@ func (r *liveRound) execComp(rt *nodeRT, t *Task) error {
 
 	case KMerge:
 		if t.Bytes == 0 {
-			if t.Part >= 0 && t.Phase == 1 && lc.cfg.Strategy == StrategyPS {
+			if t.Part >= 0 && t.Phase == 1 && r.epoch.Strategy == StrategyPS {
 				// The PS partition barrier performs the actual aggregation.
 				return r.mergeBarrierPS(rt, t, ne, np)
 			}
 			return nil // join barrier
 		}
-		if lc.cfg.Strategy == StrategyPS && t.Phase == 1 {
+		if r.epoch.Strategy == StrategyPS && t.Phase == 1 {
 			// PS phase-1 merges only stage their contribution (tmp/in);
 			// the partition barrier sums in deterministic ascending-peer
 			// order, so the float result is independent of arrival order —
@@ -1297,7 +1368,7 @@ func (r *liveRound) execComp(rt *nodeRT, t *Task) error {
 		// Ring merges are chain-ordered by the DAG and stay incremental.
 		acc := rt.accSlice(t.Grad, ne, np, t.Part)
 		bk := bkey{t.Grad, t.Part, t.Peer}
-		if lc.cfg.Algo != "" {
+		if r.algos[t.Grad] != "" {
 			tmp := rt.tmp[bk]
 			if tmp == nil {
 				return fmt.Errorf("core: node %d merge %s/p%d from %d with no decoded payload", rt.id, t.Grad, t.Part, t.Peer)
@@ -1337,7 +1408,7 @@ func (r *liveRound) mergeBarrierPS(rt *nodeRT, t *Task, ne, np int) error {
 			continue
 		}
 		bk := bkey{t.Grad, t.Part, peer}
-		if lc.cfg.Algo != "" {
+		if r.algos[t.Grad] != "" {
 			tmp := rt.tmp[bk]
 			if tmp == nil {
 				if r.reliable && r.rs.isDead(peer) {
@@ -1407,7 +1478,7 @@ func (r *liveRound) execSend(rt *nodeRT, t *Task) error {
 			rt.mu.Unlock()
 			return fmt.Errorf("core: node %d forwarding %s/p%d with no payload", rt.id, t.Grad, t.Part)
 		}
-	case lc.cfg.Algo != "":
+	case r.algos[t.Grad] != "":
 		payload = rt.out[k]
 		if payload == nil {
 			rt.mu.Unlock()
@@ -1442,7 +1513,7 @@ func (r *liveRound) execRecv(rt *nodeRT, t *Task, payload []byte) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.in[bkey{t.Grad, t.Part, t.Peer}] = payload
-	if r.lc.cfg.Algo == "" {
+	if r.algos[t.Grad] == "" {
 		// Raw payloads must reinterpret exactly: reject truncated or
 		// padded frames up front with a descriptive error.
 		ne := r.elems[t.Grad]

@@ -26,6 +26,9 @@ const (
 	MetricLiveHedges           = "hipress_live_hedges_total"
 	MetricHealthTransitions    = "hipress_health_transitions_total"
 	MetricHealthPhi            = "hipress_health_phi"
+	MetricEpochVersion         = "hipress_autotune_epoch_version"
+	MetricEpochSwitches        = "hipress_autotune_epoch_switches_total"
+	MetricEpochProposals       = "hipress_autotune_epoch_proposals_total"
 )
 
 // emitTransition publishes one health-plane lifecycle transition (event +
@@ -53,7 +56,7 @@ func (r *liveRound) emitRoundTelemetry(h *RoundHealth, start float64) {
 	case h.Degraded():
 		outcome = "degraded"
 	}
-	strat := r.lc.cfg.Strategy.String()
+	strat := r.epoch.Strategy.String()
 
 	if tr := r.trc; tr.Enabled() {
 		tr.Record(telemetry.Span{
@@ -63,6 +66,7 @@ func (r *liveRound) emitRoundTelemetry(h *RoundHealth, start float64) {
 		}.With(telemetry.Num("retries", float64(h.Retries))).
 			With(telemetry.Num("duplicates", float64(h.Duplicates))).
 			With(telemetry.Num("excluded_peers", float64(len(h.ExcludedPeers)))).
+			With(telemetry.Num("epoch", float64(h.EpochVersion))).
 			With(telemetry.Str("health", h.String())))
 	}
 
@@ -84,6 +88,7 @@ func (r *liveRound) emitRoundTelemetry(h *RoundHealth, start float64) {
 	add(MetricLiveExcludedContribs, "per-partition contributions excluded from aggregates", h.ExcludedContribs)
 	add(MetricLiveUnsyncedParts, "partitions that fell back to local gradients", int64(len(h.UnsyncedParts)))
 	add(MetricLiveHedges, "speculative retransmits fired at the per-link p99 point", h.Hedges)
+	m.Gauge(MetricEpochVersion, "active plan epoch version").Set(float64(h.EpochVersion))
 	for v, phi := range h.Phi {
 		m.Gauge(MetricHealthPhi, "per-peer φ-accrual suspicion level at round end",
 			"node", fmt.Sprintf("%d", v)).Set(phi)

@@ -185,20 +185,64 @@ func (p *Planner) Plan(m int64) Plan {
 	return Plan{Compress: false, Parts: bestOrigK, Cost: bestOrig, AltCost: bestCpr}
 }
 
-// CompressionThreshold returns the smallest gradient size (bytes, within
-// [lo, hi] by binary search at 4 KiB granularity) for which the planner
-// chooses to compress. It reproduces the paper's observation that "CaSync
-// suggests to compress gradients larger than 4MB" on the EC2 setup.
+// CompressionThreshold returns the smallest gradient size (bytes, probed at
+// 4 KiB granularity within [lo, hi]) for which the planner chooses to
+// compress, or -1 when no probed size in the range compresses. It
+// reproduces the paper's observation that "CaSync suggests to compress
+// gradients larger than 4MB" on the EC2 setup.
+//
+// The search is a bisection over the compress/no-compress boundary, exact
+// in the single-crossing regime the smooth Eq. 1–2 cost model produces.
+// The result is always verified: a returned size genuinely compresses
+// (never a false positive — the historical bug was returning an arbitrary
+// boundary value when nothing in range compressed). In a pathological
+// non-monotonic regime the bisection can converge outside a compression
+// window; a bounded exact scan then recovers the smallest compressing
+// probe, and windows narrower than the probe grid in ranges too wide to
+// scan are reported as -1.
 func (p *Planner) CompressionThreshold(lo, hi int64) int64 {
 	const step = 4096
-	lo, hi = lo/step, hi/step
-	for lo < hi {
-		mid := (lo + hi) / 2
+	if hi < lo {
+		lo, hi = hi, lo // tolerate inverted ranges
+	}
+	lb := (lo + step - 1) / step // first probe bucket at or above lo
+	if lb < 1 {
+		lb = 1
+	}
+	hb := hi / step // last probe bucket at or below hi
+	if lb > hb {
+		// The range is narrower than the probe grid (lo==hi, or a span that
+		// straddles no 4 KiB multiple): probe the endpoints themselves.
+		if p.Plan(lo).Compress {
+			return lo
+		}
+		if hi > lo && p.Plan(hi).Compress {
+			return hi
+		}
+		return -1
+	}
+	l, h := lb, hb
+	for l < h {
+		mid := (l + h) / 2
 		if p.Plan(mid * step).Compress {
-			hi = mid
+			h = mid
 		} else {
-			lo = mid + 1
+			l = mid + 1
 		}
 	}
-	return lo * step
+	if res := l * step; p.Plan(res).Compress {
+		return res
+	}
+	// The bisection converged on a non-compressing size: either nothing in
+	// [lo, hi] compresses, or the regime is non-monotonic and the binary
+	// search skipped an interior compression window. An exact scan settles
+	// it when the range is small enough to afford one.
+	if hb-lb <= 4096 { // ≤ 16 MiB span at 4 KiB resolution
+		for b := lb; b <= hb; b++ {
+			if p.Plan(b * step).Compress {
+				return b * step
+			}
+		}
+	}
+	return -1
 }

@@ -224,3 +224,65 @@ func TestPlanRobustness(t *testing.T) {
 		t.Errorf("empty report should be fully stable")
 	}
 }
+
+// thresholdPlanner builds a synthetic planner whose compress decision is a
+// pure function of RatioOf: zero-cost encode/decode, a linear send curve,
+// ring coefficients (β, γ independent of K), and a single compressed
+// partition so the decision at size m probes RatioOf(m) directly.
+func thresholdPlanner(ratio func(m int64) float64) *Planner {
+	return &Planner{
+		Strategy: StrategyRing,
+		N:        2,
+		Send:     Curve{PerByte: 1e-9},
+		RatioOf:  ratio,
+		MaxParts: 1,
+	}
+}
+
+// TestCompressionThresholdEdgeCases drives CompressionThreshold through the
+// degenerate ranges that broke the original bisection: point ranges,
+// ranges that miss the threshold entirely (the old code returned an
+// arbitrary boundary value that did not compress), inverted ranges, and a
+// non-monotonic regime where an interior compression window would be
+// skipped by a pure binary search.
+func TestCompressionThresholdEdgeCases(t *testing.T) {
+	real16 := newPlanner(t, StrategyRing, 16)
+	never := thresholdPlanner(func(int64) float64 { return 2.0 })
+	always := thresholdPlanner(func(int64) float64 { return 1e-3 })
+	window := thresholdPlanner(func(m int64) float64 {
+		if m >= 1<<20 && m <= 2<<20 {
+			return 1e-2 // compression pays only in [1 MiB, 2 MiB]
+		}
+		return 10
+	})
+
+	cases := []struct {
+		name   string
+		p      *Planner
+		lo, hi int64
+		want   int64
+	}{
+		{"point-range-compressing", real16, 16 << 20, 16 << 20, 16 << 20},
+		{"point-range-raw", real16, 16 << 10, 16 << 10, -1},
+		{"point-range-off-grid", always, 5000, 5000, 5000},
+		{"range-below-threshold", real16, 4 << 10, 64 << 10, -1},
+		{"range-above-threshold", real16, 32 << 20, 64 << 20, 32 << 20},
+		{"nothing-ever-compresses", never, 4 << 10, 64 << 20, -1},
+		{"everything-compresses", always, 4 << 10, 1 << 20, 4 << 10},
+		{"off-grid-lo-rounds-up", always, 5000, 1 << 20, 8192},
+		{"inverted-range", real16, 64 << 20, 32 << 20, 32 << 20},
+		{"non-monotonic-window", window, 4 << 10, 8 << 20, 1 << 20},
+		{"non-monotonic-window-missed-above", window, 4 << 20, 8 << 20, -1},
+	}
+	for _, c := range cases {
+		got := c.p.CompressionThreshold(c.lo, c.hi)
+		if got != c.want {
+			t.Errorf("%s: CompressionThreshold(%d, %d) = %d, want %d", c.name, c.lo, c.hi, got, c.want)
+		}
+		// The contract the old code violated: a non-negative result must
+		// itself plan to compress.
+		if got >= 0 && !c.p.Plan(got).Compress {
+			t.Errorf("%s: returned %d does not compress", c.name, got)
+		}
+	}
+}

@@ -28,6 +28,7 @@ func Experiments() []string {
 		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13",
 		"micro", "kernels", "jitter", "strategies", "wire",
 		"chaos", "plan-robustness", "trace", "recovery", "stragglers",
+		"autotune",
 	}
 }
 
@@ -93,6 +94,8 @@ func RunExperiment(id string, scale float64) (*Table, error) {
 		return RecoveryExp()
 	case "stragglers":
 		return StragglersExp(scale)
+	case "autotune":
+		return AutotuneExp(scale)
 	default:
 		return nil, fmt.Errorf("engine: unknown experiment %q (have %v)", id, Experiments())
 	}

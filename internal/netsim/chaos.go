@@ -41,6 +41,15 @@ type LinkFaults struct {
 	// uniformly from [DelayMin, DelayMax].
 	Delay              float64
 	DelayMin, DelayMax time.Duration
+	// Bandwidth, when > 0, caps the link's goodput in bytes per second:
+	// each payload occupies the link for len(Payload)/Bandwidth seconds and
+	// later messages on the same link queue FIFO behind it. Unlike the
+	// probabilistic faults this is a congestion model, not a fault roll —
+	// the induced delay is a pure function of payload size and link
+	// occupancy, so a run with a deterministic send schedule sees a
+	// deterministic queueing schedule. It is how experiments emulate a
+	// mid-run fabric degradation (e.g. 100 Gbps → 10 Gbps).
+	Bandwidth float64
 	// Down blacks the link out entirely: every message is swallowed.
 	Down bool
 }
@@ -104,12 +113,18 @@ type ChaosTransport struct {
 	once sync.Once
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	// bwMu guards bwFree, the per-link time at which the serialized tail of
+	// the last bandwidth-capped payload clears the link.
+	bwMu   sync.Mutex
+	bwFree map[Link]time.Time
 }
 
 // WrapChaos wraps inner with the given fault plane. cfg is copied; a nil
 // cfg yields a transparent wrapper.
 func WrapChaos(inner Transport, cfg *ChaosConfig) *ChaosTransport {
-	t := &ChaosTransport{inner: inner, done: make(chan struct{})}
+	t := &ChaosTransport{inner: inner, done: make(chan struct{}),
+		bwFree: map[Link]time.Time{}}
 	if cfg != nil {
 		t.cfg = *cfg
 	}
@@ -208,6 +223,25 @@ func (t *ChaosTransport) Send(msg Message) error {
 		// A short deterministic delay is enough to let a later message on
 		// the same link overtake this one.
 		delay = time.Duration(1+t.hashMsg(saltDur, msg)%4) * time.Millisecond
+	}
+
+	if lf.Bandwidth > 0 && len(msg.Payload) > 0 {
+		// Serialize the payload onto the link: it occupies the pipe for
+		// size/bandwidth, queued FIFO behind whatever is already in flight.
+		ser := time.Duration(float64(len(msg.Payload)) / lf.Bandwidth * float64(time.Second))
+		l := Link{Src: msg.From, Dst: msg.To}
+		now := time.Now()
+		t.bwMu.Lock()
+		free := t.bwFree[l]
+		if free.Before(now) {
+			free = now
+		}
+		free = free.Add(ser)
+		t.bwFree[l] = free
+		t.bwMu.Unlock()
+		if wait := free.Sub(now); wait > delay {
+			delay = wait
+		}
 	}
 
 	if delay > 0 {

@@ -189,3 +189,51 @@ func TestChaosTransparent(t *testing.T) {
 		t.Fatalf("transparent stats wrong: %+v", st)
 	}
 }
+
+// TestChaosBandwidthSerializes: a bandwidth-capped link delays payloads by
+// their serialization time, queues back-to-back sends FIFO, and still
+// delivers everything; an uncapped link is unaffected.
+func TestChaosBandwidthSerializes(t *testing.T) {
+	inner := NewChanTransport(2, 16)
+	ct := WrapChaos(inner, &ChaosConfig{
+		Links: map[Link]LinkFaults{
+			{Src: 0, Dst: 1}: {Bandwidth: 1 << 20}, // 1 MiB/s
+		},
+	})
+	defer ct.Close()
+
+	// Two 100 ms payloads back to back: the second queues behind the first,
+	// so total drain time is ~200 ms.
+	payload := make([]byte, 100<<10) // 100 KiB at 1 MiB/s ≈ 98 ms
+	start := time.Now()
+	for step := 0; step < 2; step++ {
+		if err := ct.Send(Message{From: 0, To: 1, Gradient: "g", Step: step, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for got := 0; got < 2; got++ {
+		if _, ok := ct.Recv(1); !ok {
+			t.Fatal("capped link lost a message")
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("two serialized 98 ms payloads drained in %v — no queueing", elapsed)
+	}
+	st := ct.Stats()
+	if st.Delayed != 2 {
+		t.Fatalf("Delayed = %d, want 2 (both payloads serialized)", st.Delayed)
+	}
+
+	// The reverse (uncapped) direction delivers immediately.
+	start = time.Now()
+	if err := ct.Send(Message{From: 1, To: 0, Gradient: "g", Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ct.Recv(0); !ok {
+		t.Fatal("uncapped link lost a message")
+	}
+	if e := time.Since(start); e > 50*time.Millisecond {
+		t.Fatalf("uncapped link took %v", e)
+	}
+}

@@ -133,6 +133,13 @@ var SizeBuckets = []float64{
 	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
 }
 
+// RatioBuckets covers 0.1 % … 100 % in roughly ×2 steps, for compression
+// ratios and other (0, 1] fractions such as the autotuner's calibrated
+// wire/raw estimates.
+var RatioBuckets = []float64{
+	0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1,
+}
+
 // series is one labeled instrument inside a family.
 type series struct {
 	labels string // canonical rendered label set, "" for none

@@ -1,11 +1,13 @@
 package trainer
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strconv"
 
 	"hipress/internal/ckpt"
+	"hipress/internal/core"
 	"hipress/internal/telemetry"
 	"hipress/internal/tensor"
 )
@@ -122,6 +124,45 @@ func (cr *ckptRunner) maybeSave(it int, capture func() *ckpt.Snapshot) error {
 		m.Counter("hipress_ckpt_saves_total", "checkpoints written").Inc()
 	}
 	return nil
+}
+
+// Checkpoint metadata keys for the autotuning plane's plan epoch.
+const (
+	metaEpochKey   = "autotune/epoch" // hex of the canonical epoch frame
+	metaEpochRound = "autotune/round" // round index the epoch was captured at
+)
+
+// captureEpoch records the plan epoch the next round will execute under —
+// NextEpoch, so a snapshot taken between a staged epoch switch and its
+// round-barrier activation resumes into the post-switch plan, exactly what
+// the uninterrupted run would have executed.
+func captureEpoch(meta map[string]string, lc *core.LiveCluster) {
+	meta[metaEpochKey] = hex.EncodeToString(core.EncodePlanEpoch(lc.NextEpoch()))
+	meta[metaEpochRound] = strconv.FormatInt(lc.Rounds(), 10)
+}
+
+// restoreEpoch reinstalls the checkpointed plan epoch (a no-op for
+// checkpoints predating the autotuning plane: the cluster keeps its default
+// epoch). All peers restore from the same snapshot, so agreement is
+// implicit and the broadcast protocol is bypassed.
+func restoreEpoch(snap *ckpt.Snapshot, lc *core.LiveCluster) error {
+	enc, ok := snap.Meta[metaEpochKey]
+	if !ok {
+		return nil
+	}
+	frame, err := hex.DecodeString(enc)
+	if err != nil {
+		return fmt.Errorf("trainer: checkpoint epoch frame: %w", err)
+	}
+	ep, err := core.DecodePlanEpoch(frame)
+	if err != nil {
+		return fmt.Errorf("trainer: checkpoint epoch frame: %w", err)
+	}
+	round, err := strconv.ParseInt(snap.Meta[metaEpochRound], 10, 64)
+	if err != nil {
+		return fmt.Errorf("trainer: checkpoint epoch round: %w", err)
+	}
+	return lc.RestoreEpoch(ep, round)
 }
 
 // cloneParams copies compressor params into the snapshot's float map.

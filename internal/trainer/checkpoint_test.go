@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"hipress/internal/autotune"
 	"hipress/internal/compress"
 	"hipress/internal/core"
 )
@@ -218,5 +219,87 @@ func TestResumeRejectsMismatchedConfig(t *testing.T) {
 	badW.Checkpoint = &CheckpointConfig{Dir: dir, Resume: true}
 	if _, _, err := TrainLinear(task, badW); err == nil {
 		t.Fatal("resume under a different worker count succeeded")
+	}
+}
+
+// TestKillResumeBitIdenticalMidEpochSwitch extends the recovery guarantee
+// to the autotuning plane: a run whose synchronization plan changes mid-
+// training via scripted epoch switches — one staged-but-not-yet-activated
+// at the exact checkpoint boundary, one scheduled after the kill point —
+// is killed and resumed, and the continuation must be bit-identical. This
+// only holds if checkpoints record NextEpoch (the staged pending plan, not
+// the still-active old one) and resume both reinstalls it and fast-
+// forwards the decision script past already-applied switches.
+func TestKillResumeBitIdenticalMidEpochSwitch(t *testing.T) {
+	task := NewLinearTask(24, 0.05, 9)
+	// The scripted decisions: after round 19's observation the plan flips
+	// to raw with a different partitioning — proposed and staged during
+	// iteration 19, activating at round 20, exactly straddling the Every=20
+	// checkpoint. After round 44 it flips back to compressed single-part.
+	trace := autotune.DecisionTrace{Switches: []autotune.TraceSwitch{
+		{AfterRound: 19, Epoch: core.PlanEpoch{
+			Strategy: core.StrategyPS, Parts: 3, CompressMin: -1}},
+		{AfterRound: 44, Epoch: core.PlanEpoch{
+			Strategy: core.StrategyPS, Parts: 1, CompressMin: 0}},
+	}}
+	cfg := Config{
+		Workers: 3, Strategy: core.StrategyPS,
+		Algo: "onebit", ErrorFeedback: true, Momentum: 0.5,
+		LR: 0.1, Batch: 4, Iters: 60, EvalEvery: 5, Seed: 11, Parts: 2,
+	}
+
+	// Uninterrupted reference (fresh script: Script replay is stateful).
+	ref := cfg
+	ref.Autotune = autotune.NewScript(trace)
+	refCurve, refW, err := TrainLinear(task, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The switches must actually change the computation, or the scenario
+	// has no teeth: compare against the same run with a frozen plan.
+	frozen := cfg
+	frozenCurve, _, err := TrainLinear(task, frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range refCurve.Losses {
+		if math.Float64bits(refCurve.Losses[i]) != math.Float64bits(frozenCurve.Losses[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("scripted epoch switches did not change the training trajectory")
+	}
+
+	// Killed at iteration 35: the newest durable checkpoint is step 20,
+	// whose snapshot was captured with switch #1 staged but not active.
+	dir := t.TempDir()
+	killed := cfg
+	killed.Iters = 35
+	killed.Autotune = autotune.NewScript(trace)
+	killed.Checkpoint = &CheckpointConfig{Dir: dir, Every: 20}
+	if _, _, err := TrainLinear(task, killed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed with a fresh script over the same trace: SeekRound must skip
+	// the already-applied switch and still replay the post-kill one.
+	resumed := cfg
+	resumed.Autotune = autotune.NewScript(trace)
+	resumed.Checkpoint = &CheckpointConfig{Dir: dir, Every: 20, Resume: true}
+	gotCurve, gotW, err := TrainLinear(task, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	requireBitIdenticalTail(t, "mid-epoch-switch", refCurve, gotCurve, 20)
+	for i := range refW {
+		if math.Float32bits(gotW[i]) != math.Float32bits(refW[i]) {
+			t.Fatalf("final weight [%d] diverged: %x vs %x",
+				i, math.Float32bits(gotW[i]), math.Float32bits(refW[i]))
+		}
 	}
 }

@@ -54,6 +54,14 @@ type Config struct {
 	// training uninstrumented with zero overhead.
 	Telemetry *telemetry.Set
 
+	// Autotune, when non-nil, closes the cost-model loop during training:
+	// the cluster feeds it ack timings and round observations, and its
+	// proposals re-plan synchronization through the epoch broadcast
+	// protocol (see internal/autotune). Checkpoints record the active plan
+	// epoch, so kill+resume lands in the same plan the uninterrupted run
+	// would have executed.
+	Autotune core.Autotuner
+
 	// Checkpoint, when non-nil, enables the recovery plane: periodic
 	// crash-consistent snapshots and resume-from-latest such that a killed
 	// and resumed run is bit-identical to an uninterrupted one (see
@@ -147,6 +155,7 @@ func TrainLinear(task *LinearTask, cfg Config) (*Curve, []float32, error) {
 		ErrorFeedback: cfg.ErrorFeedback,
 		Parts:         cfg.Parts,
 		Telemetry:     cfg.Telemetry,
+		Autotune:      cfg.Autotune,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -222,6 +231,9 @@ func TrainLinear(task *LinearTask, cfg Config) (*Curve, []float32, error) {
 			if err := lc.ImportState(snap.Residuals, snap.RNG); err != nil {
 				return nil, nil, err
 			}
+			if err := restoreEpoch(snap, lc); err != nil {
+				return nil, nil, err
+			}
 			startIt = snap.Step
 		}
 	}
@@ -237,10 +249,12 @@ func TrainLinear(task *LinearTask, cfg Config) (*Curve, []float32, error) {
 		for v := range localVel {
 			tensors["vel/local/"+strconv.Itoa(v)] = tensor.Clone(localVel[v])
 		}
+		meta := map[string]string{"task": "linear", "workers": strconv.Itoa(cfg.Workers)}
+		captureEpoch(meta, lc)
 		return &ckpt.Snapshot{
 			Step: step, Algo: cfg.Algo, Params: cloneParams(cfg.Params),
 			Tensors: tensors, Residuals: res, RNG: rng,
-			Meta: map[string]string{"task": "linear", "workers": strconv.Itoa(cfg.Workers)},
+			Meta: meta,
 		}
 	}
 
@@ -391,6 +405,7 @@ func TrainMLP(task *MLPTask, cfg Config) (*Curve, error) {
 		ErrorFeedback: cfg.ErrorFeedback,
 		Parts:         cfg.Parts,
 		Telemetry:     cfg.Telemetry,
+		Autotune:      cfg.Autotune,
 	})
 	if err != nil {
 		return nil, err
@@ -447,6 +462,9 @@ func TrainMLP(task *MLPTask, cfg Config) (*Curve, error) {
 			if err := lc.ImportState(snap.Residuals, snap.RNG); err != nil {
 				return nil, err
 			}
+			if err := restoreEpoch(snap, lc); err != nil {
+				return nil, err
+			}
 			startIt = snap.Step
 		}
 	}
@@ -459,10 +477,12 @@ func TrainMLP(task *MLPTask, cfg Config) (*Curve, error) {
 		for name, src := range student.gradsMap() {
 			tensors[name] = tensor.Clone(src)
 		}
+		meta := map[string]string{"task": "mlp", "workers": strconv.Itoa(cfg.Workers)}
+		captureEpoch(meta, lc)
 		return &ckpt.Snapshot{
 			Step: step, Algo: cfg.Algo, Params: cloneParams(cfg.Params),
 			Tensors: tensors, Residuals: res, RNG: rng,
-			Meta: map[string]string{"task": "mlp", "workers": strconv.Itoa(cfg.Workers)},
+			Meta: meta,
 		}
 	}
 
