@@ -20,7 +20,8 @@ race:
 
 # Short fuzz smoke over the byte-level decoders that face untrusted input:
 # the checkpoint format (disk corruption after a crash), the TCP wire frame
-# (chaos-corrupted streams), the five compression payload decoders
+# and HELLO handshake (chaos-corrupted streams), the five compression
+# payload decoders
 # (truncated/corrupted gradient frames off the wire), the phi-accrual
 # health plane's state machine (arbitrary interleavings of arrivals, clock
 # advances, convictions, and revivals), and the plan-epoch broadcast frame
@@ -30,6 +31,7 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s ./internal/ckpt/
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/netsim/
+	$(GO) test -run='^$$' -fuzz=FuzzHelloDecode -fuzztime=10s ./internal/netsim/
 	$(GO) test -run='^$$' -fuzz=FuzzCompressorDecode -fuzztime=10s ./internal/compress/
 	$(GO) test -run='^$$' -fuzz=FuzzPhiDetector -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzPlanEpochDecode -fuzztime=10s ./internal/core/

@@ -13,10 +13,16 @@
 // fig8a fig8b fig8c fig9 fig10 fig11 fig12a fig12b fig13 micro, plus the
 // beyond-the-paper studies jitter, strategies, wire, chaos, plan-robustness,
 // trace, recovery, stragglers (adaptive failure detection vs static
-// deadlines under a 10x straggler), and autotune (closed-loop cost-model
+// deadlines under a 10x straggler), autotune (closed-loop cost-model
 // recalibration re-planning a live cluster through a mid-run bandwidth
 // drop, with a stationary control arm and a bit-identical decision-trace
-// replay).
+// replay), and tcpchaos (socket-plane parity: the live rounds over real
+// loopback TCP under wire-level resets, corruption, and a half-open peer,
+// gated on bit-identity with the chan transport).
+//
+// The live-plane gates (recovery, stragglers, autotune, tcpchaos) accept
+// -transport tcp to run over real loopback sockets instead of in-process
+// channels; CI's tcp-parity job runs all four that way.
 //
 // The chaos experiment accepts a fault schedule via -chaos, e.g.
 //
@@ -60,9 +66,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	chaosSpec := fs.String("chaos", "", "fault schedule for the chaos experiment (see sim.ParseSchedule grammar)")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file of every simulated primitive (open in Perfetto)")
 	metricsOut := fs.String("metrics", "", "write a Prometheus text-exposition dump of the metrics registry")
+	transport := fs.String("transport", "", "live-plane transport for the experiment gates: chan (default) or tcp (real loopback sockets)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
+	if err := hipress.SetLiveTransport(*transport); err != nil {
+		fmt.Fprintln(stderr, "hipress-bench:", err)
+		return 2
+	}
+	defer hipress.SetLiveTransport("")
 	var tel *hipress.Telemetry
 	if *traceOut != "" || *metricsOut != "" {
 		tel = hipress.NewTelemetry()

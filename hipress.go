@@ -125,6 +125,13 @@ func NewTelemetry() *Telemetry { return telemetry.New() }
 // -metrics flags use). Pass nil to uninstall.
 func SetDefaultTelemetry(tel *Telemetry) { engine.SetDefaultTelemetry(tel) }
 
+// SetLiveTransport selects the netsim transport the live-plane experiment
+// gates (recovery, stragglers, autotune, tcpchaos) run over: "" or "chan"
+// for in-process channels, "tcp" for real loopback sockets through the
+// socket plane (what hipress-bench's -transport flag and the CI tcp-parity
+// job use).
+func SetLiveTransport(name string) error { return engine.SetDefaultLiveTransport(name) }
+
 // --- fault plane ---------------------------------------------------------------
 
 // ChaosSchedule is a timing-plane fault plan: stragglers and link outages

@@ -171,6 +171,10 @@ type PeerFailureError struct {
 	// Phi is the peer's φ-accrual suspicion level at failure time (0 when
 	// the health plane is off).
 	Phi float64
+	// Reconnects counts socket-plane connection-lifecycle failures observed
+	// against the peer this round (0 on the chan transport) — a non-zero
+	// count points at broken connectivity rather than slowness.
+	Reconnects int64
 }
 
 // Error implements error.
@@ -179,6 +183,9 @@ func (e *PeerFailureError) Error() string {
 	if e.SamplesSeen > 0 {
 		s += fmt.Sprintf(" [link evidence: last RTT %v over %d samples, φ=%.2f]",
 			e.LastRTT.Round(time.Microsecond), e.SamplesSeen, e.Phi)
+	}
+	if e.Reconnects > 0 {
+		s += fmt.Sprintf(" [%d socket reconnect failure(s)]", e.Reconnects)
 	}
 	return s
 }
@@ -234,9 +241,22 @@ type RoundHealth struct {
 	// Phi is the per-peer φ suspicion level at round end (nil when the
 	// health plane is off).
 	Phi []float64
+	// Reconnects counts socket-plane connection failures surfaced to the
+	// send paths (a TCP Send that exhausted its redial budget); the
+	// reliable/adaptive loops absorb them as failed attempts, so a non-zero
+	// count with a clean round means the lifecycle layer did its job.
+	Reconnects int64
 	// Chaos carries the injector's counters when the round ran over a
 	// ChaosTransport.
 	Chaos *netsim.ChaosStats
+	// TCP carries the socket plane's connection-lifecycle counters when the
+	// round ran over Transport "tcp" (dials, redials, resyncs, corrupt and
+	// stale frames, idle drops).
+	TCP *netsim.TCPStats
+	// Wire carries the wire-level fault injector's counters when the round
+	// ran TCP under WireChaos (mid-stream cuts, corrupted bytes, stalls,
+	// blackholed writes).
+	Wire *netsim.WireChaosStats
 	// EpochVersion is the plan epoch the round executed under (0 until an
 	// autotuner or RestoreEpoch installs a newer plan) — the field that
 	// lets a decision trace be audited round by round.
@@ -287,6 +307,7 @@ type roundState struct {
 	retries          int64
 	duplicates       int64
 	corruptDrops     int64
+	reconnects       int64
 	skipped          int64
 	excludedContribs int64
 	hedges           int64
@@ -521,6 +542,7 @@ func (rs *roundState) health(reliable bool, elapsed time.Duration) *RoundHealth 
 		Retries:          atomic.LoadInt64(&rs.retries),
 		Duplicates:       atomic.LoadInt64(&rs.duplicates),
 		CorruptDrops:     atomic.LoadInt64(&rs.corruptDrops),
+		Reconnects:       atomic.LoadInt64(&rs.reconnects),
 		SkippedTasks:     atomic.LoadInt64(&rs.skipped),
 		ExcludedPeers:    rs.deadList(),
 		SuspectedPeers:   rs.suspectedList(),

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hipress/internal/telemetry"
@@ -309,6 +310,10 @@ type linkEvidence struct {
 	LastRTT time.Duration
 	Samples int
 	Phi     float64
+	// Reconnects counts connection-lifecycle failures (socket-plane redial
+	// budgets exhausted) observed against the peer this round — evidence a
+	// conviction can cite alongside the φ score.
+	Reconnects int64
 }
 
 // healthPlane is the per-cluster adaptive health state: an rttEstimator
@@ -323,10 +328,11 @@ type healthPlane struct {
 	birth   time.Time
 	tel     *telemetry.Set
 
-	mu    sync.Mutex
-	links []rttEstimator // n×n, flat [from*n+to]
-	det   []*phiDetector
-	state []HealthState
+	mu     sync.Mutex
+	links  []rttEstimator // n×n, flat [from*n+to]
+	det    []*phiDetector
+	state  []HealthState
+	reconn []int64 // per-peer socket-plane reconnect failures (atomic)
 }
 
 func newHealthPlane(n int, cfg *HealthConfig, elastic bool, tel *telemetry.Set) *healthPlane {
@@ -344,6 +350,7 @@ func newHealthPlane(n int, cfg *HealthConfig, elastic bool, tel *telemetry.Set) 
 		links:   make([]rttEstimator, n*n),
 		det:     make([]*phiDetector, n),
 		state:   make([]HealthState, n),
+		reconn:  make([]int64, n),
 	}
 	minMean := c.BootstrapRTO.Seconds()
 	if c.HeartbeatEvery > 0 {
@@ -393,6 +400,7 @@ func (hp *healthPlane) roundStart() {
 	now := hp.seconds()
 	hp.mu.Lock()
 	for v := 0; v < hp.n; v++ {
+		atomic.StoreInt64(&hp.reconn[v], 0) // reconnect evidence is per round
 		if hp.state[v] == HealthDead && !hp.elastic {
 			hp.setStateLocked(v, HealthProbation)
 		}
@@ -700,10 +708,21 @@ func (hp *healthPlane) evidence(from, to int) linkEvidence {
 	defer hp.mu.Unlock()
 	e := &hp.links[from*hp.n+to]
 	return linkEvidence{
-		LastRTT: time.Duration(e.last * float64(time.Second)),
-		Samples: e.samples,
-		Phi:     hp.det[to].phi(now),
+		LastRTT:    time.Duration(e.last * float64(time.Second)),
+		Samples:    e.samples,
+		Phi:        hp.det[to].phi(now),
+		Reconnects: atomic.LoadInt64(&hp.reconn[to]),
 	}
+}
+
+// observeReconnect records a socket-plane connection-lifecycle failure
+// against peer (a Send that exhausted its redial budget): detector-grade
+// evidence that the endpoint — not just one transfer — is unhealthy.
+func (hp *healthPlane) observeReconnect(peer int) {
+	if hp == nil || peer < 0 || peer >= hp.n {
+		return
+	}
+	atomic.AddInt64(&hp.reconn[peer], 1)
 }
 
 // HealthStates snapshots every peer's health-plane lifecycle state (all

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -51,6 +52,11 @@ type LiveConfig struct {
 	// Transport selects the live wire: "chan" (in-memory channels, the
 	// default) or "tcp" (real loopback sockets).
 	Transport string
+	// TCP tunes the socket plane when Transport is "tcp": frame-length cap,
+	// dial/write/handshake/idle deadlines, redial budget and jitter, and
+	// the optional wire-level fault injector. Nil takes the defaults.
+	// TCP.Metrics defaults to Telemetry's metrics registry when unset.
+	TCP *netsim.TCPOptions
 	// Coordinated routes communication tasks through the live global
 	// coordinator (§3.2): per-link queues, non-conflicting link selection
 	// per time slot, batched release. Off, sends transmit as soon as their
@@ -627,15 +633,23 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		capacity *= 2 // heartbeat probes and echoes share the inboxes
 	}
 	var tr netsim.Transport
+	var tcpTr *netsim.TCPTransport
 	switch lc.cfg.Transport {
 	case "", "chan":
 		tr = netsim.NewChanTransport(n, capacity)
 	case "tcp":
-		t, err := netsim.NewTCPTransport(n, capacity)
+		var opts netsim.TCPOptions
+		if lc.cfg.TCP != nil {
+			opts = *lc.cfg.TCP
+		}
+		if opts.Metrics == nil {
+			opts.Metrics = lc.cfg.Telemetry.M()
+		}
+		t, err := netsim.NewTCPTransportOpts(n, capacity, opts)
 		if err != nil {
 			return nil, nil, err
 		}
-		tr = t
+		tr, tcpTr = t, t
 	default:
 		return nil, nil, fmt.Errorf("core: unknown live transport %q (have chan, tcp)", lc.cfg.Transport)
 	}
@@ -824,14 +838,22 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		coord.close()
 	}
 	tr.Close()
-	r.ackWG.Wait()
+	// Dispatchers drain frames after Close and may still spawn ack/echo
+	// goroutines (ackWG.Add), so they must exit before ackWG is waited on —
+	// the reverse order races Add against Wait.
 	wg.Wait()
+	r.ackWG.Wait()
 
 	health := r.rs.health(r.reliable, time.Since(started))
 	health.EpochVersion = ep.Version
 	if chaosTr != nil {
 		st := chaosTr.Stats()
 		health.Chaos = &st
+	}
+	if tcpTr != nil {
+		st := tcpTr.Stats()
+		health.TCP = &st
+		health.Wire = tcpTr.WireStats()
 	}
 	r.hp.roundEnd(health, r.runErr == nil)
 	lc.updateMembership(health, r.rs, carried, r.runErr == nil)
@@ -979,7 +1001,11 @@ func (r *liveRound) sendAck(node int, msg netsim.Message) {
 	r.ackWG.Add(1)
 	go func() {
 		defer r.ackWG.Done()
-		_ = r.tr.Send(ack) // a lost ack is recovered by the sender's retry
+		if err := r.tr.Send(ack); err != nil {
+			// A lost ack is recovered by the sender's retry, but a
+			// connection-lifecycle failure is still health evidence.
+			r.noteSendError(ack, err)
+		}
 	}()
 }
 
@@ -1020,6 +1046,7 @@ func (r *liveRound) reliableSend(msg netsim.Message) error {
 			default:
 				// Transient transport error (e.g. TCP write timeout against
 				// a stalled peer): count it as a failed attempt and back off.
+				r.noteSendError(msg, err)
 			}
 		}
 		timer := time.NewTimer(r.retry.backoff(attempt))
@@ -1063,9 +1090,27 @@ func (r *liveRound) reliableSend(msg netsim.Message) error {
 		Reason: "no acknowledgement after retries and grace phase (failure detector inconclusive)"}
 	if hp != nil {
 		ev := hp.evidence(msg.From, msg.To)
-		pf.LastRTT, pf.SamplesSeen, pf.Phi = ev.LastRTT, ev.Samples, ev.Phi
+		pf.LastRTT, pf.SamplesSeen, pf.Phi, pf.Reconnects = ev.LastRTT, ev.Samples, ev.Phi, ev.Reconnects
 	}
 	return pf
+}
+
+// noteSendError classifies a transport Send failure. The socket plane's
+// typed *netsim.ConnError — a connection lifecycle that exhausted its
+// redial budget — is surfaced as reconnect evidence to the health plane
+// (detector-grade signal against the peer) and counted in RoundHealth;
+// everything else stays an anonymous failed attempt for the retry loop.
+func (r *liveRound) noteSendError(msg netsim.Message, err error) {
+	var cerr *netsim.ConnError
+	if !errors.As(err, &cerr) {
+		return
+	}
+	atomic.AddInt64(&r.rs.reconnects, 1)
+	r.hp.observeReconnect(msg.To)
+	if r.trc.Enabled() {
+		r.traceEvent(fmt.Sprintf("reconnect %d→%d failed (gen %d, %d redials)",
+			cerr.From, cerr.To, cerr.Gen, cerr.Redials), "reconnect", msg.From)
+	}
 }
 
 // adaptiveSend is the health plane's delivery loop: each attempt waits out
@@ -1099,6 +1144,7 @@ func (r *liveRound) adaptiveSend(msg netsim.Message) error {
 			case <-r.doneCh:
 				return nil
 			default:
+				r.noteSendError(msg, err)
 			}
 		}
 		rto := hp.rto(msg.From, msg.To, attempt)
@@ -1133,7 +1179,7 @@ func (r *liveRound) adaptiveSend(msg netsim.Message) error {
 	}
 	ev := hp.evidence(msg.From, msg.To)
 	return &PeerFailureError{Node: msg.From, Peer: msg.To, Attempts: maxAttempts,
-		LastRTT: ev.LastRTT, SamplesSeen: ev.Samples, Phi: ev.Phi,
+		LastRTT: ev.LastRTT, SamplesSeen: ev.Samples, Phi: ev.Phi, Reconnects: ev.Reconnects,
 		Reason: fmt.Sprintf("adaptive retries exhausted with φ=%.2f below the conviction threshold %.1f", ev.Phi, hp.cfg.PhiConvict)}
 }
 
@@ -1212,7 +1258,11 @@ func (r *liveRound) heartbeatLoop(v int) {
 			}
 			hb := netsim.Message{From: v, To: u, Heartbeat: true, Gradient: "hb",
 				Step: int(hp.clock()), Attempt: seq & 0x7fff}
-			_ = r.tr.Send(hb) // lost probes just delay the next sample
+			if err := r.tr.Send(hb); err != nil {
+				// Lost probes just delay the next sample; lifecycle
+				// failures still count as evidence.
+				r.noteSendError(hb, err)
+			}
 		}
 	}
 }
@@ -1225,7 +1275,9 @@ func (r *liveRound) replyHeartbeat(node int, msg netsim.Message) {
 	r.ackWG.Add(1)
 	go func() {
 		defer r.ackWG.Done()
-		_ = r.tr.Send(echo)
+		if err := r.tr.Send(echo); err != nil {
+			r.noteSendError(echo, err)
+		}
 	}()
 }
 

@@ -23,6 +23,7 @@ const (
 	MetricLiveExcludedContribs = "hipress_live_excluded_contribs_total"
 	MetricLiveUnsyncedParts    = "hipress_live_unsynced_parts_total"
 	MetricChaosInjected        = "hipress_chaos_injected_total"
+	MetricLiveReconnects       = "hipress_live_reconnects_total"
 	MetricLiveHedges           = "hipress_live_hedges_total"
 	MetricHealthTransitions    = "hipress_health_transitions_total"
 	MetricHealthPhi            = "hipress_health_phi"
@@ -88,6 +89,7 @@ func (r *liveRound) emitRoundTelemetry(h *RoundHealth, start float64) {
 	add(MetricLiveExcludedContribs, "per-partition contributions excluded from aggregates", h.ExcludedContribs)
 	add(MetricLiveUnsyncedParts, "partitions that fell back to local gradients", int64(len(h.UnsyncedParts)))
 	add(MetricLiveHedges, "speculative retransmits fired at the per-link p99 point", h.Hedges)
+	add(MetricLiveReconnects, "socket-plane connection failures surfaced to the send paths", h.Reconnects)
 	m.Gauge(MetricEpochVersion, "active plan epoch version").Set(float64(h.EpochVersion))
 	for v, phi := range h.Phi {
 		m.Gauge(MetricHealthPhi, "per-peer φ-accrual suspicion level at round end",

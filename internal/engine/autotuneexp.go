@@ -129,6 +129,7 @@ func runAutotuneArm(at core.Autotuner, drop *netsim.ChaosConfig, preRounds, post
 		Strategy: core.StrategyPS, Parts: 4, Algo: "onebit",
 		Reliable: true, Autotune: at,
 		Telemetry: DefaultTelemetry(),
+		Transport: DefaultLiveTransport(),
 	})
 	if err != nil {
 		return nil, err

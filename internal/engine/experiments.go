@@ -28,7 +28,7 @@ func Experiments() []string {
 		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13",
 		"micro", "kernels", "jitter", "strategies", "wire",
 		"chaos", "plan-robustness", "trace", "recovery", "stragglers",
-		"autotune",
+		"autotune", "tcpchaos",
 	}
 }
 
@@ -96,6 +96,8 @@ func RunExperiment(id string, scale float64) (*Table, error) {
 		return StragglersExp(scale)
 	case "autotune":
 		return AutotuneExp(scale)
+	case "tcpchaos":
+		return TCPChaosExp()
 	default:
 		return nil, fmt.Errorf("engine: unknown experiment %q (have %v)", id, Experiments())
 	}

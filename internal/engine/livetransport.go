@@ -1,0 +1,37 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file selects which netsim transport the live-plane experiment gates
+// (recovery, stragglers, autotune, tcpchaos) run over. The default stays
+// the in-process chan transport; hipress-bench -transport tcp flips every
+// gate onto real loopback sockets, which is how CI proves TCP parity —
+// the gates themselves are transport-agnostic and must pass identically.
+
+// defaultLiveTransport holds the installed transport name ("" = chan).
+var defaultLiveTransport atomic.Pointer[string]
+
+// SetDefaultLiveTransport installs name as the transport every subsequent
+// live-plane experiment runs over. Valid names: "" or "chan" (in-process
+// channels), "tcp" (real loopback sockets via the socket plane).
+func SetDefaultLiveTransport(name string) error {
+	switch name {
+	case "", "chan", "tcp":
+		n := name
+		defaultLiveTransport.Store(&n)
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown live transport %q (have chan, tcp)", name)
+	}
+}
+
+// DefaultLiveTransport returns the installed transport name ("" = chan).
+func DefaultLiveTransport() string {
+	if p := defaultLiveTransport.Load(); p != nil {
+		return *p
+	}
+	return ""
+}

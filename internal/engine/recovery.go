@@ -54,6 +54,7 @@ func RecoveryExp() (*Table, error) {
 		OnPeerFail:   core.DegradeExclude, Renormalize: true,
 		Elastic: true, ProbationRounds: 2,
 		Telemetry: tel,
+		Transport: DefaultLiveTransport(),
 		Chaos:     &netsim.ChaosConfig{Seed: 5, NodeDown: map[int]bool{3: true}},
 	})
 	if err != nil {

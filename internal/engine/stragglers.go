@@ -108,6 +108,7 @@ func runStragglerMode(mode stragglerMode, rounds int) (*stragglerStats, error) {
 		RoundTimeout: 60 * time.Second,
 		OnPeerFail:   core.DegradeExclude, Renormalize: true,
 		Telemetry: DefaultTelemetry(),
+		Transport: DefaultLiveTransport(),
 		Chaos:     stragglerFaults(23, n, straggler),
 	}
 	switch mode {

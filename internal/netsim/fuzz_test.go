@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 )
 
@@ -12,52 +14,97 @@ import (
 //  1. decodeFrame never panics, whatever the bytes (the read loop feeds it
 //     attacker-shaped data whenever chaos corrupts a stream);
 //  2. any frame it accepts round-trips: re-encoding the decoded Message
-//     reproduces the input bytes exactly, so decode is a true inverse of
-//     encodeFrame and no accepted frame is ambiguous.
+//     under the decoded generation reproduces the input bytes exactly, so
+//     decode is a true inverse of encodeFrame and no accepted frame is
+//     ambiguous.
 func FuzzFrameDecode(f *testing.F) {
 	// Well-formed seeds: a data frame, an ack, a negative From (int32
 	// casts), an empty-everything frame — plus malformed ones (empty,
-	// truncated header, bad flags, gradient length past the body).
-	seeds := []Message{
-		{From: 1, To: 2, Gradient: "layer3.weight/p2", Step: 7, Attempt: 1,
-			Sum: 0xdeadbeef, Payload: []byte{1, 2, 3, 4}},
-		{From: 2, To: 1, Gradient: "layer3.weight/p2", Step: 7, Attempt: 3, Ack: true},
-		{From: 0, To: 3, Gradient: "hb", Step: 123456789, Attempt: 12, Heartbeat: true},
-		{From: 3, To: 0, Gradient: "hb", Step: 123456789, Attempt: 12, Ack: true, Heartbeat: true},
-		{From: -1, To: 0, Gradient: "", Step: -9, Attempt: 0, Payload: []byte("x")},
-		{},
+	// truncated header, bad version, bad flags, gradient length past the
+	// body).
+	seeds := []struct {
+		msg Message
+		gen uint32
+	}{
+		{Message{From: 1, To: 2, Gradient: "layer3.weight/p2", Step: 7, Attempt: 1,
+			Sum: 0xdeadbeef, Payload: []byte{1, 2, 3, 4}}, 1},
+		{Message{From: 2, To: 1, Gradient: "layer3.weight/p2", Step: 7, Attempt: 3, Ack: true}, 2},
+		{Message{From: 0, To: 3, Gradient: "hb", Step: 123456789, Attempt: 12, Heartbeat: true}, 3},
+		{Message{From: 3, To: 0, Gradient: "hb", Step: 123456789, Attempt: 12, Ack: true, Heartbeat: true}, 0xffffffff},
+		{Message{From: -1, To: 0, Gradient: "", Step: -9, Attempt: 0, Payload: []byte("x")}, 9},
+		{Message{}, 0},
 	}
-	for _, m := range seeds {
-		f.Add(encodeFrame(m)[4:]) // strip the u32 length prefix
+	for _, s := range seeds {
+		f.Add(encodeFrame(s.msg, s.gen)[4:]) // strip the u32 length prefix
 	}
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, frameHdrLen-1))
-	bad := encodeFrame(seeds[0])[4:]
-	bad[22] = 0x80 // unknown flag bit
-	f.Add(bad)
-	short := encodeFrame(seeds[0])[4:]
-	short[23] = 0xff // gradient length larger than the body
-	short[24] = 0xff
-	f.Add(short)
+	// restamp recomputes the body's frame checksum so mangled seeds reach
+	// their specific validator instead of the blanket corruption check.
+	restamp := func(body []byte) []byte {
+		binary.LittleEndian.PutUint32(body[0:], crc32.ChecksumIEEE(body[4:]))
+		return body
+	}
+	v1 := encodeFrame(seeds[0].msg, 1)[4:]
+	v1[4] = 1 // wrong wire-format version
+	f.Add(restamp(v1))
+	bad := encodeFrame(seeds[0].msg, 1)[4:]
+	bad[31] = 0x80 // unknown flag bit
+	f.Add(restamp(bad))
+	short := encodeFrame(seeds[0].msg, 1)[4:]
+	short[32] = 0xff // gradient length larger than the body
+	short[33] = 0xff
+	f.Add(restamp(short))
+	flip := encodeFrame(seeds[0].msg, 1)[4:]
+	flip[21] ^= 0x20 // in-header bit flip: must fail the frame checksum
+	f.Add(flip)
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
-		msg, err := decodeFrame(frame)
+		msg, gen, err := decodeFrame(frame)
 		if err != nil {
 			return // rejected is fine; not panicking is the point
 		}
-		re := encodeFrame(msg)[4:]
+		re := encodeFrame(msg, gen)[4:]
 		if !bytes.Equal(re, frame) {
 			t.Fatalf("accepted frame does not round-trip:\n in: %x\nout: %x", frame, re)
 		}
-		msg2, err := decodeFrame(re)
+		msg2, gen2, err := decodeFrame(re)
 		if err != nil {
 			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if gen2 != gen {
+			t.Fatalf("generation not deterministic: %d vs %d", gen, gen2)
 		}
 		if msg2.From != msg.From || msg2.To != msg.To || msg2.Gradient != msg.Gradient ||
 			msg2.Step != msg.Step || msg2.Attempt != msg.Attempt || msg2.Ack != msg.Ack ||
 			msg2.Heartbeat != msg.Heartbeat ||
 			msg2.Sum != msg.Sum || !bytes.Equal(msg2.Payload, msg.Payload) {
 			t.Fatalf("decode not deterministic: %+v vs %+v", msg, msg2)
+		}
+	})
+}
+
+// FuzzHelloDecode fuzzes the handshake parser with arbitrary bytes: never
+// panic, and any accepted HELLO must round-trip through encodeHello.
+func FuzzHelloDecode(f *testing.F) {
+	f.Add(encodeHello(0, 1))
+	f.Add(encodeHello(1023, 0xffffffff))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, helloLen))
+	zero := encodeHello(1, 1)
+	zero[9], zero[10], zero[11], zero[12] = 0, 0, 0, 0 // generation 0
+	f.Add(zero)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		src, gen, err := decodeHello(b)
+		if err != nil {
+			return
+		}
+		if src < 0 || gen == 0 {
+			t.Fatalf("accepted hello with src=%d gen=%d", src, gen)
+		}
+		if !bytes.Equal(encodeHello(src, gen), b) {
+			t.Fatalf("accepted hello does not round-trip: %x", b)
 		}
 	})
 }

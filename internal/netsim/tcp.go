@@ -2,62 +2,280 @@ package netsim
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hipress/internal/telemetry"
 )
 
-// frameHdrLen is the fixed frame header length after the u32 length prefix.
-const frameHdrLen = 4 + 4 + 8 + 4 + 2 + 1 + 2 // from, to, step, sum, attempt, flags, gradLen
+// This file is the socket plane: the production-grade connection-lifecycle
+// layer that runs the same CaSync task graphs over genuine loopback TCP.
+// Unlike the original transport patch, connections here carry an explicit
+// session generation negotiated by a tiny HELLO handshake, so any mid-frame
+// failure (a write timeout after a partial frame, a wire-chaos cut, a
+// half-open peer) is recovered by redialing with a fresh generation: the
+// receiver discards the broken stream at a clean frame boundary and resyncs
+// onto the new one, rejecting stale-generation frames outright.
+//
+// Frame format v2 (little-endian), after the u32 length prefix:
+//
+//	u32 fsum | u8 version (=2) | u32 gen | u32 from | u32 to | u64 step |
+//	u32 sum | u16 attempt | u8 flags (bit0 = Ack, bit1 = Heartbeat) |
+//	u16 gradLen | grad | payload
+//
+// fsum is a CRC-32 (IEEE) over every body byte after itself. The live
+// plane's own checksum (sum) only covers the payload, so without fsum a
+// wire-corrupted header field (from/to/step/gradient name) would decode as
+// a structurally valid message with the wrong routing or dedup key — worst
+// case silently merging one peer's bytes under another's slot. With fsum
+// any in-frame bit flip is rejected here, the frame never reaches the live
+// plane, and the reliable layer's retransmission repairs the loss.
+//
+// Every dialed connection opens with a 13-byte HELLO:
+//
+//	u32 magic "HPS2" | u8 version (=2) | u32 src | u32 gen
+//
+// The receiver accepts the stream only when gen strictly exceeds the last
+// generation seen on that directed link; an accepted supersession of a
+// previously-seen generation counts as one resync.
 
-// defaultWriteTimeout bounds how long Send blocks on a stalled peer before
-// surfacing a net.Error timeout instead of wedging the caller's goroutine.
-const defaultWriteTimeout = 5 * time.Second
+// frameVersion is the wire-format version carried by both the HELLO and
+// every frame; a mismatch drops the connection before any allocation.
+const frameVersion = 2
+
+// frameHdrLen is the fixed v2 frame header length after the u32 length
+// prefix: fsum, version, gen, from, to, step, sum, attempt, flags, gradLen.
+const frameHdrLen = 4 + 1 + 4 + 4 + 4 + 8 + 4 + 2 + 1 + 2
+
+// helloMagic spells "HPS2" when the HELLO's first four bytes are read
+// little-endian.
+const helloMagic uint32 = 'H' | 'P'<<8 | 'S'<<16 | '2'<<24
+
+// helloLen is the handshake length: magic, version, src, gen.
+const helloLen = 4 + 1 + 4 + 4
+
+// Socket-plane defaults. MaxFrameLen caps a frame's claimed length before
+// any allocation: a corrupt length prefix must not reserve gigabytes.
+const (
+	defaultMaxFrameLen      = 64 << 20 // 64 MiB
+	defaultWriteTimeout     = 5 * time.Second
+	defaultDialTimeout      = 2 * time.Second
+	defaultHandshakeTimeout = 5 * time.Second
+	defaultIdleReadTimeout  = 30 * time.Second
+	defaultRedialAttempts   = 2
+	defaultRedialBackoff    = 2 * time.Millisecond
+	defaultRedialMaxBackoff = 50 * time.Millisecond
+	defaultRedialSeed       = 0x9e3779b97f4a7c15
+	closeDrainTimeout       = 250 * time.Millisecond
+)
+
+// corruptFrameTolerance is how many CONSECUTIVE undecodable frame bodies a
+// stream survives before it is declared desynced and killed. A lone in-body
+// bit flip leaves the length-prefix framing intact: dropping just that frame
+// lets the reliable layer retransmit on the same connection (past a chaos
+// injector's corrupt window), where killing the stream would redial into a
+// fresh corrupt window and livelock. A genuinely desynced stream (corrupted
+// length prefix that still parsed as plausible) produces garbage frame after
+// garbage frame and trips the tolerance immediately.
+const corruptFrameTolerance = 2
+
+// Socket-plane metric family names (registered through TCPOptions.Metrics).
+const (
+	MetricTCPDials            = "hipress_tcp_dials_total"
+	MetricTCPRedials          = "hipress_tcp_redials_total"
+	MetricTCPResyncs          = "hipress_tcp_resyncs_total"
+	MetricTCPCorruptFrames    = "hipress_tcp_corrupt_frames_total"
+	MetricTCPDroppedFrames    = "hipress_tcp_dropped_frames_total"
+	MetricTCPStaleConns       = "hipress_tcp_stale_conns_total"
+	MetricTCPIdleDrops        = "hipress_tcp_idle_drops_total"
+	MetricTCPAcceptDrops      = "hipress_tcp_accept_drops_total"
+	MetricTCPHandshakeRejects = "hipress_tcp_handshake_rejects_total"
+	MetricTCPActiveConns      = "hipress_tcp_active_conns"
+	MetricTCPHandshakeSeconds = "hipress_tcp_handshake_seconds"
+)
+
+// TCPOptions tunes the socket plane's connection lifecycle. The zero value
+// takes the defaults above; NewTCPTransport uses it unchanged.
+type TCPOptions struct {
+	// MaxFrameLen rejects any frame whose length prefix claims more than
+	// this many bytes, before allocating (default 64 MiB).
+	MaxFrameLen int
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write against a stalled peer
+	// (default 5s; see also SetWriteTimeout).
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds how long an accepted connection may sit
+	// without delivering its HELLO (default 5s).
+	HandshakeTimeout time.Duration
+	// IdleReadTimeout kills a half-open connection: a peer that holds the
+	// socket open but never sends another frame is dropped after this much
+	// read silence (default 30s; negative disables).
+	IdleReadTimeout time.Duration
+	// RedialAttempts is how many fresh-generation redial+retransmit cycles
+	// one Send performs after a write failure before surfacing a typed
+	// *ConnError (default 2; negative disables redialing).
+	RedialAttempts int
+	// RedialBackoff / RedialMaxBackoff shape the capped-exponential wait
+	// between redial cycles; each wait is drawn full-jitter from (0, d]
+	// with the splitmix64 stream seeded by RedialSeed, so concurrent
+	// senders against one recovering peer desynchronize deterministically
+	// per seed (defaults 2ms / 50ms).
+	RedialBackoff    time.Duration
+	RedialMaxBackoff time.Duration
+	RedialSeed       uint64
+	// Chaos, when non-nil, wraps every dialed connection in the wire-level
+	// fault injector (wirechaos.go): deterministic mid-stream cuts, byte
+	// corruption, stalls, one-way partitions, accept-time blackouts.
+	Chaos *WireChaosConfig
+	// Metrics, when non-nil, publishes the transport's lifecycle counters
+	// (redials, resyncs, corrupt/dropped frames, active connections, a
+	// handshake latency histogram). Nil disables them at zero cost.
+	Metrics *telemetry.Registry
+}
+
+// withDefaults fills zero fields.
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.MaxFrameLen <= 0 {
+		o.MaxFrameLen = defaultMaxFrameLen
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = defaultDialTimeout
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = defaultWriteTimeout
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = defaultHandshakeTimeout
+	}
+	if o.IdleReadTimeout == 0 {
+		o.IdleReadTimeout = defaultIdleReadTimeout
+	}
+	if o.RedialAttempts == 0 {
+		o.RedialAttempts = defaultRedialAttempts
+	}
+	if o.RedialAttempts < 0 {
+		o.RedialAttempts = 0
+	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = defaultRedialBackoff
+	}
+	if o.RedialMaxBackoff <= 0 {
+		o.RedialMaxBackoff = defaultRedialMaxBackoff
+	}
+	if o.RedialSeed == 0 {
+		o.RedialSeed = defaultRedialSeed
+	}
+	return o
+}
+
+// ConnError is Send's typed failure: the connection lifecycle exhausted its
+// redial budget on one directed link. The live plane surfaces it as
+// reconnect evidence for the health plane; Unwrap exposes the final
+// underlying error (so errors.As still finds a net.Error timeout).
+type ConnError struct {
+	// From, To name the directed link.
+	From, To int
+	// Gen is the session generation of the last failed attempt.
+	Gen uint32
+	// Redials is how many fresh-generation redial cycles were attempted.
+	Redials int
+	// Timeout records whether the final failure was a net.Error timeout
+	// (a stalled peer) rather than a hard connection error.
+	Timeout bool
+	// Err is the final underlying error.
+	Err error
+}
+
+// Error implements error.
+func (e *ConnError) Error() string {
+	kind := "failed"
+	if e.Timeout {
+		kind = "timed out (peer stalled)"
+	}
+	return fmt.Sprintf("netsim: tcp send %d→%d %s after %d redial(s) (gen %d): %v",
+		e.From, e.To, kind, e.Redials, e.Gen, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e *ConnError) Unwrap() error { return e.Err }
+
+// TCPStats is a snapshot of the socket plane's lifecycle counters.
+type TCPStats struct {
+	Dials            int64 // connections dialed (including redials)
+	Redials          int64 // fresh-generation redial cycles after a failure
+	Resyncs          int64 // accepted generations superseding a broken stream
+	StaleConns       int64 // handshakes rejected for a non-advancing generation
+	StaleFrames      int64 // frames rejected for a generation mismatch
+	CorruptFrames    int64 // frames rejected by length/format validation
+	DroppedFrames    int64 // decoded frames discarded (close-time drain, misrouted)
+	IdleDrops        int64 // half-open connections killed by the idle read deadline
+	AcceptDrops      int64 // accepted connections blacked out by wire chaos
+	HandshakeRejects int64 // connections dropped before a valid HELLO
+	ActiveConns      int64 // currently-open accepted connections
+}
+
+// tcpConn is one dial-side connection: the socket, its session generation,
+// and the write lock that keeps frames from interleaving.
+type tcpConn struct {
+	c   net.Conn
+	gen uint32
+	wmu sync.Mutex
+}
 
 // TCPTransport implements Transport over real loopback TCP sockets: each
-// node owns a listener, connections are dialed lazily per (src, dst) pair,
-// and messages travel as length-prefixed frames. It is the
-// closest-to-production live substrate — the same CaSync task graphs that
-// run over channels run unchanged over genuine sockets (see
-// core.LiveConfig.Transport).
-//
-// Frame layout (little-endian):
-//
-//	u32 frameLen | u32 from | u32 to | u64 step | u32 sum | u16 attempt |
-//	u8 flags (bit0 = Ack, bit1 = Heartbeat) | u16 gradLen | grad | payload
-//
-// Sends carry a write deadline (SetWriteTimeout): a peer that stops
-// draining its socket causes Send to return a net.Error with
-// Timeout() == true rather than blocking forever, and the wedged
-// connection is dropped so the next Send redials.
+// node owns a listener, connections are dialed lazily per (src, dst) pair
+// with a generation handshake, and messages travel as length-prefixed v2
+// frames. It is the closest-to-production live substrate — the same CaSync
+// task graphs that run over channels run unchanged over genuine sockets
+// (see core.LiveConfig.Transport).
 type TCPTransport struct {
+	opts      TCPOptions
 	listeners []net.Listener
 	inboxes   []chan Message
+	chaos     *wireChaos // nil without fault injection
 
-	mu    sync.Mutex
-	conns map[[2]int]net.Conn // (src,dst) → connection, lazily dialed
-	wmu   map[[2]int]*sync.Mutex
+	mu       sync.Mutex
+	conns    map[[2]int]*tcpConn // (src,dst) → dialed connection
+	genCtr   map[[2]int]uint32   // next session generation per directed link
+	lastGen  map[[2]int]uint32   // highest accepted generation per directed link
+	accepted map[net.Conn]bool   // live accepted connections (force-closed by Close)
 
-	writeTimeout  int64 // nanoseconds, atomic
-	corruptFrames int64 // frames rejected by decodeFrame, atomic
+	writeTimeout int64 // nanoseconds, atomic (SetWriteTimeout)
+	redialCtr    atomic.Uint64
+	stats        TCPStats // fields updated atomically
 
 	once sync.Once
 	done chan struct{}
 	wg   sync.WaitGroup
 }
 
-// NewTCPTransport starts listeners for n nodes on loopback and returns the
-// connected transport. Callers must Close it to release sockets.
+// NewTCPTransport starts listeners for n nodes on loopback with default
+// options. Callers must Close it to release sockets.
 func NewTCPTransport(n, capacity int) (*TCPTransport, error) {
+	return NewTCPTransportOpts(n, capacity, TCPOptions{})
+}
+
+// NewTCPTransportOpts starts listeners for n nodes on loopback and returns
+// the connected transport. Callers must Close it to release sockets.
+func NewTCPTransportOpts(n, capacity int, opts TCPOptions) (*TCPTransport, error) {
+	o := opts.withDefaults()
 	t := &TCPTransport{
+		opts:         o,
 		listeners:    make([]net.Listener, n),
 		inboxes:      make([]chan Message, n),
-		conns:        map[[2]int]net.Conn{},
-		wmu:          map[[2]int]*sync.Mutex{},
-		writeTimeout: int64(defaultWriteTimeout),
+		chaos:        newWireChaos(o.Chaos),
+		conns:        map[[2]int]*tcpConn{},
+		genCtr:       map[[2]int]uint32{},
+		lastGen:      map[[2]int]uint32{},
+		accepted:     map[net.Conn]bool{},
+		writeTimeout: int64(o.WriteTimeout),
 		done:         make(chan struct{}),
 	}
 	for i := 0; i < n; i++ {
@@ -80,7 +298,7 @@ func (t *TCPTransport) Nodes() int { return len(t.listeners) }
 // Addr returns node i's listen address (tests and diagnostics).
 func (t *TCPTransport) Addr(i int) net.Addr { return t.listeners[i].Addr() }
 
-// SetWriteTimeout bounds how long one Send may block writing to a stalled
+// SetWriteTimeout bounds how long one frame write may block on a stalled
 // peer. Zero or negative disables the deadline (not recommended).
 func (t *TCPTransport) SetWriteTimeout(d time.Duration) {
 	atomic.StoreInt64(&t.writeTimeout, int64(d))
@@ -88,7 +306,34 @@ func (t *TCPTransport) SetWriteTimeout(d time.Duration) {
 
 // CorruptFrames reports how many inbound frames failed validation and were
 // discarded (the connection is dropped alongside).
-func (t *TCPTransport) CorruptFrames() int64 { return atomic.LoadInt64(&t.corruptFrames) }
+func (t *TCPTransport) CorruptFrames() int64 { return atomic.LoadInt64(&t.stats.CorruptFrames) }
+
+// Stats snapshots the lifecycle counters.
+func (t *TCPTransport) Stats() TCPStats {
+	return TCPStats{
+		Dials:            atomic.LoadInt64(&t.stats.Dials),
+		Redials:          atomic.LoadInt64(&t.stats.Redials),
+		Resyncs:          atomic.LoadInt64(&t.stats.Resyncs),
+		StaleConns:       atomic.LoadInt64(&t.stats.StaleConns),
+		StaleFrames:      atomic.LoadInt64(&t.stats.StaleFrames),
+		CorruptFrames:    atomic.LoadInt64(&t.stats.CorruptFrames),
+		DroppedFrames:    atomic.LoadInt64(&t.stats.DroppedFrames),
+		IdleDrops:        atomic.LoadInt64(&t.stats.IdleDrops),
+		AcceptDrops:      atomic.LoadInt64(&t.stats.AcceptDrops),
+		HandshakeRejects: atomic.LoadInt64(&t.stats.HandshakeRejects),
+		ActiveConns:      atomic.LoadInt64(&t.stats.ActiveConns),
+	}
+}
+
+// WireStats snapshots the wire-chaos injector's counters (nil when the
+// transport runs without fault injection).
+func (t *TCPTransport) WireStats() *WireChaosStats { return t.chaos.snapshot() }
+
+// count bumps one lifecycle counter and its metric family together.
+func (t *TCPTransport) count(field *int64, metric, help string) {
+	atomic.AddInt64(field, 1)
+	t.opts.Metrics.Counter(metric, help).Inc()
+}
 
 func (t *TCPTransport) acceptLoop(node int, l net.Listener) {
 	defer t.wg.Done()
@@ -97,94 +342,259 @@ func (t *TCPTransport) acceptLoop(node int, l net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		if t.chaos.acceptDrop(node) {
+			// Accept-time blackout: the TCP handshake succeeded (the dialer
+			// sees an established connection) but the node never services it.
+			t.count(&t.stats.AcceptDrops, MetricTCPAcceptDrops,
+				"accepted connections blacked out by wire chaos")
+			conn.Close()
+			continue
+		}
+		t.mu.Lock()
+		select {
+		case <-t.done:
+			t.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		t.accepted[conn] = true
+		t.mu.Unlock()
+		atomic.AddInt64(&t.stats.ActiveConns, 1)
+		t.opts.Metrics.Gauge(MetricTCPActiveConns, "currently-open accepted connections").Add(1)
 		t.wg.Add(1)
 		go t.readLoop(node, conn)
 	}
 }
 
+// readLoop services one accepted connection: HELLO handshake, generation
+// admission, then length-prefixed frames under an idle read deadline.
 func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 	defer t.wg.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+		atomic.AddInt64(&t.stats.ActiveConns, -1)
+		t.opts.Metrics.Gauge(MetricTCPActiveConns, "currently-open accepted connections").Add(-1)
+	}()
+
+	// Handshake: the stream is inadmissible until a valid HELLO advances
+	// the directed link's generation.
+	if d := t.opts.HandshakeTimeout; d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		t.count(&t.stats.HandshakeRejects, MetricTCPHandshakeRejects,
+			"connections dropped before a valid HELLO")
+		return
+	}
+	src, gen, err := decodeHello(hello[:])
+	if err != nil {
+		t.count(&t.stats.HandshakeRejects, MetricTCPHandshakeRejects,
+			"connections dropped before a valid HELLO")
+		return
+	}
+	key := [2]int{src, node}
+	t.mu.Lock()
+	last := t.lastGen[key]
+	stale := gen <= last
+	if !stale {
+		t.lastGen[key] = gen
+	}
+	t.mu.Unlock()
+	if stale {
+		// A generation that does not advance is a leftover of a superseded
+		// stream (or a replay): reject the whole connection.
+		t.count(&t.stats.StaleConns, MetricTCPStaleConns,
+			"handshakes rejected for a non-advancing generation")
+		return
+	}
+	if last > 0 {
+		// This link had an earlier stream that died (possibly mid-frame);
+		// the fresh generation resynchronizes it at a clean frame boundary.
+		t.count(&t.stats.Resyncs, MetricTCPResyncs,
+			"connection generations accepted over a superseded stream")
+	}
+
 	var hdr [4]byte
+	corrupt := 0 // consecutive undecodable frame bodies on this stream
 	for {
+		if d := t.opts.IdleReadTimeout; d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			var nerr net.Error
+			if isNetTimeout(err, &nerr) {
+				// Half-open peer: the socket is alive but nothing arrives.
+				t.count(&t.stats.IdleDrops, MetricTCPIdleDrops,
+					"half-open connections killed by the idle read deadline")
+			}
 			return
 		}
-		frameLen := binary.LittleEndian.Uint32(hdr[:])
-		if frameLen < frameHdrLen || frameLen > 1<<30 {
-			atomic.AddInt64(&t.corruptFrames, 1)
-			return // corrupt frame; drop the connection
+		frameLen := int(binary.LittleEndian.Uint32(hdr[:]))
+		// Validate the claimed length BEFORE allocating: a corrupt prefix
+		// may claim gigabytes.
+		if frameLen < frameHdrLen || frameLen > t.opts.MaxFrameLen {
+			t.count(&t.stats.CorruptFrames, MetricTCPCorruptFrames,
+				"frames rejected by length/format validation")
+			return
 		}
 		frame := make([]byte, frameLen)
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
-		msg, err := decodeFrame(frame)
+		msg, fgen, err := decodeFrame(frame)
 		if err != nil {
-			atomic.AddInt64(&t.corruptFrames, 1)
+			t.count(&t.stats.CorruptFrames, MetricTCPCorruptFrames,
+				"frames rejected by length/format validation")
+			// The length prefix was consistent, so framing still holds:
+			// drop the bad body in place and let the reliable layer
+			// retransmit on this connection. Only consecutive failures —
+			// the signature of a desynced stream — kill it.
+			if corrupt++; corrupt > corruptFrameTolerance {
+				return
+			}
+			continue
+		}
+		corrupt = 0
+		if fgen != gen {
+			// A frame from another generation on this stream means the
+			// sender state-machine is broken; kill the connection.
+			t.count(&t.stats.StaleFrames, MetricTCPStaleConns,
+				"handshakes rejected for a non-advancing generation")
 			return
+		}
+		if msg.To != node {
+			t.count(&t.stats.DroppedFrames, MetricTCPDroppedFrames,
+				"decoded frames discarded (drain or misrouted)")
+			continue
+		}
+		// Graceful drain: prefer a non-blocking delivery so frames already
+		// on the wire at Close still land while the inbox has room.
+		select {
+		case t.inboxes[node] <- msg:
+			continue
+		default:
 		}
 		select {
 		case <-t.done:
+			t.count(&t.stats.DroppedFrames, MetricTCPDroppedFrames,
+				"decoded frames discarded (drain or misrouted)")
 			return
 		case t.inboxes[node] <- msg:
 		}
 	}
 }
 
-func encodeFrame(msg Message) []byte {
+// encodeHello builds the 13-byte handshake.
+func encodeHello(src int, gen uint32) []byte {
+	var out [helloLen]byte
+	binary.LittleEndian.PutUint32(out[0:], helloMagic)
+	out[4] = frameVersion
+	binary.LittleEndian.PutUint32(out[5:], uint32(int32(src)))
+	binary.LittleEndian.PutUint32(out[9:], gen)
+	return out[:]
+}
+
+// decodeHello validates the handshake and returns (src, gen).
+func decodeHello(b []byte) (int, uint32, error) {
+	if len(b) != helloLen {
+		return 0, 0, fmt.Errorf("netsim: hello is %d bytes, want %d", len(b), helloLen)
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != helloMagic {
+		return 0, 0, fmt.Errorf("netsim: hello magic %08x != %08x", binary.LittleEndian.Uint32(b[0:]), helloMagic)
+	}
+	if b[4] != frameVersion {
+		return 0, 0, fmt.Errorf("netsim: hello version %d != %d", b[4], frameVersion)
+	}
+	src := int(int32(binary.LittleEndian.Uint32(b[5:])))
+	gen := binary.LittleEndian.Uint32(b[9:])
+	if src < 0 {
+		return 0, 0, fmt.Errorf("netsim: hello from negative node %d", src)
+	}
+	if gen == 0 {
+		return 0, 0, fmt.Errorf("netsim: hello with generation 0 (generations start at 1)")
+	}
+	return src, gen, nil
+}
+
+// encodeFrame builds one length-prefixed v2 frame carrying the connection's
+// session generation, stamping the frame checksum over everything after it.
+func encodeFrame(msg Message, gen uint32) []byte {
 	grad := []byte(msg.Gradient)
 	frameLen := frameHdrLen + len(grad) + len(msg.Payload)
 	out := make([]byte, 4+frameLen)
 	binary.LittleEndian.PutUint32(out[0:], uint32(frameLen))
-	binary.LittleEndian.PutUint32(out[4:], uint32(int32(msg.From)))
-	binary.LittleEndian.PutUint32(out[8:], uint32(int32(msg.To)))
-	binary.LittleEndian.PutUint64(out[12:], uint64(int64(msg.Step)))
-	binary.LittleEndian.PutUint32(out[20:], msg.Sum)
-	binary.LittleEndian.PutUint16(out[24:], uint16(msg.Attempt))
+	out[8] = frameVersion
+	binary.LittleEndian.PutUint32(out[9:], gen)
+	binary.LittleEndian.PutUint32(out[13:], uint32(int32(msg.From)))
+	binary.LittleEndian.PutUint32(out[17:], uint32(int32(msg.To)))
+	binary.LittleEndian.PutUint64(out[21:], uint64(int64(msg.Step)))
+	binary.LittleEndian.PutUint32(out[29:], msg.Sum)
+	binary.LittleEndian.PutUint16(out[33:], uint16(msg.Attempt))
 	if msg.Ack {
-		out[26] |= 1
+		out[35] |= 1
 	}
 	if msg.Heartbeat {
-		out[26] |= 2
+		out[35] |= 2
 	}
-	binary.LittleEndian.PutUint16(out[27:], uint16(len(grad)))
-	copy(out[29:], grad)
-	copy(out[29+len(grad):], msg.Payload)
+	binary.LittleEndian.PutUint16(out[36:], uint16(len(grad)))
+	copy(out[38:], grad)
+	copy(out[38+len(grad):], msg.Payload)
+	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(out[8:]))
 	return out
 }
 
-// decodeFrame validates and decodes one frame body (without the u32 length
-// prefix). Truncated or inconsistent frames yield a descriptive error so
+// decodeFrame validates and decodes one v2 frame body (without the u32
+// length prefix), returning the message and the generation it was encoded
+// under. Truncated or inconsistent frames yield a descriptive error so
 // chaos-corrupted wire bytes fail loudly instead of decoding garbage.
-func decodeFrame(frame []byte) (Message, error) {
+func decodeFrame(frame []byte) (Message, uint32, error) {
 	if len(frame) < frameHdrLen {
-		return Message{}, fmt.Errorf("netsim: truncated frame: %d bytes < %d-byte header", len(frame), frameHdrLen)
+		return Message{}, 0, fmt.Errorf("netsim: truncated frame: %d bytes < %d-byte header", len(frame), frameHdrLen)
 	}
-	from := int(int32(binary.LittleEndian.Uint32(frame[0:])))
-	to := int(int32(binary.LittleEndian.Uint32(frame[4:])))
-	step := int(int64(binary.LittleEndian.Uint64(frame[8:])))
-	sum := binary.LittleEndian.Uint32(frame[16:])
-	attempt := int(binary.LittleEndian.Uint16(frame[20:]))
-	flags := frame[22]
+	// Frame checksum first: it covers every byte after itself, so any wire
+	// bit flip — header fields included — is rejected before field decoding.
+	if fsum, got := binary.LittleEndian.Uint32(frame[0:]), crc32.ChecksumIEEE(frame[4:]); fsum != got {
+		return Message{}, 0, fmt.Errorf("netsim: frame checksum %08x != computed %08x", fsum, got)
+	}
+	if frame[4] != frameVersion {
+		return Message{}, 0, fmt.Errorf("netsim: frame version %d != %d", frame[4], frameVersion)
+	}
+	gen := binary.LittleEndian.Uint32(frame[5:])
+	from := int(int32(binary.LittleEndian.Uint32(frame[9:])))
+	to := int(int32(binary.LittleEndian.Uint32(frame[13:])))
+	step := int(int64(binary.LittleEndian.Uint64(frame[17:])))
+	sum := binary.LittleEndian.Uint32(frame[25:])
+	attempt := int(binary.LittleEndian.Uint16(frame[29:]))
+	flags := frame[31]
 	if flags&^3 != 0 {
-		return Message{}, fmt.Errorf("netsim: frame with unknown flags 0x%02x", flags)
+		return Message{}, 0, fmt.Errorf("netsim: frame with unknown flags 0x%02x", flags)
 	}
-	gradLen := int(binary.LittleEndian.Uint16(frame[23:]))
+	gradLen := int(binary.LittleEndian.Uint16(frame[32:]))
 	if frameHdrLen+gradLen > len(frame) {
-		return Message{}, fmt.Errorf("netsim: frame gradient length %d exceeds frame body %d",
+		return Message{}, 0, fmt.Errorf("netsim: frame gradient length %d exceeds frame body %d",
 			gradLen, len(frame)-frameHdrLen)
 	}
 	grad := string(frame[frameHdrLen : frameHdrLen+gradLen])
 	payload := append([]byte(nil), frame[frameHdrLen+gradLen:]...)
 	return Message{From: from, To: to, Gradient: grad, Step: step,
 		Attempt: attempt, Ack: flags&1 != 0, Heartbeat: flags&2 != 0,
-		Sum: sum, Payload: payload}, nil
+		Sum: sum, Payload: payload}, gen, nil
 }
 
-// Send implements Transport. A stalled peer (not draining its socket)
-// causes Send to fail with a net.Error timeout after the configured write
-// timeout; the connection is dropped so a later Send redials cleanly.
+// Send implements Transport. A write failure (stalled peer, mid-stream cut,
+// half-open receiver) drops the connection and redials with a fresh session
+// generation under full-jitter backoff, retransmitting the whole frame; the
+// receiver's generation admission guarantees the retransmission starts from
+// a clean frame boundary. When the redial budget is exhausted Send returns
+// a typed *ConnError (which still unwraps to a net.Error timeout when the
+// final failure was a stall).
 func (t *TCPTransport) Send(msg Message) error {
 	select {
 	case <-t.done:
@@ -194,25 +604,84 @@ func (t *TCPTransport) Send(msg Message) error {
 	if msg.To < 0 || msg.To >= len(t.listeners) {
 		return fmt.Errorf("netsim: tcp send to invalid node %d", msg.To)
 	}
-	conn, lock, err := t.connTo(msg.From, msg.To)
-	if err != nil {
-		return err
+	var lastErr error
+	var lastGen uint32
+	redials := 0
+	for attempt := 0; attempt <= t.opts.RedialAttempts; attempt++ {
+		if attempt > 0 {
+			redials++
+			t.count(&t.stats.Redials, MetricTCPRedials,
+				"fresh-generation redial cycles after a send failure")
+			timer := time.NewTimer(t.redialBackoff(attempt - 1))
+			select {
+			case <-t.done:
+				timer.Stop()
+				return fmt.Errorf("netsim: tcp transport closed")
+			case <-timer.C:
+			}
+		}
+		tc, err := t.connTo(msg.From, msg.To)
+		if err != nil {
+			select {
+			case <-t.done:
+				return fmt.Errorf("netsim: tcp transport closed")
+			default:
+			}
+			lastErr = err
+			continue
+		}
+		lastGen = tc.gen
+		if err := t.writeFrame(tc, msg); err == nil {
+			return nil
+		} else {
+			// The stream may hold a partial frame now: drop the connection
+			// so the peer resyncs on the next generation's handshake.
+			t.dropConn(msg.From, msg.To, tc)
+			lastErr = err
+		}
 	}
-	frame := encodeFrame(msg)
-	lock.Lock()
-	defer lock.Unlock()
+	var nerr net.Error
+	return &ConnError{From: msg.From, To: msg.To, Gen: lastGen, Redials: redials,
+		Timeout: isNetTimeout(lastErr, &nerr), Err: lastErr}
+}
+
+// redialBackoff draws the full-jitter wait before 0-based redial cycle i:
+// uniform in (0, d] where d is the capped exponential, hashed from the
+// seeded splitmix64 stream (the PR 5 retry-jitter construction).
+func (t *TCPTransport) redialBackoff(i int) time.Duration {
+	d := t.opts.RedialBackoff
+	for k := 0; k < i; k++ {
+		d *= 2
+		if d >= t.opts.RedialMaxBackoff {
+			d = t.opts.RedialMaxBackoff
+			break
+		}
+	}
+	if d > t.opts.RedialMaxBackoff {
+		d = t.opts.RedialMaxBackoff
+	}
+	if d <= 0 {
+		return 0
+	}
+	h := splitmix64(t.opts.RedialSeed ^ t.redialCtr.Add(1)*0x9e3779b97f4a7c15)
+	return 1 + time.Duration(h%uint64(d))
+}
+
+// writeFrame transmits one frame under the connection's write lock and
+// deadline.
+func (t *TCPTransport) writeFrame(tc *tcpConn, msg Message) error {
+	frame := encodeFrame(msg, tc.gen)
+	tc.wmu.Lock()
+	defer tc.wmu.Unlock()
 	if d := time.Duration(atomic.LoadInt64(&t.writeTimeout)); d > 0 {
-		conn.SetWriteDeadline(time.Now().Add(d))
+		tc.c.SetWriteDeadline(time.Now().Add(d))
 	}
-	if _, err := conn.Write(frame); err != nil {
-		// The stream may hold a partial frame now: drop the connection so
-		// the peer's readLoop resets and the next Send redials.
-		t.dropConn(msg.From, msg.To, conn)
+	if _, err := tc.c.Write(frame); err != nil {
 		var nerr net.Error
 		if isNetTimeout(err, &nerr) {
-			return fmt.Errorf("netsim: tcp send %d→%d timed out (peer stalled): %w", msg.From, msg.To, nerr)
+			return fmt.Errorf("netsim: tcp write %d→%d timed out (peer stalled): %w", msg.From, msg.To, nerr)
 		}
-		return fmt.Errorf("netsim: tcp send %d→%d: %w", msg.From, msg.To, err)
+		return fmt.Errorf("netsim: tcp write %d→%d: %w", msg.From, msg.To, err)
 	}
 	return nil
 }
@@ -220,55 +689,63 @@ func (t *TCPTransport) Send(msg Message) error {
 // isNetTimeout reports whether err is (or wraps) a net.Error timeout,
 // storing the net.Error into *out.
 func isNetTimeout(err error, out *net.Error) bool {
-	for e := err; e != nil; {
-		if ne, ok := e.(net.Error); ok && ne.Timeout() {
-			*out = ne
-			return true
-		}
-		u, ok := e.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		*out = ne
+		return true
 	}
 	return false
 }
 
-// connTo returns (dialing if needed) the connection for a sender/receiver
-// pair plus its write lock (frames must not interleave).
-func (t *TCPTransport) connTo(from, to int) (net.Conn, *sync.Mutex, error) {
+// connTo returns (dialing and handshaking if needed) the connection for a
+// sender/receiver pair. Each dial advances the directed link's session
+// generation and opens with the HELLO carrying it.
+func (t *TCPTransport) connTo(from, to int) (*tcpConn, error) {
 	key := [2]int{from, to}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	select {
 	case <-t.done:
-		return nil, nil, fmt.Errorf("netsim: tcp transport closed")
+		return nil, fmt.Errorf("netsim: tcp transport closed")
 	default:
 	}
 	if c, ok := t.conns[key]; ok {
-		return c, t.wmu[key], nil
+		return c, nil
 	}
-	c, err := net.Dial("tcp", t.listeners[to].Addr().String())
+	start := time.Now()
+	t.genCtr[key]++
+	gen := t.genCtr[key]
+	c, err := net.DialTimeout("tcp", t.listeners[to].Addr().String(), t.opts.DialTimeout)
 	if err != nil {
-		return nil, nil, fmt.Errorf("netsim: tcp dial %d→%d: %w", from, to, err)
+		return nil, fmt.Errorf("netsim: tcp dial %d→%d: %w", from, to, err)
 	}
-	t.conns[key] = c
-	if t.wmu[key] == nil {
-		t.wmu[key] = &sync.Mutex{}
+	t.count(&t.stats.Dials, MetricTCPDials, "connections dialed (including redials)")
+	c = t.chaos.wrap(c, Link{Src: from, Dst: to}, gen)
+	if d := time.Duration(atomic.LoadInt64(&t.writeTimeout)); d > 0 {
+		c.SetWriteDeadline(time.Now().Add(d))
 	}
-	return c, t.wmu[key], nil
+	if _, err := c.Write(encodeHello(from, gen)); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("netsim: tcp hello %d→%d (gen %d): %w", from, to, gen, err)
+	}
+	t.opts.Metrics.Histogram(MetricTCPHandshakeSeconds,
+		"dial + HELLO handshake latency (seconds)", telemetry.LatencyBuckets).
+		Observe(time.Since(start).Seconds())
+	tc := &tcpConn{c: c, gen: gen}
+	t.conns[key] = tc
+	return tc, nil
 }
 
 // dropConn removes a failed connection from the pool (if it is still the
 // registered one) and closes it.
-func (t *TCPTransport) dropConn(from, to int, conn net.Conn) {
+func (t *TCPTransport) dropConn(from, to int, tc *tcpConn) {
 	key := [2]int{from, to}
 	t.mu.Lock()
-	if t.conns[key] == conn {
+	if t.conns[key] == tc {
 		delete(t.conns, key)
 	}
 	t.mu.Unlock()
-	conn.Close()
+	tc.c.Close()
 }
 
 // Recv implements Transport.
@@ -289,10 +766,12 @@ func (t *TCPTransport) Recv(node int) (Message, bool) {
 	}
 }
 
-// Close implements Transport: shuts listeners and connections down and
-// unblocks receivers. Idempotent and safe to race with in-flight Sends —
-// closing the sockets forces any blocked Write to return an error rather
-// than waiting for it.
+// Close implements Transport: listeners shut, dialed connections get a
+// graceful write-side shutdown (FIN) so frames already on the wire drain
+// into the inboxes, then every remaining connection — including half-open
+// externally-dialed ones — is force-closed and all loops are joined, so no
+// goroutine outlives Close. Idempotent and safe to race with in-flight
+// Sends.
 func (t *TCPTransport) Close() {
 	t.once.Do(func() {
 		close(t.done)
@@ -302,11 +781,40 @@ func (t *TCPTransport) Close() {
 			}
 		}
 		t.mu.Lock()
+		dialed := make([]*tcpConn, 0, len(t.conns))
 		for _, c := range t.conns {
+			dialed = append(dialed, c)
+		}
+		t.conns = map[[2]int]*tcpConn{}
+		t.mu.Unlock()
+		// Graceful drain: FIN the write side so the peers' read loops see
+		// EOF after consuming everything already written.
+		for _, tc := range dialed {
+			if cw, ok := tc.c.(interface{ CloseWrite() error }); ok {
+				cw.CloseWrite()
+			} else {
+				tc.c.Close()
+			}
+		}
+		deadline := time.Now().Add(closeDrainTimeout)
+		for time.Now().Before(deadline) {
+			t.mu.Lock()
+			n := len(t.accepted)
+			t.mu.Unlock()
+			if n == 0 {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		// Force-close stragglers (half-open external peers that never FIN).
+		t.mu.Lock()
+		for c := range t.accepted {
 			c.Close()
 		}
-		t.conns = map[[2]int]net.Conn{}
 		t.mu.Unlock()
+		for _, tc := range dialed {
+			tc.c.Close()
+		}
 		t.wg.Wait()
 	})
 }

@@ -1,9 +1,12 @@
 package netsim
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -165,46 +168,342 @@ func TestTCPTransportLargePayload(t *testing.T) {
 }
 
 func TestFrameCodecProperties(t *testing.T) {
-	cases := []Message{
-		{From: 0, To: 1},
-		{From: 3, To: 2, Gradient: "w", Step: 1 << 30, Payload: []byte{1}},
-		{From: 15, To: 0, Gradient: string(make([]byte, 300)), Payload: make([]byte, 5000)},
-		{From: 1, To: 0, Gradient: "g", Step: 7, Attempt: 3, Ack: true, Sum: 0xdeadbeef},
+	cases := []struct {
+		msg Message
+		gen uint32
+	}{
+		{Message{From: 0, To: 1}, 1},
+		{Message{From: 3, To: 2, Gradient: "w", Step: 1 << 30, Payload: []byte{1}}, 7},
+		{Message{From: 15, To: 0, Gradient: string(make([]byte, 300)), Payload: make([]byte, 5000)}, 0xffffffff},
+		{Message{From: 1, To: 0, Gradient: "g", Step: 7, Attempt: 3, Ack: true, Sum: 0xdeadbeef}, 2},
 	}
-	for i, msg := range cases {
-		frame := encodeFrame(msg)
-		dec, err := decodeFrame(frame[4:])
+	for i, tc := range cases {
+		frame := encodeFrame(tc.msg, tc.gen)
+		dec, gen, err := decodeFrame(frame[4:])
 		if err != nil {
 			t.Fatalf("case %d: decode failed: %v", i, err)
 		}
-		if dec.From != msg.From || dec.To != msg.To || dec.Step != msg.Step ||
-			dec.Gradient != msg.Gradient || string(dec.Payload) != string(msg.Payload) ||
-			dec.Attempt != msg.Attempt || dec.Ack != msg.Ack || dec.Sum != msg.Sum {
-			t.Fatalf("case %d: round trip mismatch: %+v vs %+v", i, dec, msg)
+		if gen != tc.gen {
+			t.Fatalf("case %d: generation %d != %d", i, gen, tc.gen)
+		}
+		if dec.From != tc.msg.From || dec.To != tc.msg.To || dec.Step != tc.msg.Step ||
+			dec.Gradient != tc.msg.Gradient || string(dec.Payload) != string(tc.msg.Payload) ||
+			dec.Attempt != tc.msg.Attempt || dec.Ack != tc.msg.Ack || dec.Sum != tc.msg.Sum {
+			t.Fatalf("case %d: round trip mismatch: %+v vs %+v", i, dec, tc.msg)
 		}
 	}
-	if _, err := decodeFrame([]byte{1, 2}); err == nil {
+	if _, _, err := decodeFrame([]byte{1, 2}); err == nil {
 		t.Fatal("short frame accepted")
 	}
+	// restamp recomputes the frame checksum after a deliberate field mangle,
+	// so each test below exercises its specific validator rather than the
+	// blanket corruption check.
+	restamp := func(frame []byte) []byte {
+		binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(frame[8:]))
+		return frame
+	}
+	// Any single flipped bit — here the version byte, without restamping —
+	// must fail the frame checksum.
+	flip := encodeFrame(Message{From: 0, To: 1, Gradient: "abc"}, 1)
+	flip[8] ^= 0x20
+	if _, _, err := decodeFrame(flip[4:]); err == nil {
+		t.Fatal("bit-flipped frame passed the frame checksum")
+	}
 	// Header claiming a longer gradient than the frame holds.
-	bad := encodeFrame(Message{From: 0, To: 1, Gradient: "abc"})
-	bad[4+23] = 0xFF // corrupt gradLen (gradLen sits at body offset 23)
-	if _, err := decodeFrame(bad[4:]); err == nil {
+	bad := encodeFrame(Message{From: 0, To: 1, Gradient: "abc"}, 1)
+	bad[4+32] = 0xFF // corrupt gradLen (gradLen sits at body offset 32)
+	if _, _, err := decodeFrame(restamp(bad)[4:]); err == nil {
 		t.Fatal("corrupt gradLen accepted")
 	}
 	// Unknown flag bits must be rejected, not silently ignored.
-	bad2 := encodeFrame(Message{From: 0, To: 1, Gradient: "x"})
-	bad2[4+22] = 0x80
-	if _, err := decodeFrame(bad2[4:]); err == nil {
+	bad2 := encodeFrame(Message{From: 0, To: 1, Gradient: "x"}, 1)
+	bad2[4+31] = 0x80
+	if _, _, err := decodeFrame(restamp(bad2)[4:]); err == nil {
 		t.Fatal("unknown flags accepted")
+	}
+	// A v1-era frame (wrong version byte) must be rejected up front.
+	bad3 := encodeFrame(Message{From: 0, To: 1, Gradient: "x"}, 1)
+	bad3[8] = 1
+	if _, _, err := decodeFrame(restamp(bad3)[4:]); err == nil {
+		t.Fatal("wrong frame version accepted")
+	}
+}
+
+func TestHelloCodecProperties(t *testing.T) {
+	for _, tc := range []struct {
+		src int
+		gen uint32
+	}{{0, 1}, {3, 2}, {1023, 0xffffffff}} {
+		src, gen, err := decodeHello(encodeHello(tc.src, tc.gen))
+		if err != nil || src != tc.src || gen != tc.gen {
+			t.Fatalf("hello round trip (%d, %d) = (%d, %d, %v)", tc.src, tc.gen, src, gen, err)
+		}
+	}
+	good := encodeHello(1, 1)
+	for name, mangle := range map[string]func([]byte) []byte{
+		"short":        func(b []byte) []byte { return b[:len(b)-1] },
+		"bad-magic":    func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"bad-version":  func(b []byte) []byte { b[4] = 1; return b },
+		"negative-src": func(b []byte) []byte { b[8] = 0x80; return b },
+		"zero-gen":     func(b []byte) []byte { b[9], b[10], b[11], b[12] = 0, 0, 0, 0; return b },
+	} {
+		b := mangle(append([]byte(nil), good...))
+		if _, _, err := decodeHello(b); err == nil {
+			t.Fatalf("%s hello accepted", name)
+		}
+	}
+}
+
+// TestTCPFrameLenCapBeforeAlloc drives corrupt length prefixes — including
+// the classic 1 GiB claim — at a live listener and proves the frame is
+// rejected by the configured cap before any allocation happens.
+func TestTCPFrameLenCapBeforeAlloc(t *testing.T) {
+	cases := []struct {
+		name     string
+		claim    uint32
+		maxFrame int // 0 = default 64 MiB
+	}{
+		{"one-gib-claim", 1 << 30, 0},
+		{"max-uint32-claim", 0xFFFFFFFF, 0},
+		{"just-over-default-cap", defaultMaxFrameLen + 1, 0},
+		{"below-header", frameHdrLen - 1, 0},
+		{"zero-length", 0, 0},
+		{"just-over-configured-cap", 1<<16 + 1, 1 << 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := NewTCPTransportOpts(2, 2, TCPOptions{MaxFrameLen: tc.maxFrame})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			c, err := net.Dial("tcp", tr.Addr(1).String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Write(encodeHello(0, 1)); err != nil {
+				t.Fatal(err)
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], tc.claim)
+			if _, err := c.Write(hdr[:]); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for tr.CorruptFrames() == 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("corrupt %d-byte length claim never rejected", tc.claim)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestTCPPartialWriteResyncViaGeneration breaks a connection mid-frame —
+// the silent-desync scenario — and proves the generation handshake brings
+// the link back: the redial's fresh generation supersedes the broken
+// stream at a clean frame boundary, counted in Resyncs.
+func TestTCPPartialWriteResyncViaGeneration(t *testing.T) {
+	tr, err := NewTCPTransport(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Establish generation 1, then die ten bytes into a frame: the peer's
+	// read loop is now mid-frame with no way to find the next boundary.
+	tc, err := tr.connTo(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := encodeFrame(Message{From: 0, To: 1, Gradient: "doomed", Step: 1,
+		Payload: make([]byte, 64)}, tc.gen)
+	if _, err := tc.c.Write(frame[:10]); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the receiver to admit generation 1 before breaking the
+	// connection, so the redial below is an observable supersession rather
+	// than racing the first handshake.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tr.mu.Lock()
+		g := tr.lastGen[[2]int{0, 1}]
+		tr.mu.Unlock()
+		if g == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("generation 1 never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.dropConn(0, 1, tc) // what Send's error path does after a failed write
+	// The next Send redials with generation 2; the receiver must resync
+	// onto it and deliver cleanly.
+	if err := tr.Send(Message{From: 0, To: 1, Gradient: "after", Step: 2}); err != nil {
+		t.Fatalf("send after partial-write drop: %v", err)
+	}
+	got, ok := tr.Recv(1)
+	if !ok || got.Gradient != "after" || got.Step != 2 {
+		t.Fatalf("resynced delivery = %+v ok=%v", got, ok)
+	}
+	st := tr.Stats()
+	if st.Resyncs != 1 {
+		t.Fatalf("Resyncs = %d, want 1 (stats %+v)", st.Resyncs, st)
+	}
+	if st.Dials != 2 {
+		t.Fatalf("Dials = %d, want 2", st.Dials)
+	}
+}
+
+// TestTCPStaleGenerationRejected replays an already-used generation from an
+// impostor connection: the handshake must reject it without disturbing the
+// live stream.
+func TestTCPStaleGenerationRejected(t *testing.T) {
+	tr, err := NewTCPTransport(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Send(Message{From: 0, To: 1, Gradient: "live", Step: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tr.Recv(1); !ok || got.Gradient != "live" {
+		t.Fatalf("live delivery = %+v ok=%v", got, ok)
+	}
+	// Impostor replays generation 1 on link 0→1 and tries to inject.
+	c, err := net.Dial("tcp", tr.Addr(1).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write(encodeHello(0, 1))
+	c.Write(encodeFrame(Message{From: 0, To: 1, Gradient: "stale", Step: 99}, 1))
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Stats().StaleConns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stale-generation handshake never rejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The original generation-1 stream still works and the injected frame
+	// never surfaces.
+	if err := tr.Send(Message{From: 0, To: 1, Gradient: "live2", Step: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.Recv(1)
+	if !ok || got.Gradient != "live2" {
+		t.Fatalf("post-replay delivery = %+v ok=%v (stale frame leaked?)", got, ok)
+	}
+}
+
+// TestTCPHalfOpenIdleReadDeadline covers the half-open failure: a peer that
+// completes TCP and the HELLO but never sends a frame must be killed by the
+// idle read deadline, not wedge a read goroutine forever.
+func TestTCPHalfOpenIdleReadDeadline(t *testing.T) {
+	tr, err := NewTCPTransportOpts(2, 2, TCPOptions{
+		IdleReadTimeout: 80 * time.Millisecond, HandshakeTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	c, err := net.Dial("tcp", tr.Addr(0).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write(encodeHello(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// ...and now hold the socket open in silence.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := tr.Stats()
+		if st.IdleDrops == 1 && st.ActiveConns == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("half-open connection never idle-dropped: %+v", tr.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTCPHandshakeTimeout covers the pre-HELLO variant: a connection that
+// never says hello is dropped by the handshake deadline.
+func TestTCPHandshakeTimeout(t *testing.T) {
+	tr, err := NewTCPTransportOpts(2, 2, TCPOptions{HandshakeTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	c, err := net.Dial("tcp", tr.Addr(0).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Stats().HandshakeRejects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("mute connection never handshake-rejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTCPTransportCloseLeaksNoGoroutines is the goleak-style accounting:
+// after Close returns, every transport goroutine — accept loops, read
+// loops, even one servicing a half-open external peer — must be gone.
+func TestTCPTransportCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tr, err := NewTCPTransportOpts(3, 8, TCPOptions{IdleReadTimeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := tr.Send(Message{From: 0, To: 1, Gradient: "g", Step: i}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := tr.Recv(1); !ok {
+			t.Fatal("recv failed")
+		}
+	}
+	// A half-open external peer that will never FIN: Close must force it.
+	c, err := net.Dial("tcp", tr.Addr(2).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write(encodeHello(9, 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Stats().ActiveConns < 2 { // 0→1 traffic conn + the half-open one
+		if time.Now().After(deadline) {
+			t.Fatalf("connections never registered: %+v", tr.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.Close()
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close: %d > %d\n%s",
+				runtime.NumGoroutine(), before, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 
 // TestTCPTransportStalledPeer proves Send does not wedge forever when the
 // destination never drains its inbox or socket: once the kernel buffers
-// fill, Send must return a net.Error timeout.
+// fill, Send must surface a typed ConnError that still unwraps to a
+// net.Error timeout. Redial is disabled because every redial gets a fresh
+// pair of kernel socket buffers, which would keep absorbing writes for an
+// app-level-stalled (but kernel-healthy) peer.
 func TestTCPTransportStalledPeer(t *testing.T) {
-	tr, err := NewTCPTransport(2, 1)
+	tr, err := NewTCPTransportOpts(2, 1, TCPOptions{RedialAttempts: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,9 +519,13 @@ func TestTCPTransportStalledPeer(t *testing.T) {
 		if err == nil {
 			continue // kernel buffers still absorbing
 		}
+		var cerr *ConnError
+		if !errors.As(err, &cerr) || !cerr.Timeout {
+			t.Fatalf("expected *ConnError with Timeout, got %v", err)
+		}
 		var nerr net.Error
 		if !errors.As(err, &nerr) || !nerr.Timeout() {
-			t.Fatalf("expected net.Error timeout, got %v", err)
+			t.Fatalf("ConnError does not unwrap to a net.Error timeout: %v", err)
 		}
 		break
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hipress/internal/core"
+	"hipress/internal/netsim"
 )
 
 // This file is the self-healing layer on top of the recovery plane: a
@@ -42,12 +43,14 @@ func (c ErrClass) String() string {
 }
 
 // Classify is the default error classifier: the live plane's typed round
-// faults — round deadline overruns and peer failures — are transient
-// (the cluster may heal between attempts); everything else is fatal.
+// faults — round deadline overruns, peer failures, and socket-plane
+// connection failures that escaped the redial budget — are transient (the
+// cluster may heal between attempts); everything else is fatal.
 func Classify(err error) ErrClass {
 	var rte *core.RoundTimeoutError
 	var pfe *core.PeerFailureError
-	if errors.As(err, &rte) || errors.As(err, &pfe) {
+	var ce *netsim.ConnError
+	if errors.As(err, &rte) || errors.As(err, &pfe) || errors.As(err, &ce) {
 		return ErrTransient
 	}
 	return ErrFatal

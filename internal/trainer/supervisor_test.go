@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hipress/internal/core"
+	"hipress/internal/netsim"
 )
 
 // TestClassify pins the default triage: the live plane's typed round
@@ -22,6 +23,8 @@ func TestClassify(t *testing.T) {
 		{"round-timeout", &core.RoundTimeoutError{Timeout: time.Second}, ErrTransient},
 		{"peer-failure", &core.PeerFailureError{Node: 0, Peer: 2, Attempts: 5, Reason: "x"}, ErrTransient},
 		{"wrapped-timeout", fmt.Errorf("round 7: %w", &core.RoundTimeoutError{}), ErrTransient},
+		{"conn-error", &netsim.ConnError{From: 0, To: 1, Gen: 3, Redials: 2, Err: errors.New("broken pipe")}, ErrTransient},
+		{"wrapped-conn-error", fmt.Errorf("send w1/p0: %w", &netsim.ConnError{From: 1, To: 0, Err: errors.New("reset")}), ErrTransient},
 		{"generic", errors.New("disk on fire"), ErrFatal},
 		{"config", fmt.Errorf("trainer: need at least 2 workers"), ErrFatal},
 	}
