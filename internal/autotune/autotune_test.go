@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -93,19 +94,32 @@ type stationaryEnv struct {
 	sizes  []int64
 }
 
-func newStationaryEnv(t *testing.T) *stationaryEnv {
+func newStationaryEnv(t *testing.T) *stationaryEnv { return newStationaryEnvW(t, 1) }
+
+// newStationaryEnvW builds the fixture for a cluster running a per-link
+// pipeline window of w. The ground truth the static planner prices is the
+// *effective* send curve a windowed link exhibits — fixed cost amortized
+// across the window, per-byte serialization unchanged — while the tuner
+// calibrates from raw single-transfer round trips (what ack RTT sampling
+// actually measures) and must apply the same adjustment itself via
+// Config.PipelineWindow.
+func newStationaryEnvW(t *testing.T, w int) *stationaryEnv {
 	t.Helper()
 	send := core.Curve{Fixed: 5e-5, PerByte: 1e-9} // ~1 GB/s links
 	enc := core.Curve{PerByte: 0.3e-9}
 	dec := core.Curve{PerByte: 0.1e-9}
 	const ratio = 0.1
+	effective := send
+	if w > 1 {
+		effective.Fixed /= float64(w)
+	}
 	static := &core.Planner{
 		Strategy: core.StrategyPS, N: 4, CoLocated: true,
-		Send: send, Enc: enc, Dec: dec,
+		Send: effective, Enc: enc, Dec: dec,
 		RatioOf: func(int64) float64 { return ratio },
 	}
 	tun, err := NewTuner(Config{
-		N: 4, Algo: "onebit", CoLocated: true,
+		N: 4, Algo: "onebit", CoLocated: true, PipelineWindow: w,
 		MinSamples: 16, Margin: 0.2, Windows: 3, Cooldown: 4,
 		PriorEnc: enc, PriorDec: dec, PriorRatio: ratio,
 	})
@@ -151,49 +165,61 @@ func (env *stationaryEnv) staticEpoch() core.PlanEpoch {
 // TestTunerConvergesToStaticPlan is the convergence regression: starting
 // from a mismatched (raw) plan under stationary conditions, the tuner's
 // one and only proposal must be exactly the plan the static §3.3 planner
-// derives from the same coefficients.
+// derives from the same coefficients — at every pipeline window, since the
+// tuner's Fixed/W adjustment must mirror the effective curve the static
+// planner prices.
 func TestTunerConvergesToStaticPlan(t *testing.T) {
-	env := newStationaryEnv(t)
-	want := env.staticEpoch()
-	if want.CompressMin < 0 {
-		t.Fatalf("fixture lost its teeth: static planner never compresses (threshold %d)", want.CompressMin)
-	}
+	for _, w := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("window%d", w), func(t *testing.T) {
+			env := newStationaryEnvW(t, w)
+			want := env.staticEpoch()
+			if want.CompressMin < 0 {
+				t.Fatalf("fixture lost its teeth: static planner never compresses (threshold %d)", want.CompressMin)
+			}
 
-	cur := core.PlanEpoch{Strategy: core.StrategyPS, Parts: 1, CompressMin: -1}
-	var got *core.PlanEpoch
-	for round := int64(0); round < 20; round++ {
-		env.observe(round, cur)
-		if p := env.tuner.Propose(cur); p != nil {
-			got = p
-			break
-		}
-	}
-	if got == nil {
-		t.Fatal("tuner never proposed despite a >margin modeled gain")
-	}
-	if got.Strategy != want.Strategy || got.Parts != want.Parts || got.CompressMin != want.CompressMin {
-		t.Fatalf("converged plan = %v, want the static planner's %v", *got, want)
-	}
-	if got.Version != cur.Version+1 {
-		t.Fatalf("proposal version = %d, want %d", got.Version, cur.Version+1)
+			cur := core.PlanEpoch{Strategy: core.StrategyPS, Parts: 1, CompressMin: -1}
+			var got *core.PlanEpoch
+			for round := int64(0); round < 20; round++ {
+				env.observe(round, cur)
+				if p := env.tuner.Propose(cur); p != nil {
+					got = p
+					break
+				}
+			}
+			if got == nil {
+				t.Fatal("tuner never proposed despite a >margin modeled gain")
+			}
+			if got.Strategy != want.Strategy || got.Parts != want.Parts || got.CompressMin != want.CompressMin {
+				t.Fatalf("converged plan = %v, want the static planner's %v", *got, want)
+			}
+			if got.Version != cur.Version+1 {
+				t.Fatalf("proposal version = %d, want %d", got.Version, cur.Version+1)
+			}
+		})
 	}
 }
 
 // TestTunerStationaryNoSwitches is the other half of the regression: once
 // running the static plan under stationary conditions, the tuner proposes
-// nothing — 0 epoch switches after warm-up.
+// nothing — 0 epoch switches after warm-up — again at every pipeline
+// window (a mismatched Fixed/W adjustment would manufacture phantom gains
+// and flap the plan).
 func TestTunerStationaryNoSwitches(t *testing.T) {
-	env := newStationaryEnv(t)
-	cur := env.staticEpoch()
-	cur.Version = 1
-	for round := int64(0); round < 60; round++ {
-		env.observe(round, cur)
-		if p := env.tuner.Propose(cur); p != nil {
-			t.Fatalf("round %d: tuner proposed %v under stationary conditions on the optimal plan", round, *p)
-		}
-	}
-	if n := env.tuner.Proposals(); n != 0 {
-		t.Fatalf("Proposals = %d, want 0", n)
+	for _, w := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("window%d", w), func(t *testing.T) {
+			env := newStationaryEnvW(t, w)
+			cur := env.staticEpoch()
+			cur.Version = 1
+			for round := int64(0); round < 60; round++ {
+				env.observe(round, cur)
+				if p := env.tuner.Propose(cur); p != nil {
+					t.Fatalf("round %d: tuner proposed %v under stationary conditions on the optimal plan", round, *p)
+				}
+			}
+			if n := env.tuner.Proposals(); n != 0 {
+				t.Fatalf("Proposals = %d, want 0", n)
+			}
+		})
 	}
 }
 

@@ -32,6 +32,15 @@ type Config struct {
 	Strategies []core.Strategy
 	// CoLocated selects the §6.1 co-located PS coefficient adjustment.
 	CoLocated bool
+	// PipelineWindow is the per-link in-flight window the live plane runs
+	// (LiveConfig.Pipeline.Window). With W transfers overlapping on a link,
+	// the fixed per-send cost (latency + ack RTT) amortizes across the
+	// window while the per-byte serialization term still queues on the
+	// wire, so the calibrated send curve's Fixed coefficient is divided by
+	// W when pricing candidates — keeping Eq. 1–2 honest about what a
+	// pipelined round actually pays. ≤ 1 (sequential) leaves the curve as
+	// calibrated.
+	PipelineWindow int
 
 	// MinSamples gates every decision on evidence: at least this many
 	// unambiguous link round trips on some link before the calibrator's
@@ -131,6 +140,12 @@ func (t *Tuner) CalibratedPlanner(s core.Strategy) (*core.Planner, bool) {
 	send, ok := t.cal.SendCurve(t.cfg.MinSamples)
 	if !ok {
 		return nil, false
+	}
+	if w := float64(t.cfg.PipelineWindow); w > 1 {
+		// Calibration samples are single-transfer round trips; a windowed
+		// link overlaps W of them, amortizing the fixed cost but not the
+		// per-byte serialization (see Config.PipelineWindow).
+		send.Fixed /= w
 	}
 	p := &core.Planner{
 		Strategy: s, N: t.cfg.N, CoLocated: t.cfg.CoLocated,

@@ -235,6 +235,18 @@ type RoundHealth struct {
 	// Hedges counts speculative retransmits fired by the adaptive health
 	// plane at the per-link p99 point (bounded by HealthConfig.HedgeBudget).
 	Hedges int64
+	// SendWallNs is the wall-clock span (ns) from the round's first staged
+	// send to its last resolved one — the measured communication floor the
+	// pipelined engine exists to lower. Zero when no payload send ran.
+	SendWallNs int64
+	// MaxLinkQueueDepth is the high-water mark of staged-plus-in-flight
+	// transfers on the busiest send lane: >Window means staging ran ahead
+	// of the wire (backlog), ≈1 means the DAG never kept a lane busy.
+	MaxLinkQueueDepth int
+	// AckBatched counts acknowledgements delivered inside coalesced
+	// multi-ack frames (Pipeline.AckBatch ≥ 2); each batched frame
+	// contributes its member count.
+	AckBatched int64
 	// SlowPeers lists peers the health plane classified Slow at round end
 	// (srtt above SlowFactor × the cluster median), ascending.
 	SlowPeers []int
@@ -311,6 +323,7 @@ type roundState struct {
 	skipped          int64
 	excludedContribs int64
 	hedges           int64
+	ackBatched       int64
 	renormalized     int32
 
 	// onDead fires once per newly convicted node, outside rs.mu.
@@ -549,5 +562,6 @@ func (rs *roundState) health(reliable bool, elapsed time.Duration) *RoundHealth 
 		ExcludedContribs: atomic.LoadInt64(&rs.excludedContribs),
 		Renormalized:     atomic.LoadInt32(&rs.renormalized) != 0,
 		Hedges:           atomic.LoadInt64(&rs.hedges),
+		AckBatched:       atomic.LoadInt64(&rs.ackBatched),
 	}
 }

@@ -62,6 +62,14 @@ type LiveConfig struct {
 	// per time slot, batched release. Off, sends transmit as soon as their
 	// dependencies clear.
 	Coordinated bool
+	// Pipeline tunes the pipelined send engine (pipeline.go): per-link
+	// in-flight windows, receiver-side ack aggregation, and encode/transfer
+	// overlap. The zero value reproduces the classic sequential send loop.
+	// Ignored on the Coordinated path, whose per-slot link schedule is
+	// itself the pipelining policy. Result bytes are identical for every
+	// setting — the window changes when transfers resolve, never what the
+	// ordered merges compute.
+	Pipeline PipelineConfig
 	// Instrument wraps each node's compressor with counters; read them with
 	// LiveCluster.WireStats.
 	Instrument bool
@@ -457,6 +465,13 @@ type liveRound struct {
 	runErr  error
 	ackWG   sync.WaitGroup
 
+	// pipe is the pipelined send engine and ackp the per-link ack plane
+	// (pipeline.go); linkStreams selects per-link trace tracks when the
+	// engine runs windowed lanes.
+	pipe        *sendEngine
+	ackp        *ackPlane
+	linkStreams bool
+
 	// trc/met are the observability plane (both possibly nil). Spans are
 	// stamped with trc.Now() — wall-clock seconds since the tracer's birth —
 	// so one tracer accumulates a consistent timeline across rounds.
@@ -479,7 +494,13 @@ func (r *liveRound) traceTask(t *Task, start float64) {
 	flowStart := false
 	switch t.Kind {
 	case KSend:
+		// Windowed lanes get one trace track per directed link, so the
+		// exporter renders overlapping in-flight transfers side by side
+		// instead of stacking them into one unreadable "net" row.
 		stream = "net"
+		if r.linkStreams {
+			stream = fmt.Sprintf("net→%d", t.Peer)
+		}
 		flow = telemetry.FlowID(t.Node, t.Peer, t.Grad, packStep(t.Step, t.Part))
 		flowStart = true
 	case KRecv:
@@ -725,6 +746,9 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		met:       lc.cfg.Telemetry.M(),
 	}
 	r.rs.onDead = r.onPeerDead
+	r.pipe = newSendEngine(r, lc.cfg.Pipeline)
+	r.ackp = newAckPlane(r, lc.cfg.Pipeline.AckBatch)
+	r.linkStreams = r.pipe.perLink
 	// Elastic membership: exclude carried convictions up front, so the DAG
 	// routes around a known-dead peer without re-paying detection timeouts.
 	carried := lc.preseedExcluded(r.rs)
@@ -801,13 +825,13 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 						coord.enqueue(liveSend{id: id, rt: rt, t: g.Tasks[id]})
 						continue
 					}
-					start := r.trc.Now()
-					if err := r.execSend(rt, g.Tasks[id]); err != nil {
+					// Stage here (drainer order fixes the payload bytes),
+					// resolve on the engine's lane workers — sequentially
+					// per node by default, W-deep per link when windowed.
+					if err := r.pipe.submit(rt, id, g.Tasks[id]); err != nil {
 						r.fail(err)
 						return
 					}
-					r.traceTask(g.Tasks[id], start)
-					r.completeTask(id)
 				}
 			}
 		}()
@@ -838,14 +862,19 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 		coord.close()
 	}
 	tr.Close()
-	// Dispatchers drain frames after Close and may still spawn ack/echo
-	// goroutines (ackWG.Add), so they must exit before ackWG is waited on —
-	// the reverse order races Add against Wait.
+	// Dispatchers drain frames after Close and may still start ack/echo
+	// workers (ackWG.Add), so they must exit before ackWG is waited on —
+	// the reverse order races Add against Wait. The send engine's lane
+	// workers drain between the two: submits stop with the drainers, and
+	// the workers' staged payloads must stay leased until they exit.
 	wg.Wait()
+	r.pipe.wait()
 	r.ackWG.Wait()
 
 	health := r.rs.health(r.reliable, time.Since(started))
 	health.EpochVersion = ep.Version
+	health.SendWallNs = r.pipe.sendWallNs()
+	health.MaxLinkQueueDepth = int(r.pipe.maxDepth.Load())
 	if chaosTr != nil {
 		st := chaosTr.Stats()
 		health.Chaos = &st
@@ -939,8 +968,15 @@ func (r *liveRound) dispatch(rt *nodeRT) {
 		}
 		if msg.Ack {
 			// The ack flows receiver→sender: the original transfer ran
-			// msg.To → msg.From.
+			// msg.To → msg.From. A batched frame settles several transfers
+			// of the same directed link at once, each by its own key.
 			r.hp.arrival(msg.From)
+			if len(msg.AckBatch) > 0 {
+				for _, ref := range msg.AckBatch {
+					r.rs.ackArrived(ackKey{src: msg.To, dst: msg.From, grad: ref.Gradient, step: ref.Step})
+				}
+				continue
+			}
 			r.rs.ackArrived(ackKey{src: msg.To, dst: msg.From, grad: msg.Gradient, step: msg.Step})
 			continue
 		}
@@ -995,18 +1031,14 @@ func (r *liveRound) dispatch(rt *nodeRT) {
 
 // sendAck acknowledges a transfer asynchronously (a blocked ack must not
 // stall the dispatcher, or two full inboxes could deadlock each other).
+// Delivery goes through the per-link ack plane — one bounded worker per
+// directed link instead of one goroutine per ack — which also coalesces
+// backlogged acks into batched frames when Pipeline.AckBatch allows. A lost
+// ack (queue overflow, transport error) is recovered by the sender's retry
+// plus the receiver's dedup re-ack.
 func (r *liveRound) sendAck(node int, msg netsim.Message) {
-	ack := netsim.Message{From: node, To: msg.From, Gradient: msg.Gradient,
-		Step: msg.Step, Attempt: msg.Attempt, Ack: true}
-	r.ackWG.Add(1)
-	go func() {
-		defer r.ackWG.Done()
-		if err := r.tr.Send(ack); err != nil {
-			// A lost ack is recovered by the sender's retry, but a
-			// connection-lifecycle failure is still health evidence.
-			r.noteSendError(ack, err)
-		}
-	}()
+	r.ackp.enqueue(netsim.Message{From: node, To: msg.From, Gradient: msg.Gradient,
+		Step: msg.Step, Attempt: msg.Attempt, Ack: true})
 }
 
 // reliableSend is the acknowledged-or-retried delivery loop: transmit,
@@ -1268,17 +1300,12 @@ func (r *liveRound) heartbeatLoop(v int) {
 }
 
 // replyHeartbeat echoes a probe back to its sender asynchronously (like
-// sendAck, a blocked echo must not stall the dispatcher).
+// sendAck, a blocked echo must not stall the dispatcher). Echoes ride the
+// same per-link ack worker but are always transmitted individually — their
+// Step is an RTT timestamp that must not be delayed into a batch.
 func (r *liveRound) replyHeartbeat(node int, msg netsim.Message) {
-	echo := netsim.Message{From: node, To: msg.From, Heartbeat: true, Ack: true,
-		Gradient: msg.Gradient, Step: msg.Step, Attempt: msg.Attempt}
-	r.ackWG.Add(1)
-	go func() {
-		defer r.ackWG.Done()
-		if err := r.tr.Send(echo); err != nil {
-			r.noteSendError(echo, err)
-		}
-	}()
+	r.ackp.enqueue(netsim.Message{From: node, To: msg.From, Heartbeat: true, Ack: true,
+		Gradient: msg.Gradient, Step: msg.Step, Attempt: msg.Attempt})
 }
 
 // markFilled records that a partition of result was written by a phase-2
@@ -1511,49 +1538,85 @@ func (r *liveRound) mergeBarrierPS(rt *nodeRT, t *Task, ne, np int) error {
 	return nil
 }
 
-// execSend transmits the appropriate payload for a send task.
-func (r *liveRound) execSend(rt *nodeRT, t *Task) error {
-	if t.Exec != nil {
-		return t.Exec()
-	}
+// stageSend builds the wire message for a send task, freezing its payload
+// bytes: forwarded frames and compressed payloads are referenced as-is
+// (they live in the round lease and are immutable once produced), while raw
+// sends serialize the accumulator's *current* value into a fresh leased
+// buffer. The serialization must happen at staging time — a ring
+// accumulator keeps mutating as later merges land, so deferring it to
+// transmit time under a window would leak a later DAG state into an earlier
+// transfer and break bit-identity.
+func (r *liveRound) stageSend(rt *nodeRT, t *Task) (netsim.Message, error) {
 	lc := r.lc
-	rt.mu.Lock()
 	k := pkey{t.Grad, t.Part}
 	var payload []byte
 	switch {
 	case t.Forward:
 		// Forwarding relays the payload received from this node's ring
 		// predecessor (Forward tasks exist only on rings).
+		rt.mu.Lock()
 		pred := (t.Node - 1 + lc.n) % lc.n
 		payload = rt.in[bkey{t.Grad, t.Part, pred}]
+		rt.mu.Unlock()
 		if payload == nil {
-			rt.mu.Unlock()
-			return fmt.Errorf("core: node %d forwarding %s/p%d with no payload", rt.id, t.Grad, t.Part)
+			return netsim.Message{}, fmt.Errorf("core: node %d forwarding %s/p%d with no payload", rt.id, t.Grad, t.Part)
 		}
 	case r.algos[t.Grad] != "":
+		rt.mu.Lock()
 		payload = rt.out[k]
+		rt.mu.Unlock()
 		if payload == nil {
-			rt.mu.Unlock()
-			return fmt.Errorf("core: node %d sending %s/p%d before encode", rt.id, t.Grad, t.Part)
+			return netsim.Message{}, fmt.Errorf("core: node %d sending %s/p%d before encode", rt.id, t.Grad, t.Part)
 		}
 	default:
-		acc := rt.accSlice(t.Grad, r.elems[t.Grad], r.parts[t.Grad], t.Part)
-		payload = rt.lease.Bytes(4 * len(acc))
+		// Raw send: check the scratch buffer out of the arena before taking
+		// the node lock — with OverlapEncode several transfers stage
+		// back-to-back, and the pool checkout (the allocating part) need
+		// not serialize behind other goroutines mutating this node's
+		// buffers. The scratch lease is then adopted into the round lease
+		// under the lock, so lifetime discipline is unchanged: everything
+		// releases together at teardown, after the windowed sends resolve.
+		ne, np := r.elems[t.Grad], r.parts[t.Grad]
+		lo, hi := PartRange(ne, np, t.Part)
+		var scratch kernels.Lease
+		payload = scratch.Bytes(4 * (hi - lo))
+		rt.mu.Lock()
+		acc := rt.accSlice(t.Grad, ne, np, t.Part)
 		f32IntoBytes(payload, acc)
+		rt.lease.Adopt(&scratch)
+		rt.mu.Unlock()
 	}
-	rt.mu.Unlock()
-	msg := netsim.Message{
+	return netsim.Message{
 		From:     rt.id,
 		To:       t.Peer,
 		Gradient: t.Grad,
 		Step:     packStep(t.Step, t.Part),
 		Sum:      crc32.ChecksumIEEE(payload),
 		Payload:  payload,
-	}
+	}, nil
+}
+
+// resolveSend settles a staged transfer: acknowledged-or-retried delivery
+// in reliable mode, fire-and-forget otherwise.
+func (r *liveRound) resolveSend(msg netsim.Message) error {
 	if r.reliable {
 		return r.reliableSend(msg)
 	}
 	return r.tr.Send(msg)
+}
+
+// execSend transmits the appropriate payload for a send task synchronously
+// (stage + resolve back to back) — the coordinated path's primitive, whose
+// per-slot link schedule replaces the engine's windows.
+func (r *liveRound) execSend(rt *nodeRT, t *Task) error {
+	if t.Exec != nil {
+		return t.Exec()
+	}
+	msg, err := r.stageSend(rt, t)
+	if err != nil {
+		return err
+	}
+	return r.resolveSend(msg)
 }
 
 // execRecv stores a received payload and, for uncompressed dissemination,

@@ -25,6 +25,8 @@ const (
 	MetricChaosInjected        = "hipress_chaos_injected_total"
 	MetricLiveReconnects       = "hipress_live_reconnects_total"
 	MetricLiveHedges           = "hipress_live_hedges_total"
+	MetricLiveInflight         = "hipress_live_inflight"
+	MetricLiveAckBatched       = "hipress_live_ack_batched_total"
 	MetricHealthTransitions    = "hipress_health_transitions_total"
 	MetricHealthPhi            = "hipress_health_phi"
 	MetricEpochVersion         = "hipress_autotune_epoch_version"
@@ -68,6 +70,8 @@ func (r *liveRound) emitRoundTelemetry(h *RoundHealth, start float64) {
 			With(telemetry.Num("duplicates", float64(h.Duplicates))).
 			With(telemetry.Num("excluded_peers", float64(len(h.ExcludedPeers)))).
 			With(telemetry.Num("epoch", float64(h.EpochVersion))).
+			With(telemetry.Num("send_wall_ms", float64(h.SendWallNs)/1e6)).
+			With(telemetry.Num("max_link_queue", float64(h.MaxLinkQueueDepth))).
 			With(telemetry.Str("health", h.String())))
 	}
 
@@ -89,6 +93,7 @@ func (r *liveRound) emitRoundTelemetry(h *RoundHealth, start float64) {
 	add(MetricLiveExcludedContribs, "per-partition contributions excluded from aggregates", h.ExcludedContribs)
 	add(MetricLiveUnsyncedParts, "partitions that fell back to local gradients", int64(len(h.UnsyncedParts)))
 	add(MetricLiveHedges, "speculative retransmits fired at the per-link p99 point", h.Hedges)
+	add(MetricLiveAckBatched, "acknowledgements delivered in coalesced multi-ack frames", h.AckBatched)
 	add(MetricLiveReconnects, "socket-plane connection failures surfaced to the send paths", h.Reconnects)
 	m.Gauge(MetricEpochVersion, "active plan epoch version").Set(float64(h.EpochVersion))
 	for v, phi := range h.Phi {

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hipress/internal/netsim"
+	"hipress/internal/telemetry"
+)
+
+// This file is the live plane's pipelined send engine. The sequential
+// Q_commu drainer resolved one send at a time — transmit, wait for the ack,
+// move on — so a round's communication floor was the per-node *sum* of
+// serialization plus ack RTT. The engine splits every send into two halves:
+//
+//   stage   — fix the payload bytes (encode output, forwarded frame, or raw
+//             serialization) on the drainer goroutine, in drainer order;
+//   resolve — transmit and wait for acknowledgement on a lane worker, with
+//             up to Window transfers of one directed link in flight at once.
+//
+// Staging on the drainer is what preserves bit-identity: payload bytes are
+// a pure function of the DAG state at the moment the send's dependencies
+// cleared, exactly as in the sequential loop — a ring accumulator is
+// serialized before any later merge can touch it, regardless of how long
+// the transfer then sits in a window. Resolution reuses the existing
+// reliable paths unchanged (scoreboard, RTO, φ-accrual, hedges), so health
+// semantics are identical; only the concurrency of waiting changed. The
+// ordered barrier merge on the receive side already makes result bytes
+// independent of arrival order, which is why completion order across a
+// window cannot affect them.
+//
+// Buffer lifetimes need no new machinery: every staged payload lives in the
+// round lease, which is released only after the engine's workers (and the
+// ack plane) have fully drained at teardown — the "retrying sender still
+// references them" discipline simply generalizes to W outstanding leases.
+
+// PipelineConfig tunes the live plane's send pipeline and ack path
+// (LiveConfig.Pipeline). The zero value reproduces the sequential engine.
+type PipelineConfig struct {
+	// Window is the per-directed-link sliding window: how many transfers of
+	// one src→dst link may be in flight (transmitted, awaiting ack) at
+	// once. ≤ 1 keeps the classic sequential behavior — one send lane per
+	// node, one transfer at a time. ≥ 2 gives every directed link its own
+	// lane with Window slots, so serialization and ack RTTs overlap both
+	// across links and within one link. Result bytes are identical for
+	// every Window (see the bit-identity notes above).
+	Window int
+	// AckBatch bounds receiver-side ack aggregation: when a link's ack
+	// worker finds several acknowledgements pending (a backlog the windowed
+	// sender creates naturally), up to AckBatch of them coalesce into one
+	// frame carrying per-transfer keys. ≤ 1 sends one frame per ack. An
+	// idle link still acks immediately — batches only form under backlog,
+	// so single-transfer RTT evidence is undistorted.
+	AckBatch int
+	// OverlapEncode decouples staging from window admission: the drainer
+	// stages the next transfer's payload while the link's window is full,
+	// so encode/serialize overlaps the wire instead of waiting for a slot.
+	// Off, staging itself waits for a free slot (bounding staged-but-unsent
+	// payload memory to Window per lane).
+	OverlapEncode bool
+}
+
+// pendingSend is one staged transfer queued on a lane: the graph task, the
+// fully built wire message (payload bytes frozen at staging time), and the
+// trace timestamp taken when the send left the drainer.
+type pendingSend struct {
+	id    int
+	t     *Task
+	msg   netsim.Message
+	start float64
+}
+
+// sendLane is one directed link's (or, sequentially, one node's) send
+// queue: staged transfers plus the count of workers currently resolving.
+type sendLane struct {
+	mu       sync.Mutex
+	queue    []pendingSend
+	inflight int
+	// sem holds the window slots when OverlapEncode is off: submit acquires
+	// a slot before staging, the worker releases it after resolution. Nil
+	// when staging is allowed to run ahead of the window.
+	sem chan struct{}
+}
+
+// sendEngine owns every lane of one round. Lanes are keyed per directed
+// link when Window ≥ 2, per node otherwise (Dst = -1), so the sequential
+// configuration keeps exactly the old one-send-at-a-time-per-node shape.
+type sendEngine struct {
+	r       *liveRound
+	window  int
+	perLink bool
+	overlap bool
+
+	mu    sync.Mutex
+	lanes map[LinkKey]*sendLane
+	wg    sync.WaitGroup
+
+	inflight atomic.Int64 // transfers currently resolving, across all lanes
+	maxDepth atomic.Int64 // high-water mark of queued+inflight on one lane
+	startNs  atomic.Int64 // engine-relative ns of the first staged send
+	endNs    atomic.Int64 // engine-relative ns of the last resolution
+	began    time.Time
+
+	gauge *telemetry.Gauge
+}
+
+func newSendEngine(r *liveRound, cfg PipelineConfig) *sendEngine {
+	e := &sendEngine{
+		r:       r,
+		window:  cfg.Window,
+		perLink: cfg.Window > 1,
+		overlap: cfg.OverlapEncode,
+		lanes:   map[LinkKey]*sendLane{},
+		began:   time.Now(),
+	}
+	if e.window < 1 {
+		e.window = 1
+	}
+	if r.met != nil {
+		e.gauge = r.met.Gauge(MetricLiveInflight,
+			"transfers currently in flight across all live send lanes")
+	}
+	return e
+}
+
+// lane returns (creating if needed) the lane a task resolves on.
+func (e *sendEngine) lane(t *Task) *sendLane {
+	key := LinkKey{Src: t.Node, Dst: -1}
+	if e.perLink {
+		key.Dst = t.Peer
+	}
+	e.mu.Lock()
+	l := e.lanes[key]
+	if l == nil {
+		l = &sendLane{}
+		if !e.overlap {
+			l.sem = make(chan struct{}, e.window)
+		}
+		e.lanes[key] = l
+	}
+	e.mu.Unlock()
+	return l
+}
+
+// submit stages a ready send task on the drainer goroutine and queues it on
+// its lane, spawning a lane worker when the window has a free slot. Staging
+// here — not on the worker — is load-bearing for bit-identity: payload
+// bytes are fixed in dependency-clearing order, before any concurrently
+// resolving transfer can advance the DAG past them.
+func (e *sendEngine) submit(rt *nodeRT, id int, t *Task) error {
+	r := e.r
+	if t.Exec != nil {
+		// Synthetic tasks (tests, probes) have no payload to stage; run
+		// them inline like the sequential loop did.
+		start := r.trc.Now()
+		if err := t.Exec(); err != nil {
+			return err
+		}
+		r.traceTask(t, start)
+		r.completeTask(id)
+		return nil
+	}
+	l := e.lane(t)
+	if l.sem != nil {
+		select {
+		case l.sem <- struct{}{}:
+		case <-r.doneCh:
+			return nil // round unwinding
+		}
+	}
+	start := r.trc.Now()
+	msg, err := r.stageSend(rt, t)
+	if err != nil {
+		return err
+	}
+	e.startNs.CompareAndSwap(0, e.sinceNs())
+	l.mu.Lock()
+	l.queue = append(l.queue, pendingSend{id: id, t: t, msg: msg, start: start})
+	depth := int64(len(l.queue) + l.inflight)
+	spawn := l.inflight < e.window
+	if spawn {
+		l.inflight++
+	}
+	l.mu.Unlock()
+	for {
+		cur := e.maxDepth.Load()
+		if depth <= cur || e.maxDepth.CompareAndSwap(cur, depth) {
+			break
+		}
+	}
+	if spawn {
+		e.wg.Add(1)
+		go e.drain(l)
+	}
+	return nil
+}
+
+// drain is one window slot's worker: it resolves staged transfers in lane
+// FIFO order and exits when the lane empties or the round unwinds. Workers
+// per lane never exceed the window, so at most Window transfers of one lane
+// are between transmit and ack at any moment.
+func (e *sendEngine) drain(l *sendLane) {
+	defer e.wg.Done()
+	r := e.r
+	for {
+		select {
+		case <-r.doneCh:
+			l.mu.Lock()
+			l.inflight--
+			l.mu.Unlock()
+			return
+		default:
+		}
+		l.mu.Lock()
+		if len(l.queue) == 0 {
+			l.inflight--
+			l.mu.Unlock()
+			return
+		}
+		p := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		in := e.inflight.Add(1)
+		if e.gauge != nil {
+			e.gauge.Set(float64(in))
+		}
+		err := r.resolveSend(p.msg)
+		in = e.inflight.Add(-1)
+		if e.gauge != nil {
+			e.gauge.Set(float64(in))
+		}
+		e.endNs.Store(e.sinceNs())
+		if l.sem != nil {
+			<-l.sem
+		}
+		if err != nil {
+			r.fail(err)
+			l.mu.Lock()
+			l.inflight--
+			l.mu.Unlock()
+			return
+		}
+		r.traceTask(p.t, p.start)
+		r.completeTask(p.id)
+	}
+}
+
+// wait blocks until every lane worker has exited. Called at round teardown
+// after the per-node drainers stopped (no further submits) and doneCh
+// closed, and before the round lease releases — staged payloads stay valid
+// for as long as any windowed send might still reference them.
+func (e *sendEngine) wait() { e.wg.Wait() }
+
+// sinceNs is the engine-relative monotonic clock (ns, clamped ≥ 1 so a
+// stored value is distinguishable from "never").
+func (e *sendEngine) sinceNs() int64 {
+	d := time.Since(e.began).Nanoseconds()
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// sendWallNs reports the wall-clock span from the first staged send to the
+// last resolution — the round's measured communication floor.
+func (e *sendEngine) sendWallNs() int64 {
+	s, n := e.startNs.Load(), e.endNs.Load()
+	if s == 0 || n < s {
+		return 0
+	}
+	return n - s
+}
+
+// --- ack plane ---------------------------------------------------------------
+
+// ackQueueCap bounds each directed link's pending-ack queue. A full queue
+// drops the ack: the sender's retransmit plus the receiver's idempotent
+// dedup re-ack recover it, exactly like a wire loss.
+const ackQueueCap = 1024
+
+// ackPlane replaces the one-goroutine-per-ack send path with one bounded
+// worker per directed link: dispatchers enqueue, the worker transmits —
+// coalescing backlogged acks into batched frames when AckBatch allows.
+type ackPlane struct {
+	r     *liveRound
+	batch int
+
+	mu    sync.Mutex
+	links map[LinkKey]*ackLink
+}
+
+// ackLink is one directed link's ack queue and its (single) worker's state.
+// seq is worker-private: the per-link sequence number stamped into batched
+// frames so the chaos plane's per-(step, attempt) fault rolls stay fresh.
+type ackLink struct {
+	mu      sync.Mutex
+	pending []netsim.Message
+	started bool
+	wake    chan struct{}
+	seq     int
+}
+
+func newAckPlane(r *liveRound, batch int) *ackPlane {
+	if batch < 1 {
+		batch = 1
+	}
+	return &ackPlane{r: r, batch: batch, links: map[LinkKey]*ackLink{}}
+}
+
+// enqueue hands an outbound ack or heartbeat echo to its link's worker,
+// never blocking the calling dispatcher (a blocked ack path could deadlock
+// two full inboxes against each other). Workers start lazily and register
+// on ackWG; enqueue only runs on dispatcher goroutines inside wg, so every
+// Add happens before run()'s wg.Wait — which precedes ackWG.Wait, the
+// ordering the teardown comment in run relies on.
+func (a *ackPlane) enqueue(msg netsim.Message) {
+	key := LinkKey{Src: msg.From, Dst: msg.To}
+	a.mu.Lock()
+	l := a.links[key]
+	if l == nil {
+		l = &ackLink{wake: make(chan struct{}, 1)}
+		a.links[key] = l
+	}
+	a.mu.Unlock()
+
+	l.mu.Lock()
+	if len(l.pending) >= ackQueueCap {
+		l.mu.Unlock()
+		return // overload: drop, sender-side retry recovers
+	}
+	l.pending = append(l.pending, msg)
+	start := !l.started
+	l.started = true
+	l.mu.Unlock()
+	if start {
+		a.r.ackWG.Add(1)
+		go a.run(l)
+	}
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is one link's ack worker: swap out the pending queue, flush it, sleep
+// until woken. It exits when the round unwinds (unflushed acks are then
+// moot — every reliableSend waiter unblocks on doneCh).
+func (a *ackPlane) run(l *ackLink) {
+	defer a.r.ackWG.Done()
+	for {
+		select {
+		case <-a.r.doneCh:
+			return
+		case <-l.wake:
+		}
+		for {
+			l.mu.Lock()
+			batch := l.pending
+			l.pending = nil
+			l.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			a.flush(l, batch)
+		}
+	}
+}
+
+// flush transmits one swap's worth of pending messages. Heartbeat echoes go
+// out individually — their Step is an RTT timestamp that batching must not
+// delay behind a blocked data frame's worth of acks. Plain acks coalesce
+// into chunks of at most a.batch: a chunk of one keeps the classic frame
+// shape (so AckBatch ≤ 1 is byte-for-byte today's wire behavior), a larger
+// chunk rides one frame whose AckBatch field carries the per-transfer keys,
+// with the link sequence number in Step and the chunk size in Attempt.
+func (a *ackPlane) flush(l *ackLink, msgs []netsim.Message) {
+	r := a.r
+	var acks []netsim.Message
+	for _, m := range msgs {
+		if m.Heartbeat {
+			if err := r.tr.Send(m); err != nil {
+				r.noteSendError(m, err)
+			}
+			continue
+		}
+		acks = append(acks, m)
+	}
+	for len(acks) > 0 {
+		n := len(acks)
+		if n > a.batch {
+			n = a.batch
+		}
+		chunk := acks[:n]
+		acks = acks[n:]
+		if n == 1 {
+			if err := r.tr.Send(chunk[0]); err != nil {
+				r.noteSendError(chunk[0], err)
+			}
+			continue
+		}
+		refs := make([]netsim.AckRef, n)
+		for i, m := range chunk {
+			refs[i] = netsim.AckRef{Gradient: m.Gradient, Step: m.Step, Attempt: m.Attempt}
+		}
+		l.seq++
+		batched := netsim.Message{From: chunk[0].From, To: chunk[0].To, Ack: true,
+			Step: l.seq, Attempt: n, AckBatch: refs}
+		atomic.AddInt64(&r.rs.ackBatched, int64(n))
+		if err := r.tr.Send(batched); err != nil {
+			r.noteSendError(batched, err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hipress/internal/netsim"
+)
+
+// This file pins the pipelined send engine's contract: windowed per-link
+// sends and batched acks change when bytes move, never which bytes a round
+// produces; the per-link ack workers leave nothing running after teardown;
+// and the coalescing path emits exactly the frames its spec describes.
+
+// wireChaosTCP returns the socket options the wire-chaos parity tests use:
+// aggressive mid-stream cuts plus one corrupted byte per connection.
+func wireChaosTCP() *netsim.TCPOptions {
+	return &netsim.TCPOptions{
+		RedialAttempts:  6,
+		IdleReadTimeout: 40 * time.Millisecond,
+		Chaos: &netsim.WireChaosConfig{
+			Seed:          77,
+			CutProb:       0.9,
+			CutAfterMax:   600,
+			CorruptProb:   1,
+			CorruptWindow: 64,
+		},
+	}
+}
+
+// TestPipelineWindowBitIdentity is the tentpole's acceptance table: for
+// each algorithm, every (window, transport) arm — including real TCP and
+// TCP under wire chaos — must produce per-round digests byte-identical to
+// the classic sequential engine on the chan transport. Result bytes are a
+// pure function of the plan epoch; the window, ack batching, and completion
+// order never leak into them.
+func TestPipelineWindowBitIdentity(t *testing.T) {
+	const n, rounds = 3, 2
+	transports := []struct {
+		name   string
+		mutate func(*LiveConfig)
+	}{
+		{"chan", func(c *LiveConfig) {}},
+		{"tcp", func(c *LiveConfig) { c.Transport = "tcp" }},
+		{"tcpchaos", func(c *LiveConfig) {
+			c.Transport = "tcp"
+			c.TCP = wireChaosTCP()
+		}},
+	}
+	for _, algo := range []string{"onebit", "dgc"} {
+		// Reference: the zero-value Pipeline config — the sequential engine —
+		// on the chan transport.
+		ref := tcpParityConfig()
+		ref.Algo = algo
+		want, _ := runDigests(t, ref, n, rounds)
+		for _, tr := range transports {
+			for _, w := range []int{1, 2, 4, 8} {
+				t.Run(fmt.Sprintf("%s/%s/w%d", algo, tr.name, w), func(t *testing.T) {
+					cfg := tcpParityConfig()
+					cfg.Algo = algo
+					cfg.Pipeline = PipelineConfig{
+						Window: w, AckBatch: 4, OverlapEncode: w > 1,
+					}
+					tr.mutate(&cfg)
+					got, health := runDigests(t, cfg, n, rounds)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: digest %016x != sequential chan reference %016x (health %+v)",
+								i, got[i], want[i], health)
+						}
+					}
+					// The engine's health surface must carry evidence of the
+					// send span on every configuration.
+					if health.SendWallNs <= 0 {
+						t.Fatalf("round reported no send-wall span: %+v", health)
+					}
+					if health.MaxLinkQueueDepth < 1 {
+						t.Fatalf("round reported no lane occupancy: %+v", health)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPipelineAckWorkersExitCleanly: the per-link ack workers (and the lane
+// workers) registered during pipelined rounds must all be gone once the
+// rounds complete — the regression test for the goroutine-per-ack path this
+// plane replaced.
+func TestPipelineAckWorkersExitCleanly(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cfg := tcpParityConfig()
+	cfg.Pipeline = PipelineConfig{Window: 4, AckBatch: 8, OverlapEncode: true}
+	_, health := runDigests(t, cfg, 3, 3)
+	if health.SendWallNs <= 0 || health.MaxLinkQueueDepth < 1 {
+		t.Fatalf("pipelined round missing engine health evidence: %+v", health)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after pipelined rounds: %d > %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// gatedTransport is a Transport stub whose Send records the frame, announces
+// it, then blocks until released — letting a test hold an ack worker inside
+// one transmission while a backlog builds behind it.
+type gatedTransport struct {
+	mu      sync.Mutex
+	sent    []netsim.Message
+	arrived chan struct{}
+	proceed chan struct{}
+}
+
+func newGatedTransport() *gatedTransport {
+	return &gatedTransport{arrived: make(chan struct{}), proceed: make(chan struct{})}
+}
+
+func (g *gatedTransport) Send(m netsim.Message) error {
+	g.mu.Lock()
+	g.sent = append(g.sent, m)
+	g.mu.Unlock()
+	g.arrived <- struct{}{}
+	<-g.proceed
+	return nil
+}
+
+func (g *gatedTransport) Recv(int) (netsim.Message, bool) { return netsim.Message{}, false }
+func (g *gatedTransport) Close()                          {}
+
+// release lets exactly one blocked Send complete and waits for the next one
+// to arrive (or returns after none shows up, for the final frame).
+func (g *gatedTransport) frames() []netsim.Message {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]netsim.Message, len(g.sent))
+	copy(out, g.sent)
+	return out
+}
+
+// TestAckPlaneCoalescesBacklog drives the ack plane directly: with the
+// link's worker held inside its first transmission, five more acks and a
+// heartbeat echo queue behind it. On release the worker must flush the
+// backlog as (heartbeat individually) + (one batched frame of AckBatch=4
+// keys) + (one classic single-ack frame), exactly — and account the four
+// coalesced acks on the round's counter.
+func TestAckPlaneCoalescesBacklog(t *testing.T) {
+	gt := newGatedTransport()
+	r := &liveRound{tr: gt, rs: &roundState{}, doneCh: make(chan struct{})}
+	a := newAckPlane(r, 4)
+
+	ack := func(grad string, step int) netsim.Message {
+		return netsim.Message{From: 1, To: 0, Gradient: grad, Step: step, Attempt: 1, Ack: true}
+	}
+	a.enqueue(ack("g/p0", 10))
+	<-gt.arrived // worker now blocked inside the first ack's Send
+	for i := 1; i <= 5; i++ {
+		a.enqueue(ack(fmt.Sprintf("g/p%d", i), 10+i))
+	}
+	a.enqueue(netsim.Message{From: 1, To: 0, Gradient: "hb", Step: 999, Heartbeat: true})
+	gt.proceed <- struct{}{} // release; worker swaps the 6-deep backlog
+	for i := 0; i < 3; i++ { // heartbeat, batch, trailing single
+		<-gt.arrived
+		gt.proceed <- struct{}{}
+	}
+
+	frames := gt.frames()
+	if len(frames) != 4 {
+		t.Fatalf("ack plane sent %d frames, want 4: %+v", len(frames), frames)
+	}
+	if frames[0].Gradient != "g/p0" || len(frames[0].AckBatch) != 0 {
+		t.Fatalf("first ack not a classic single frame: %+v", frames[0])
+	}
+	if !frames[1].Heartbeat || frames[1].Step != 999 {
+		t.Fatalf("heartbeat echo not transmitted individually: %+v", frames[1])
+	}
+	batch := frames[2]
+	if !batch.Ack || len(batch.AckBatch) != 4 || batch.Attempt != 4 || batch.Step != 1 {
+		t.Fatalf("backlog did not coalesce into one 4-key frame: %+v", batch)
+	}
+	for i, ref := range batch.AckBatch {
+		want := netsim.AckRef{Gradient: fmt.Sprintf("g/p%d", i+1), Step: 11 + i, Attempt: 1}
+		if ref != want {
+			t.Fatalf("batched key %d = %+v, want %+v", i, ref, want)
+		}
+	}
+	if frames[3].Gradient != "g/p5" || len(frames[3].AckBatch) != 0 {
+		t.Fatalf("trailing ack not a classic single frame: %+v", frames[3])
+	}
+	if got := r.rs.ackBatched; got != 4 {
+		t.Fatalf("ackBatched counter = %d, want 4 (only coalesced acks count)", got)
+	}
+
+	// Teardown contract: closing doneCh must stop the worker.
+	close(r.doneCh)
+	done := make(chan struct{})
+	go func() { r.ackWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ack worker did not exit on doneCh")
+	}
+}
+
+// TestAckPlaneDispatchRoundTrip: a batched ack frame arriving at a reliable
+// sender must resolve every referenced transfer on the scoreboard — the
+// receive half of the coalescing path, driven through a real pipelined
+// round with a batching-friendly window so end-to-end rounds actually
+// exercise it. Gated on the counter so the test fails if batching silently
+// stops happening.
+func TestAckPlaneDispatchRoundTrip(t *testing.T) {
+	cfg := tcpParityConfig()
+	cfg.Pipeline = PipelineConfig{Window: 8, AckBatch: 8, OverlapEncode: true}
+	// A modest bandwidth cap holds data frames on the wire long enough for
+	// ack backlogs to form deterministically behind them.
+	cfg.Chaos = &netsim.ChaosConfig{Seed: 3,
+		Default: netsim.LinkFaults{Bandwidth: 4 << 20}}
+	lc, err := NewLiveCluster(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]int{"w1": 30 << 10, "w2": 20 << 10, "w3": 10 << 10}
+	var batched int64
+	for round := 0; round < 3; round++ {
+		grads, _ := makeGrads(uint64(300+round), 3, sizes)
+		_, health, err := lc.SyncRoundContext(context.Background(), grads)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		batched += health.AckBatched
+	}
+	if batched == 0 {
+		t.Fatal("no acks coalesced across 3 backlogged pipelined rounds; batching is dead")
+	}
+}

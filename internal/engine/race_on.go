@@ -1,0 +1,10 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that the race detector is active. The detector
+// multiplies CPU cost 10-20x, so wall-clock throughput gates inside
+// experiments are meaningless (simulated bandwidth sleeps no longer
+// dominate); such gates are skipped while correctness gates (digests,
+// switch counts) stay enforced.
+const raceEnabled = true

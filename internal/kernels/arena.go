@@ -90,6 +90,26 @@ func (l *Lease) F32(n int) []float32 {
 	return bytesAsF32(b.b)[:n]
 }
 
+// Adopt splices every buffer held by other into l and resets other, so the
+// adopted buffers now release with l. This is the multi-lease checkout
+// pattern of the pipelined live plane: a sender checks buffers out through
+// a private scratch lease without contending on the round lease's lock,
+// then hands ownership over once the payload is staged. Both leases must be
+// externally synchronized as usual; adopting a lease into itself or an
+// empty/nil lease is a no-op.
+func (l *Lease) Adopt(other *Lease) {
+	if other == nil || other == l || other.head == nil {
+		return
+	}
+	tail := other.head
+	for tail.next != nil {
+		tail = tail.next
+	}
+	tail.next = l.head
+	l.head = other.head
+	other.head = nil
+}
+
 // Release returns every buffer checked out through the lease to the arena
 // and resets the lease for reuse. Buffers must no longer be referenced by
 // the caller after Release.

@@ -149,6 +149,48 @@ func TestLeaseReusesBuffers(t *testing.T) {
 	}
 }
 
+func TestLeaseAdopt(t *testing.T) {
+	var round, scratch Lease
+	pre := round.Bytes(100) // already held by the destination
+	a := scratch.Bytes(200)
+	b := scratch.F32(300)
+	round.Adopt(&scratch)
+	if scratch.head != nil {
+		t.Fatal("adopted lease not reset")
+	}
+	// The adopted buffers must still be writable (not returned to pools).
+	pre[99], a[199], b[299] = 1, 2, 3
+	// Releasing the destination must return all three: walk the intrusive
+	// list before releasing to count what it holds.
+	n := 0
+	for w := round.head; w != nil; w = w.next {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("destination lease holds %d buffers after Adopt, want 3", n)
+	}
+	round.Release()
+	if round.head != nil {
+		t.Fatal("release did not empty the lease")
+	}
+
+	// Degenerate cases are no-ops, not corruption.
+	var l, empty Lease
+	x := l.Bytes(10)
+	l.Adopt(nil)
+	l.Adopt(&l)
+	l.Adopt(&empty)
+	n = 0
+	for w := l.head; w != nil; w = w.next {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("degenerate Adopts changed the lease: %d buffers, want 1", n)
+	}
+	x[9] = 1
+	l.Release()
+}
+
 func TestLeaseOversizeFallsThrough(t *testing.T) {
 	var l Lease
 	huge := 1<<maxClassBits + 1

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"hash/crc32"
+	"slices"
 	"testing"
 )
 
@@ -32,6 +33,8 @@ func FuzzFrameDecode(f *testing.F) {
 		{Message{From: 0, To: 3, Gradient: "hb", Step: 123456789, Attempt: 12, Heartbeat: true}, 3},
 		{Message{From: 3, To: 0, Gradient: "hb", Step: 123456789, Attempt: 12, Ack: true, Heartbeat: true}, 0xffffffff},
 		{Message{From: -1, To: 0, Gradient: "", Step: -9, Attempt: 0, Payload: []byte("x")}, 9},
+		{Message{From: 2, To: 1, Ack: true, Step: 5, Attempt: 2, AckBatch: []AckRef{
+			{Gradient: "g/p0", Step: 7, Attempt: 1}, {Gradient: "g/p1", Step: 9}}}, 4},
 		{Message{}, 0},
 	}
 	for _, s := range seeds {
@@ -78,7 +81,8 @@ func FuzzFrameDecode(f *testing.F) {
 		if msg2.From != msg.From || msg2.To != msg.To || msg2.Gradient != msg.Gradient ||
 			msg2.Step != msg.Step || msg2.Attempt != msg.Attempt || msg2.Ack != msg.Ack ||
 			msg2.Heartbeat != msg.Heartbeat ||
-			msg2.Sum != msg.Sum || !bytes.Equal(msg2.Payload, msg.Payload) {
+			msg2.Sum != msg.Sum || !bytes.Equal(msg2.Payload, msg.Payload) ||
+			!slices.Equal(msg2.AckBatch, msg.AckBatch) {
 			t.Fatalf("decode not deterministic: %+v vs %+v", msg, msg2)
 		}
 	})

@@ -93,6 +93,23 @@ type Message struct {
 	Sum uint32
 	// Payload is the (possibly compressed) bytes on the wire.
 	Payload []byte
+	// AckBatch, when non-empty, turns the message into a coalesced
+	// acknowledgement: one frame settling several transfers on the same
+	// directed link, each identified by its own (Gradient, Step) key. The
+	// pipelined live plane's per-link ack workers emit these under backlog
+	// to cut ack-path frame count; Gradient/Step/Attempt on the message
+	// itself are then free for a per-link sequence number. On the TCP
+	// transport the batch is carried in the payload region under a
+	// dedicated frame flag.
+	AckBatch []AckRef
+}
+
+// AckRef identifies one transfer inside a batched acknowledgement, mirroring
+// the (Gradient, Step, Attempt) triple a standalone ack frame carries.
+type AckRef struct {
+	Gradient string
+	Step     int
+	Attempt  int
 }
 
 // Transport is the live-plane communication substrate: reliable, ordered

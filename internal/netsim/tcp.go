@@ -26,8 +26,19 @@ import (
 // Frame format v2 (little-endian), after the u32 length prefix:
 //
 //	u32 fsum | u8 version (=2) | u32 gen | u32 from | u32 to | u64 step |
-//	u32 sum | u16 attempt | u8 flags (bit0 = Ack, bit1 = Heartbeat) |
-//	u16 gradLen | grad | payload
+//	u32 sum | u16 attempt | u8 flags (bit0 = Ack, bit1 = Heartbeat,
+//	bit2 = AckBatch) | u16 gradLen | grad | payload
+//
+// With bit2 set the payload region carries a batched acknowledgement
+// instead of gradient bytes:
+//
+//	u16 count | count × (u64 step | u16 attempt | u16 gradLen | grad)
+//
+// The encoding is canonical (count ≥ 1, no trailing bytes), so an accepted
+// batch frame round-trips exactly like every other frame. fsum covers the
+// batch like any body byte: a wire-corrupted batch is dropped whole, the
+// unacknowledged senders retransmit, and the receiver's dedup path re-acks
+// — the same recovery as a lost standalone ack.
 //
 // fsum is a CRC-32 (IEEE) over every body byte after itself. The live
 // plane's own checksum (sum) only covers the payload, so without fsum a
@@ -527,7 +538,11 @@ func decodeHello(b []byte) (int, uint32, error) {
 // session generation, stamping the frame checksum over everything after it.
 func encodeFrame(msg Message, gen uint32) []byte {
 	grad := []byte(msg.Gradient)
-	frameLen := frameHdrLen + len(grad) + len(msg.Payload)
+	payload := msg.Payload
+	if len(msg.AckBatch) > 0 {
+		payload = encodeAckBatch(msg.AckBatch)
+	}
+	frameLen := frameHdrLen + len(grad) + len(payload)
 	out := make([]byte, 4+frameLen)
 	binary.LittleEndian.PutUint32(out[0:], uint32(frameLen))
 	out[8] = frameVersion
@@ -543,11 +558,67 @@ func encodeFrame(msg Message, gen uint32) []byte {
 	if msg.Heartbeat {
 		out[35] |= 2
 	}
+	if len(msg.AckBatch) > 0 {
+		out[35] |= 4
+	}
 	binary.LittleEndian.PutUint16(out[36:], uint16(len(grad)))
 	copy(out[38:], grad)
-	copy(out[38+len(grad):], msg.Payload)
+	copy(out[38+len(grad):], payload)
 	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(out[8:]))
 	return out
+}
+
+// encodeAckBatch serializes batched-ack entries into the frame payload
+// region: u16 count, then per entry u64 step | u16 attempt | u16 gradLen |
+// grad.
+func encodeAckBatch(refs []AckRef) []byte {
+	size := 2
+	for _, ref := range refs {
+		size += 8 + 2 + 2 + len(ref.Gradient)
+	}
+	out := make([]byte, size)
+	binary.LittleEndian.PutUint16(out[0:], uint16(len(refs)))
+	off := 2
+	for _, ref := range refs {
+		binary.LittleEndian.PutUint64(out[off:], uint64(int64(ref.Step)))
+		binary.LittleEndian.PutUint16(out[off+8:], uint16(ref.Attempt))
+		binary.LittleEndian.PutUint16(out[off+10:], uint16(len(ref.Gradient)))
+		copy(out[off+12:], ref.Gradient)
+		off += 12 + len(ref.Gradient)
+	}
+	return out
+}
+
+// decodeAckBatch parses a batched-ack payload, rejecting non-canonical
+// encodings (zero entries, truncation, trailing bytes) so accepted batch
+// frames round-trip exactly.
+func decodeAckBatch(b []byte) ([]AckRef, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("netsim: ack batch truncated: %d bytes", len(b))
+	}
+	count := int(binary.LittleEndian.Uint16(b[0:]))
+	if count == 0 {
+		return nil, fmt.Errorf("netsim: ack batch with zero entries")
+	}
+	refs := make([]AckRef, 0, count)
+	off := 2
+	for i := 0; i < count; i++ {
+		if off+12 > len(b) {
+			return nil, fmt.Errorf("netsim: ack batch entry %d/%d truncated at offset %d", i, count, off)
+		}
+		step := int(int64(binary.LittleEndian.Uint64(b[off:])))
+		attempt := int(binary.LittleEndian.Uint16(b[off+8:]))
+		gradLen := int(binary.LittleEndian.Uint16(b[off+10:]))
+		if off+12+gradLen > len(b) {
+			return nil, fmt.Errorf("netsim: ack batch entry %d/%d gradient length %d exceeds payload", i, count, gradLen)
+		}
+		refs = append(refs, AckRef{Gradient: string(b[off+12 : off+12+gradLen]), Step: step, Attempt: attempt})
+		off += 12 + gradLen
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("netsim: ack batch with %d trailing bytes", len(b)-off)
+	}
+	return refs, nil
 }
 
 // decodeFrame validates and decodes one v2 frame body (without the u32
@@ -573,7 +644,7 @@ func decodeFrame(frame []byte) (Message, uint32, error) {
 	sum := binary.LittleEndian.Uint32(frame[25:])
 	attempt := int(binary.LittleEndian.Uint16(frame[29:]))
 	flags := frame[31]
-	if flags&^3 != 0 {
+	if flags&^7 != 0 {
 		return Message{}, 0, fmt.Errorf("netsim: frame with unknown flags 0x%02x", flags)
 	}
 	gradLen := int(binary.LittleEndian.Uint16(frame[32:]))
@@ -582,10 +653,18 @@ func decodeFrame(frame []byte) (Message, uint32, error) {
 			gradLen, len(frame)-frameHdrLen)
 	}
 	grad := string(frame[frameHdrLen : frameHdrLen+gradLen])
-	payload := append([]byte(nil), frame[frameHdrLen+gradLen:]...)
-	return Message{From: from, To: to, Gradient: grad, Step: step,
-		Attempt: attempt, Ack: flags&1 != 0, Heartbeat: flags&2 != 0,
-		Sum: sum, Payload: payload}, gen, nil
+	msg := Message{From: from, To: to, Gradient: grad, Step: step,
+		Attempt: attempt, Ack: flags&1 != 0, Heartbeat: flags&2 != 0, Sum: sum}
+	if flags&4 != 0 {
+		refs, err := decodeAckBatch(frame[frameHdrLen+gradLen:])
+		if err != nil {
+			return Message{}, 0, err
+		}
+		msg.AckBatch = refs
+		return msg, gen, nil
+	}
+	msg.Payload = append([]byte(nil), frame[frameHdrLen+gradLen:]...)
+	return msg, gen, nil
 }
 
 // Send implements Transport. A write failure (stalled peer, mid-stream cut,

@@ -31,6 +31,11 @@ type Config struct {
 	ErrorFeedback bool
 	// Parts partitions each gradient during synchronization.
 	Parts int
+	// Pipeline tunes the live plane's pipelined send engine (per-link
+	// in-flight windows, ack batching, encode/transfer overlap). The zero
+	// value keeps sequential sends; any setting yields bit-identical
+	// training trajectories — it changes round latency, never round bytes.
+	Pipeline core.PipelineConfig
 
 	// LR is the SGD learning rate; Batch the per-worker minibatch size;
 	// Iters the iteration count.
@@ -154,6 +159,7 @@ func TrainLinear(task *LinearTask, cfg Config) (*Curve, []float32, error) {
 		Params:        cfg.Params,
 		ErrorFeedback: cfg.ErrorFeedback,
 		Parts:         cfg.Parts,
+		Pipeline:      cfg.Pipeline,
 		Telemetry:     cfg.Telemetry,
 		Autotune:      cfg.Autotune,
 	})
@@ -404,6 +410,7 @@ func TrainMLP(task *MLPTask, cfg Config) (*Curve, error) {
 		Params:        cfg.Params,
 		ErrorFeedback: cfg.ErrorFeedback,
 		Parts:         cfg.Parts,
+		Pipeline:      cfg.Pipeline,
 		Telemetry:     cfg.Telemetry,
 		Autotune:      cfg.Autotune,
 	})
