@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz check bench clean
+.PHONY: all build test race vet lint fuzz check bench clean
 
 all: build
 
@@ -12,6 +12,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# The invariant-enforcement suite (internal/analysis): six analyzers encoding
+# the determinism, lease, WaitGroup-ordering, typed-error, telemetry-access,
+# and decoder-bounds contracts. Exits nonzero on any unsuppressed finding;
+# see DESIGN.md "Analysis plane" for the //hipress: directive grammar.
+lint:
+	$(GO) run ./cmd/hipress-vet ./...
 
 # Race-enabled test run; the live fault-plane tests are the main
 # beneficiaries (retry/dedup/degradation paths are heavily concurrent).
@@ -36,9 +43,9 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPhiDetector -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzPlanEpochDecode -fuzztime=10s ./internal/core/
 
-# The gate used before committing: vet + full race-enabled test suite +
-# fuzz smoke.
-check: vet race fuzz
+# The gate used before committing: vet + the invariant suite + full
+# race-enabled test suite + fuzz smoke.
+check: vet lint race fuzz
 
 bench:
 	$(GO) run ./cmd/hipress-bench all

@@ -156,7 +156,7 @@ func writeObservability(tel *hipress.Telemetry, traceOut, metricsOut string) err
 		if err != nil {
 			return err
 		}
-		if err := tel.Tracer.WriteChromeTrace(f); err != nil {
+		if err := tel.T().WriteChromeTrace(f); err != nil {
 			f.Close()
 			return err
 		}
@@ -169,7 +169,7 @@ func writeObservability(tel *hipress.Telemetry, traceOut, metricsOut string) err
 		if err != nil {
 			return err
 		}
-		if err := tel.Metrics.WritePrometheus(f); err != nil {
+		if err := tel.M().WritePrometheus(f); err != nil {
 			f.Close()
 			return err
 		}

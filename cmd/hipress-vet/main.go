@@ -1,0 +1,73 @@
+// Command hipress-vet is the multichecker driver for the repository's
+// invariant-enforcement suite (internal/analysis): six analyzers encoding
+// the determinism, lease, concurrency, typed-error, telemetry, and decoder
+// contracts the planes rely on. It exits nonzero when any diagnostic
+// survives the //hipress: suppression directives, so `make lint` (and CI)
+// gate on a clean tree.
+//
+// Usage:
+//
+//	hipress-vet [-C dir] [-only determinism,wgorder] [-list] [packages...]
+//
+// Packages default to ./... and use go list pattern syntax, resolved
+// relative to -C (default: the current directory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hipress/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hipress-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: hipress-vet [-C dir] [-only names] [-list] [packages...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range suite.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := suite.Select(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "hipress-vet:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := suite.Run(*dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "hipress-vet:", err)
+		return 2
+	}
+	base, err := filepath.Abs(*dir)
+	if err != nil {
+		base = *dir
+	}
+	suite.Print(stdout, base, res.Diagnostics)
+	if n := len(res.Diagnostics); n > 0 {
+		fmt.Fprintf(stderr, "hipress-vet: %d finding(s) across %d package(s)\n", n, res.Packages)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListNamesAllAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"determinism", "leasecheck", "wgorder", "errtyped", "telemetrysafe", "framebounds"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownFlagExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nosuchflag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-nosuchflag) = %d, want 2", code)
+	}
+}
+
+func TestUnknownAnalyzerExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "nosuch", "."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-only nosuch) = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "nosuch") {
+		t.Errorf("stderr does not name the unknown analyzer:\n%s", stderr.String())
+	}
+}
+
+func TestSelfPackageIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(.) over cmd/hipress-vet = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}

@@ -1,0 +1,225 @@
+// Package analysis is the invariant-enforcement plane: a minimal, offline
+// reimplementation of the golang.org/x/tools/go/analysis surface that the
+// hipress-vet analyzers build on.
+//
+// The repository's correctness story — result bytes are a pure function of
+// the plan epoch — rests on a handful of contracts that ordinary tests can
+// only re-prove, not protect: no wall-clock or unseeded randomness on
+// serialization paths, every kernels.Lease checkout reaching Release or
+// Adopt, no WaitGroup.Add reachable after Wait, errors.Is/As instead of ==,
+// nil-safe telemetry access, and length guards ahead of decoder indexing.
+// Each contract is encoded as an Analyzer in a subpackage of this one and
+// enforced by cmd/hipress-vet at `make lint` time.
+//
+// The build environment is hermetic (no module proxy), so the real x/tools
+// module cannot be a dependency; this package mirrors the narrow slice of
+// its API the suite needs — Analyzer, Pass, Reportf — on top of a loader
+// (loader.go) that resolves imports from compiler export data via
+// `go list -export`. Swapping the suite onto x/tools later is a matter of
+// changing imports: analyzer Run functions only see the shared Pass shape.
+//
+// # Suppression directives
+//
+// A diagnostic is suppressed by a comment of the form
+//
+//	//hipress:<name> [rationale...]
+//
+// placed on the flagged line or the line directly above it, where <name> is
+// the reporting analyzer's name or one of its aliases (e.g. the determinism
+// analyzer answers to "wallclock", "maporder", and "rand"). The rationale
+// text is free-form but expected: a suppression documents a deliberate
+// exception, not a silenced warning. The separate file-scoped marker
+//
+//	//hipress:critical
+//
+// opts a file *into* the determinism-critical scope that the determinism and
+// framebounds analyzers otherwise restrict to the known codec packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker, mirroring the x/tools shape.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives ("determinism", "leasecheck", ...).
+	Name string
+	// Doc is a one-paragraph description printed by `hipress-vet -list`.
+	Doc string
+	// Aliases are additional directive names that suppress this analyzer's
+	// diagnostics; Name always works.
+	Aliases []string
+	// Run reports the analyzer's diagnostics for one package through
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one reported finding, carrying a resolved file position so
+// drivers and tests can render and sort without a FileSet.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical "file:line:col: analyzer: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one (analyzer, package) unit of work. Analyzer Run functions
+// read the syntax and type information and call Reportf.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	suppressed int
+	// directives maps "file:line" to the directive names present there.
+	directives map[string][]string
+	// fileDirectives maps a file's name to its file-scoped directive names.
+	fileDirectives map[string][]string
+}
+
+// NewPass assembles a pass over a loaded package for one analyzer,
+// pre-scanning comments for suppression directives.
+func NewPass(a *Analyzer, pkg *Package) *Pass {
+	p := &Pass{
+		Analyzer:       a,
+		Fset:           pkg.Fset,
+		Files:          pkg.Files,
+		Pkg:            pkg.Types,
+		TypesInfo:      pkg.Info,
+		directives:     map[string][]string{},
+		fileDirectives: map[string][]string{},
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				p.directives[key] = append(p.directives[key], name)
+				p.fileDirectives[pos.Filename] = append(p.fileDirectives[pos.Filename], name)
+			}
+		}
+	}
+	return p
+}
+
+// parseDirective extracts the name from a "//hipress:<name> ..." comment.
+func parseDirective(text string) (string, bool) {
+	const prefix = "//hipress:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// matchesDirective reports whether a directive name addresses this pass's
+// analyzer.
+func (p *Pass) matchesDirective(name string) bool {
+	if name == p.Analyzer.Name {
+		return true
+	}
+	for _, alias := range p.Analyzer.Aliases {
+		if name == alias {
+			return true
+		}
+	}
+	return false
+}
+
+// SuppressedAt reports whether a matching directive covers the given
+// position (same line or the line directly above).
+func (p *Pass) SuppressedAt(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		key := fmt.Sprintf("%s:%d", position.Filename, line)
+		for _, name := range p.directives[key] {
+			if p.matchesDirective(name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileHasDirective reports whether the file containing pos carries the named
+// directive anywhere (used for the file-scoped //hipress:critical marker).
+func (p *Pass) FileHasDirective(file *ast.File, name string) bool {
+	filename := p.Fset.Position(file.Pos()).Filename
+	for _, d := range p.fileDirectives[filename] {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic at pos unless a suppression directive covers
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.SuppressedAt(pos) {
+		p.suppressed++
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far, and Suppressed the count
+// of findings a directive absorbed.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// Suppressed returns how many reports a //hipress: directive absorbed.
+func (p *Pass) Suppressed() int { return p.suppressed }
+
+// RunAnalyzer executes one analyzer over one loaded package.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, int, error) {
+	pass := NewPass(a, pkg)
+	if err := a.Run(pass); err != nil {
+		return nil, 0, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	return pass.Diagnostics(), pass.Suppressed(), nil
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer, so
+// driver output is deterministic.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

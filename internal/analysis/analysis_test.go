@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//hipress:wallclock telemetry path", "wallclock", true},
+		{"//hipress:framebounds", "framebounds", true},
+		{"//hipress:critical — whole-file scope marker", "critical", true},
+		{"//hipress:", "", false},
+		{"// hipress:wallclock spaced prefix is not a directive", "", false},
+		{"//nolint:all", "", false},
+		{"plain comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseDirective(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("parseDirective(%q) = (%q, %v), want (%q, %v)", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+func TestMatchesDirectiveAliases(t *testing.T) {
+	p := &Pass{Analyzer: &Analyzer{Name: "determinism", Aliases: []string{"wallclock", "rand"}}}
+	for _, name := range []string{"determinism", "wallclock", "rand"} {
+		if !p.matchesDirective(name) {
+			t.Errorf("matchesDirective(%q) = false, want true", name)
+		}
+	}
+	if p.matchesDirective("leasecheck") {
+		t.Error("matchesDirective(leasecheck) = true for the determinism pass, want false")
+	}
+}
+
+func TestSortDiagnosticsIsDeterministic(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "b.go", Line: 1, Column: 1}, Analyzer: "wgorder"},
+		{Pos: token.Position{Filename: "a.go", Line: 9, Column: 2}, Analyzer: "errtyped"},
+		{Pos: token.Position{Filename: "a.go", Line: 9, Column: 2}, Analyzer: "determinism"},
+		{Pos: token.Position{Filename: "a.go", Line: 3, Column: 7}, Analyzer: "framebounds"},
+	}
+	SortDiagnostics(diags)
+	want := []string{"framebounds", "determinism", "errtyped", "wgorder"}
+	for i, w := range want {
+		if diags[i].Analyzer != w {
+			t.Fatalf("after sort, diags[%d].Analyzer = %s, want %s (order %v)", i, diags[i].Analyzer, w, diags)
+		}
+	}
+}
+
+func TestLoadRejectsBadPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list")
+	}
+	if _, err := Load(".", "./nonexistent-subdir-xyz/..."); err == nil {
+		t.Fatal("Load with a bad pattern succeeded, want error")
+	}
+}

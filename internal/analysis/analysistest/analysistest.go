@@ -1,0 +1,174 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring the x/tools package
+// of the same name on top of the in-repo analysis framework.
+//
+// A fixture line carrying an expectation looks like
+//
+//	x := time.Now() // want `wall-clock`
+//
+// where each backquoted or double-quoted segment after "want" is a regular
+// expression that must match the message of a diagnostic reported on that
+// line. Diagnostics with no matching want, and wants with no matching
+// diagnostic, both fail the test. Clean fixtures simply contain no want
+// comments; suppressed fixtures carry //hipress: directives and likewise
+// expect silence.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hipress/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// expectation is one parsed want comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package dir/src/<pattern>, applies the analyzer,
+// and reports mismatches between diagnostics and want comments through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	for _, pattern := range patterns {
+		pkgDir := filepath.Join(dir, "src", pattern)
+		pkgs, err := analysis.Load(pkgDir, ".")
+		if err != nil {
+			t.Errorf("%s: loading fixture: %v", pattern, err)
+			continue
+		}
+		for _, pkg := range pkgs {
+			diags, _, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Errorf("%s: %v", pattern, err)
+				continue
+			}
+			wants, err := parseWants(pkg)
+			if err != nil {
+				t.Errorf("%s: %v", pattern, err)
+				continue
+			}
+			checkDiagnostics(t, pattern, diags, wants)
+		}
+	}
+}
+
+// parseWants extracts want expectations from a fixture package's comments.
+func parseWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parsePatterns splits `"re1" "re2"` / backquoted segments into regexps.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want pattern must be quoted or backquoted, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}
+
+// checkDiagnostics pairs diagnostics with expectations line by line.
+func checkDiagnostics(t *testing.T, pattern string, diags []analysis.Diagnostic, wants []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pattern, rel(d.String()))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pattern, rel(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+// rel trims the cwd prefix from absolute fixture paths for readable failures.
+func rel(s string) string {
+	if wd, err := os.Getwd(); err == nil {
+		return strings.ReplaceAll(s, wd+string(filepath.Separator), "")
+	}
+	return s
+}

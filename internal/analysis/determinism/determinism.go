@@ -1,0 +1,154 @@
+// Package determinism forbids nondeterministic inputs — wall-clock reads,
+// the process-global math/rand stream, and map iteration order — from the
+// packages whose output bytes must be a pure function of the plan epoch.
+//
+// The bit-identity guarantee every plane re-proves (chaos parity, kill/
+// resume, pipeline windows) dies quietly the first time a serialization
+// path consults time.Now, the unseeded global rand, or Go's randomized map
+// order. Telemetry and RTT estimation legitimately read wall time; those
+// sites carry a //hipress:wallclock directive naming the exception.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"hipress/internal/analysis"
+)
+
+// Analyzer is the determinism contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads (time.Now/Since), the global math/rand stream, and " +
+		"map-range iteration inside serialization paths of determinism-critical packages " +
+		"(suppress deliberate wall-time reads with //hipress:wallclock)",
+	Aliases: []string{"wallclock", "rand", "maporder"},
+	Run:     run,
+}
+
+// serializerName marks functions whose output is (or feeds) a byte encoding:
+// map iteration order inside them becomes wire-visible.
+var serializerName = regexp.MustCompile(`(?i)(encode|marshal|serial|frame|digest|checksum|tobytes)`)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if !pass.InCriticalScope(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, n)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	serializer := serializerName.MatchString(fn.Name.Name)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkSelector(pass, n)
+		case *ast.RangeStmt:
+			if serializer && isMapType(pass, n.X) && serializesBytes(pass, n.Body) {
+				pass.Reportf(n.Pos(), "map iteration order is randomized and %s serializes bytes: "+
+					"sort the keys first (or suppress with //hipress:maporder)", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkSelector flags any use (call or value) of time.Now, time.Since, and
+// package-level math/rand functions.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(sel.Pos(), "wall-clock read time.%s in determinism-critical code: "+
+				"result bytes must be a pure function of the plan epoch "+
+				"(suppress a telemetry/RTT path with //hipress:wallclock)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructing a seeded generator is the fix, not the bug
+		}
+		pass.Reportf(sel.Pos(), "global math/rand stream (rand.%s) in determinism-critical code: "+
+			"use a seeded tensor.RNG or splitmix64 stream "+
+			"(suppress with //hipress:rand)", fn.Name())
+	}
+}
+
+// serializesBytes reports whether a loop body performs byte serialization:
+// appending to a []byte, calling encoding/binary, or writing to a writer.
+// The collect-keys-then-sort idiom (appending map keys to a []string) stays
+// legal inside encoders — it is the fix for this very diagnostic.
+func serializesBytes(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && len(call.Args) > 0 && isByteSlice(pass, call.Args[0]) {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+				if obj.Pkg().Path() == "encoding/binary" {
+					found = true
+					return false
+				}
+			}
+			switch fun.Sel.Name {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isByteSlice(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	s, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isMapType(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

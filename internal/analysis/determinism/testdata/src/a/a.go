@@ -1,0 +1,33 @@
+//hipress:critical — fixture opts into the determinism-critical scope.
+
+// Package a is the flagged determinism fixture: wall-clock reads, the
+// global math/rand stream, and map iteration feeding serialization.
+package a
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	now := time.Now() // want `wall-clock read time\.Now`
+	return now.UnixNano()
+}
+
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `wall-clock read time\.Since`
+}
+
+func draw() int {
+	return rand.Intn(10) // want `global math/rand stream \(rand\.Intn\)`
+}
+
+func encodeCounts(counts map[string]uint32) []byte {
+	var out []byte
+	for name, c := range counts { // want `map iteration order is randomized and encodeCounts serializes bytes`
+		out = append(out, name...)
+		out = binary.BigEndian.AppendUint32(out, c)
+	}
+	return out
+}

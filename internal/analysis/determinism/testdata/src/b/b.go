@@ -1,0 +1,38 @@
+//hipress:critical — fixture opts into the determinism-critical scope.
+
+// Package b is the clean determinism fixture: seeded randomness, sorted
+// serialization, and map iteration outside serialization paths.
+package b
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+)
+
+func drawSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are the fix, not the bug
+	return rng.Intn(10)
+}
+
+func encodeSorted(counts map[string]uint32) []byte {
+	names := make([]string, 0, len(counts))
+	for name := range counts { // collect-then-sort is the fix, not the bug
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []byte
+	for _, name := range names {
+		out = append(out, name...)
+		out = binary.BigEndian.AppendUint32(out, counts[name])
+	}
+	return out
+}
+
+func tally(counts map[string]uint32) uint64 {
+	var sum uint64
+	for _, c := range counts { // order-insensitive fold, not a serializer
+		sum += uint64(c)
+	}
+	return sum
+}

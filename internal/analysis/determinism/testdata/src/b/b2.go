@@ -1,0 +1,9 @@
+// This file carries no //hipress:critical marker and package b is not a
+// critical package, so its wall-clock read is out of the analyzer's scope.
+package b
+
+import "time"
+
+func wallclockOutsideScope() int64 {
+	return time.Now().UnixNano()
+}

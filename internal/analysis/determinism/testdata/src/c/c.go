@@ -1,0 +1,33 @@
+//hipress:critical — fixture opts into the determinism-critical scope.
+
+// Package c is the suppressed determinism fixture: each violation carries
+// the matching //hipress: directive naming the deliberate exception.
+package c
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"time"
+)
+
+func rttSample() int64 {
+	now := time.Now() //hipress:wallclock RTT estimation reads real time by design
+	return now.UnixNano()
+}
+
+func telemetryElapsed(start time.Time) float64 {
+	//hipress:wallclock span timing is wall-clock by design
+	return time.Since(start).Seconds()
+}
+
+func jitterDraw() int {
+	return rand.Intn(10) //hipress:rand demo-only jitter, not wire-visible
+}
+
+func encodeUnordered(counts map[string]uint32) []byte {
+	var out []byte
+	for _, c := range counts { //hipress:maporder order-insensitive XOR fold
+		out = binary.BigEndian.AppendUint32(out, c)
+	}
+	return out
+}

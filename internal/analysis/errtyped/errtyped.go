@@ -1,0 +1,173 @@
+// Package errtyped enforces the errors.Is/As discipline the supervisor's
+// transient/fatal classification depends on: error values are never
+// compared with == or !=, and any typed error struct that wraps an inner
+// error exposes it through Unwrap.
+//
+// A == comparison against a typed or wrapped sentinel silently stops
+// matching the moment a layer wraps the error (fmt.Errorf %w, *ConnError,
+// *CorruptCheckpointError all do); Classify would then misread a transient
+// socket failure as fatal and kill a recoverable run. Comparisons with nil
+// stay idiomatic and are never flagged.
+package errtyped
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hipress/internal/analysis"
+)
+
+// Analyzer is the typed-error contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "errtyped",
+	Doc: "flag ==/!= comparisons of error values (use errors.Is/As) and error structs that " +
+		"wrap an inner error without an Unwrap method (suppress with //hipress:errcompare)",
+	Aliases: []string{"errcompare"},
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkComparison(pass, n)
+				}
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	checkUnwrap(pass)
+	return nil
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorExpr reports whether the expression has an error-shaped type and
+// whether it is a nil literal.
+func isErrorExpr(pass *analysis.Pass, expr ast.Expr) (isErr, isNil bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false, false
+	}
+	if tv.IsNil() {
+		return false, true
+	}
+	return implementsError(tv.Type), false
+}
+
+// implementsError reports whether t (or *t) satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if types.Implements(t, errorIface) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), errorIface)
+	}
+	return false
+}
+
+func checkComparison(pass *analysis.Pass, cmp *ast.BinaryExpr) {
+	xErr, xNil := isErrorExpr(pass, cmp.X)
+	yErr, yNil := isErrorExpr(pass, cmp.Y)
+	if xNil || yNil {
+		return // err != nil is the idiom, not the bug
+	}
+	if xErr || yErr {
+		pass.Reportf(cmp.OpPos, "error values compared with %s: wrapped errors never match — "+
+			"use errors.Is (or errors.As for typed inspection), or suppress identity "+
+			"comparison with //hipress:errcompare", cmp.Op)
+	}
+}
+
+// checkSwitch flags `switch err { case ErrFoo: }`, which compares with ==.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tagErr, _ := isErrorExpr(pass, sw.Tag)
+	if !tagErr {
+		return
+	}
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if _, isNil := isErrorExpr(pass, expr); isNil {
+				continue
+			}
+			pass.Reportf(expr.Pos(), "switch on an error value compares cases with ==: "+
+				"wrapped errors never match — use errors.Is chains, or suppress with "+
+				"//hipress:errcompare")
+		}
+	}
+}
+
+// checkUnwrap requires an Unwrap method on every package-level error struct
+// that carries an inner error field.
+func checkUnwrap(pass *analysis.Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || !implementsError(named) {
+			continue
+		}
+		wraps := false
+		for i := 0; i < st.NumFields(); i++ {
+			if implementsError(st.Field(i).Type()) {
+				wraps = true
+				break
+			}
+		}
+		if !wraps || hasUnwrap(named) {
+			continue
+		}
+		pass.Reportf(tn.Pos(), "error type %s wraps an inner error but has no Unwrap method: "+
+			"errors.Is/As cannot see through it — add `func (e *%s) Unwrap() error` or "+
+			"suppress with //hipress:errcompare", name, name)
+	}
+}
+
+// hasUnwrap reports whether *T has an Unwrap() error or Unwrap() []error
+// method.
+func hasUnwrap(named *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if m.Name() != "Unwrap" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		res := sig.Results().At(0).Type()
+		if types.Identical(res, errorIface) || isErrorSlice(res) {
+			return true
+		}
+		// Accept any single-result Unwrap whose result satisfies error.
+		if types.Implements(res, errorIface) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && types.Implements(s.Elem(), errorIface)
+}

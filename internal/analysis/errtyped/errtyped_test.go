@@ -1,0 +1,12 @@
+package errtyped_test
+
+import (
+	"testing"
+
+	"hipress/internal/analysis/analysistest"
+	"hipress/internal/analysis/errtyped"
+)
+
+func TestErrtyped(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errtyped.Analyzer, "a", "b", "c")
+}

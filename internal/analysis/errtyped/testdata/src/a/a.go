@@ -1,0 +1,33 @@
+// Package a is the flagged errtyped fixture: == comparisons on errors and
+// a wrapping error type without Unwrap.
+package a
+
+import "errors"
+
+// ErrSentinel is a sentinel other packages wrap.
+var ErrSentinel = errors.New("sentinel")
+
+func compareEq(err error) bool {
+	return err == ErrSentinel // want `error values compared with ==`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrSentinel // want `error values compared with !=`
+}
+
+func switchOn(err error) int {
+	switch err {
+	case ErrSentinel: // want `switch on an error value compares cases with ==`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+// WrapsError carries an inner error that errors.Is/As cannot reach.
+type WrapsError struct { // want `wraps an inner error but has no Unwrap`
+	Inner error
+}
+
+func (e *WrapsError) Error() string { return "wrap: " + e.Inner.Error() }

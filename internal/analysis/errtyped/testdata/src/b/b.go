@@ -1,0 +1,41 @@
+// Package b is the clean errtyped fixture: errors.Is/As discipline, nil
+// comparisons, and well-formed wrapping types.
+package b
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOther is a sentinel matched with errors.Is.
+var ErrOther = errors.New("other")
+
+func compare(err error) bool { return errors.Is(err, ErrOther) }
+
+func nilCheck(err error) bool { return err != nil }
+
+// GoodError wraps and exposes its inner error.
+type GoodError struct {
+	Inner error
+}
+
+func (e *GoodError) Error() string { return "good: " + e.Inner.Error() }
+func (e *GoodError) Unwrap() error { return e.Inner }
+
+// FlatError wraps nothing, so it owes no Unwrap.
+type FlatError struct {
+	Code int
+}
+
+func (e *FlatError) Error() string { return fmt.Sprintf("code %d", e.Code) }
+
+func classify(err error) int {
+	var good *GoodError
+	switch {
+	case errors.As(err, &good):
+		return 1
+	case errors.Is(err, ErrOther):
+		return 2
+	}
+	return 0
+}

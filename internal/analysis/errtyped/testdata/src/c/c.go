@@ -1,0 +1,14 @@
+// Package c is the suppressed errtyped fixture: identity comparison and an
+// opaque wrapper, each documented by directive.
+package c
+
+func sameInstance(err, sentinel error) bool {
+	return err == sentinel //hipress:errcompare identity of the instance is the point
+}
+
+//hipress:errcompare opaque by design: callers must not bypass the boundary
+type OpaqueError struct {
+	Inner error
+}
+
+func (e *OpaqueError) Error() string { return e.Inner.Error() }

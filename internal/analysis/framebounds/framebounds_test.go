@@ -1,0 +1,12 @@
+package framebounds_test
+
+import (
+	"testing"
+
+	"hipress/internal/analysis/analysistest"
+	"hipress/internal/analysis/framebounds"
+)
+
+func TestFramebounds(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), framebounds.Analyzer, "a", "b", "c")
+}

@@ -1,0 +1,23 @@
+//hipress:critical — fixture opts into the determinism-critical scope.
+
+// Package a is the flagged framebounds fixture: decoder indexing with no or
+// late length guards.
+package a
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// DecodeHeader indexes untrusted input with no guard at all.
+func DecodeHeader(b []byte) byte {
+	return b[0] // want `no len\(\) guard anywhere`
+}
+
+func decodeRecord(b []byte) (uint32, error) {
+	v := binary.BigEndian.Uint32(b[0:4]) // want `before the first len\(\) guard`
+	if len(b) < 4 {
+		return 0, errors.New("short record")
+	}
+	return v, nil
+}

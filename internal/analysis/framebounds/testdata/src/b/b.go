@@ -1,0 +1,41 @@
+//hipress:critical — fixture opts into the determinism-critical scope.
+
+// Package b is the clean framebounds fixture: guards precede every index,
+// and non-decoder functions are out of scope.
+package b
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// DecodeHeader validates the length prefix before touching the bytes.
+func DecodeHeader(b []byte) (byte, error) {
+	if len(b) < 1 {
+		return 0, errors.New("short header")
+	}
+	return b[0], nil
+}
+
+func decodeRecord(b []byte) (uint32, error) {
+	if len(b) < 4 {
+		return 0, errors.New("short record")
+	}
+	return binary.BigEndian.Uint32(b[0:4]), nil
+}
+
+func decodeSum(b []byte) byte {
+	var s byte
+	for i := 0; i < len(b); i++ {
+		s += b[i]
+	}
+	return s
+}
+
+func decodeLen(b []byte) int {
+	return len(b)
+}
+
+func scratch(b []byte) byte {
+	return b[0] // not a decoder: out of scope
+}

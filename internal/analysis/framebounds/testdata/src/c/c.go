@@ -1,0 +1,9 @@
+//hipress:critical — fixture opts into the determinism-critical scope.
+
+// Package c is the suppressed framebounds fixture: a guard the analyzer
+// cannot see, documented by directive.
+package c
+
+func decodeTrusted(b []byte) byte {
+	return b[0] //hipress:framebounds caller guarantees a 1-byte minimum by construction
+}

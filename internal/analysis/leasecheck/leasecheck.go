@@ -1,0 +1,363 @@
+// Package leasecheck enforces the arena checkout discipline: a local
+// kernels.Lease that checks buffers out (Bytes/F32) must reach Release or
+// be spliced into another lease via Adopt on every control-flow path.
+//
+// The kernel plane's zero-alloc guarantee works because leased buffers
+// always return to the size-classed pools; a lease abandoned on an error
+// branch silently degrades the arena hit rate forever. The analyzer is a
+// lostcancel-style path walk over the function body: if/else and switch
+// branches are explored separately, loops are treated as straight-line, and
+// any use that lets the lease escape the function (stored, passed, captured
+// by a closure) conservatively counts as settled.
+package leasecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hipress/internal/analysis"
+)
+
+// Analyzer is the lease lifecycle contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "leasecheck",
+	Doc: "every local kernels.Lease that checks out buffers must reach Release or Adopt " +
+		"on all control-flow paths (suppress with //hipress:leasecheck)",
+	Aliases: []string{"lease"},
+	Run:     run,
+}
+
+const leasePkg = "hipress/internal/kernels"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn)
+			return false
+		})
+	}
+	return nil
+}
+
+// leaseInfo is the per-variable verdict state.
+type leaseInfo struct {
+	obj types.Object
+	// deferredSettle: a defer guarantees Release/Adopt on every exit.
+	deferredSettle bool
+	// escaped: the lease left the function's hands (stored, passed,
+	// captured); we stop reasoning about it.
+	escaped  bool
+	reported bool
+}
+
+type walker struct {
+	pass   *analysis.Pass
+	leases map[types.Object]*leaseInfo
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	w := &walker{pass: pass, leases: map[types.Object]*leaseInfo{}}
+	// Collect local lease declarations (params belong to the caller).
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil || !isLeaseType(obj.Type()) {
+			return true
+		}
+		if _, ok := obj.(*types.Var); ok {
+			w.leases[obj] = &leaseInfo{obj: obj}
+		}
+		return true
+	})
+	if len(w.leases) == 0 {
+		return
+	}
+	live := map[types.Object]token.Pos{}
+	terminated := w.stmts(fn.Body.List, live)
+	if !terminated {
+		w.reportLive(live)
+	}
+}
+
+// isLeaseType reports whether t is kernels.Lease or *kernels.Lease.
+func isLeaseType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Lease" && obj.Pkg() != nil && obj.Pkg().Path() == leasePkg
+}
+
+// event is one positional action on a tracked lease.
+type event struct {
+	pos  token.Pos
+	obj  types.Object
+	kind int // 0 checkout, 1 settle, 2 escape
+}
+
+const (
+	evCheckout = iota
+	evSettle
+	evEscape
+)
+
+// events extracts the ordered lease actions inside one expression subtree.
+func (w *walker) events(n ast.Node) []event {
+	if n == nil {
+		return nil
+	}
+	consumed := map[*ast.Ident]bool{}
+	var out []event
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := w.pass.TypesInfo.Uses[id]
+			if w.leases[obj] == nil {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Bytes", "F32":
+				out = append(out, event{id.Pos(), obj, evCheckout})
+				consumed[id] = true
+			case "Release":
+				out = append(out, event{id.Pos(), obj, evSettle})
+				consumed[id] = true
+			case "Adopt":
+				// The receiver absorbs other leases; its own lifetime is
+				// unchanged. Arguments are handled by the generic walk.
+				consumed[id] = true
+			}
+		case *ast.Ident:
+			obj := w.pass.TypesInfo.Uses[n]
+			if w.leases[obj] != nil && !consumed[n] {
+				out = append(out, event{n.Pos(), obj, evEscape})
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// apply folds events into the live set.
+func (w *walker) apply(evs []event, live map[types.Object]token.Pos, inDefer bool) {
+	for _, e := range evs {
+		info := w.leases[e.obj]
+		if info.escaped || info.reported {
+			continue
+		}
+		switch e.kind {
+		case evCheckout:
+			if info.deferredSettle {
+				continue
+			}
+			if _, ok := live[e.obj]; !ok {
+				live[e.obj] = e.pos
+			}
+		case evSettle:
+			delete(live, e.obj)
+			if inDefer {
+				info.deferredSettle = true
+			}
+		case evEscape:
+			delete(live, e.obj)
+			info.escaped = true
+		}
+	}
+}
+
+// reportLive flags every still-live lease at its checkout position.
+func (w *walker) reportLive(live map[types.Object]token.Pos) {
+	objs := make([]types.Object, 0, len(live))
+	for obj := range live {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return live[objs[i]] < live[objs[j]] })
+	for _, obj := range objs {
+		info := w.leases[obj]
+		if info.reported {
+			continue
+		}
+		info.reported = true
+		w.pass.Reportf(live[obj], "kernels.Lease %q checks out buffers but does not reach "+
+			"Release or Adopt on every path (arena buffers leak); settle it or suppress "+
+			"with //hipress:leasecheck", obj.Name())
+	}
+}
+
+// copyLive clones a live set for branch exploration.
+func copyLive(live map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(live))
+	for k, v := range live {
+		out[k] = v
+	}
+	return out
+}
+
+// merge unions branch outcomes back into live.
+func merge(into, from map[types.Object]token.Pos) {
+	for k, v := range from {
+		if _, ok := into[k]; !ok {
+			into[k] = v
+		}
+	}
+}
+
+// stmts walks a statement list, mutating live; it returns true when the
+// list always terminates the enclosing function (return or panic).
+func (w *walker) stmts(list []ast.Stmt, live map[types.Object]token.Pos) bool {
+	for _, s := range list {
+		if w.stmt(s, live) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) stmt(s ast.Stmt, live map[types.Object]token.Pos) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, live)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, live)
+	case *ast.IfStmt:
+		w.apply(w.events(s.Init), live, false)
+		w.apply(w.events(s.Cond), live, false)
+		bodyLive := copyLive(live)
+		bodyTerm := w.stmts(s.Body.List, bodyLive)
+		if s.Else == nil {
+			// Fall-through path keeps live as-is; union the body outcome.
+			if !bodyTerm {
+				merge(live, bodyLive)
+			}
+			return false
+		}
+		elseLive := copyLive(live)
+		elseTerm := w.stmt(s.Else, elseLive)
+		for k := range live {
+			delete(live, k)
+		}
+		if !bodyTerm {
+			merge(live, bodyLive)
+		}
+		if !elseTerm {
+			merge(live, elseLive)
+		}
+		return bodyTerm && elseTerm
+	case *ast.ForStmt:
+		w.apply(w.events(s.Init), live, false)
+		w.apply(w.events(s.Cond), live, false)
+		w.apply(w.events(s.Post), live, false)
+		// Loops are treated as straight-line, once-through: a settle inside
+		// the body counts, break/continue paths are not distinguished.
+		w.stmts(s.Body.List, live)
+		return false
+	case *ast.RangeStmt:
+		w.apply(w.events(s.X), live, false)
+		w.stmts(s.Body.List, live)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(s, live)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.apply(w.events(r), live, false)
+		}
+		w.reportLive(live)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this region; stay silent rather than
+		// guess where control lands.
+		return true
+	case *ast.DeferStmt:
+		w.apply(w.events(s.Call), live, true)
+		return false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				w.apply(w.events(s.X), live, false)
+				return true
+			}
+		}
+		w.apply(w.events(s.X), live, false)
+		return false
+	default:
+		w.apply(w.events(s), live, false)
+		return false
+	}
+}
+
+// branches explores switch/type-switch/select clause bodies independently.
+func (w *walker) branches(s ast.Stmt, live map[types.Object]token.Pos) bool {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		w.apply(w.events(s.Init), live, false)
+		w.apply(w.events(s.Tag), live, false)
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		w.apply(w.events(s.Init), live, false)
+		w.apply(w.events(s.Assign), live, false)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	before := copyLive(live)
+	for k := range live {
+		delete(live, k)
+	}
+	allTerm := len(clauses) > 0
+	for _, c := range clauses {
+		var body []ast.Stmt
+		var comm ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				comm = c.Comm
+			}
+			body = c.Body
+		}
+		clauseLive := copyLive(before)
+		if comm != nil {
+			w.apply(w.events(comm), clauseLive, false)
+		}
+		if !w.stmts(body, clauseLive) {
+			allTerm = false
+			merge(live, clauseLive)
+		}
+	}
+	if !hasDefault {
+		// No default: the no-match path falls through unchanged.
+		merge(live, before)
+		return false
+	}
+	return allTerm
+}

@@ -1,0 +1,12 @@
+package leasecheck_test
+
+import (
+	"testing"
+
+	"hipress/internal/analysis/analysistest"
+	"hipress/internal/analysis/leasecheck"
+)
+
+func TestLeasecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), leasecheck.Analyzer, "a", "b", "c")
+}

@@ -1,0 +1,37 @@
+// Package a is the flagged leasecheck fixture: lease checkouts that miss
+// Release/Adopt on at least one path.
+package a
+
+import (
+	"errors"
+
+	"hipress/internal/kernels"
+)
+
+func leak() {
+	var l kernels.Lease
+	buf := l.Bytes(8) // want `does not reach Release or Adopt`
+	buf[0] = 1
+}
+
+func leakOnError(fail bool) error {
+	var l kernels.Lease
+	buf := l.Bytes(16) // want `does not reach Release or Adopt`
+	if fail {
+		return errors.New("boom") // the early return abandons the lease
+	}
+	buf[0] = 1
+	l.Release()
+	return nil
+}
+
+func leakInSwitch(mode int) {
+	var l kernels.Lease
+	buf := l.Bytes(4) // want `does not reach Release or Adopt`
+	switch mode {
+	case 0:
+		l.Release()
+	default:
+		buf[0] = 1 // this branch forgets the lease
+	}
+}

@@ -1,0 +1,53 @@
+// Package b is the clean leasecheck fixture: every checkout settles through
+// defer, all-paths Release, Adopt, or an escape the caller owns.
+package b
+
+import (
+	"errors"
+
+	"hipress/internal/kernels"
+)
+
+func deferred() {
+	var l kernels.Lease
+	defer l.Release()
+	buf := l.Bytes(8)
+	buf[0] = 1
+}
+
+func allPaths(fail bool) error {
+	var l kernels.Lease
+	buf := l.Bytes(8)
+	if fail {
+		l.Release()
+		return errors.New("boom")
+	}
+	buf[0] = 1
+	l.Release()
+	return nil
+}
+
+func adopted(into *kernels.Lease) []byte {
+	var scratch kernels.Lease
+	payload := scratch.Bytes(16)
+	into.Adopt(&scratch)
+	return payload
+}
+
+func escapes() *kernels.Lease {
+	l := &kernels.Lease{}
+	buf := l.Bytes(4)
+	buf[0] = 1
+	return l
+}
+
+func bothBranches(fail bool) {
+	var l kernels.Lease
+	buf := l.Bytes(4)
+	if fail {
+		buf[0] = 1
+		l.Release()
+	} else {
+		l.Release()
+	}
+}

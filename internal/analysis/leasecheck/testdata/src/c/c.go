@@ -1,0 +1,11 @@
+// Package c is the suppressed leasecheck fixture: a deliberate leak
+// documented by directive.
+package c
+
+import "hipress/internal/kernels"
+
+func handedOff() []byte {
+	var l kernels.Lease
+	buf := l.Bytes(8) //hipress:leasecheck buffer ownership transfers to the caller's pool
+	return buf
+}

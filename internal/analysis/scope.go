@@ -1,0 +1,29 @@
+package analysis
+
+import "go/ast"
+
+// CriticalPackages are the import paths whose result bytes must be a pure
+// function of the plan epoch: the round engine, the compression kernels, the
+// wire-frame codecs, and the checkpoint format. The determinism and
+// framebounds analyzers restrict themselves to these packages; any other
+// file can opt in with a //hipress:critical marker (fixtures and scratch
+// packages do).
+var CriticalPackages = []string{
+	"hipress/internal/core",
+	"hipress/internal/compress",
+	"hipress/internal/ckpt",
+	"hipress/internal/netsim",
+}
+
+// InCriticalScope reports whether a file is subject to the
+// determinism-critical analyzers: it belongs to a critical package or
+// carries the //hipress:critical marker.
+func (p *Pass) InCriticalScope(file *ast.File) bool {
+	path := p.Pkg.Path()
+	for _, c := range CriticalPackages {
+		if path == c {
+			return true
+		}
+	}
+	return p.FileHasDirective(file, "critical")
+}

@@ -1,0 +1,102 @@
+// Package suite assembles the hipress-vet analyzer set and the multichecker
+// logic shared by cmd/hipress-vet and the end-to-end tests: load packages,
+// run every (selected) analyzer, render sorted file:line:col diagnostics.
+package suite
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"hipress/internal/analysis"
+	"hipress/internal/analysis/determinism"
+	"hipress/internal/analysis/errtyped"
+	"hipress/internal/analysis/framebounds"
+	"hipress/internal/analysis/leasecheck"
+	"hipress/internal/analysis/telemetrysafe"
+	"hipress/internal/analysis/wgorder"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		leasecheck.Analyzer,
+		wgorder.Analyzer,
+		errtyped.Analyzer,
+		telemetrysafe.Analyzer,
+		framebounds.Analyzer,
+	}
+}
+
+// Select filters All() by a comma-separated name list ("" keeps everything).
+func Select(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, Names())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Names renders the suite's analyzer names, comma-separated.
+func Names() string {
+	names := make([]string, 0, len(All()))
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+// Result is one multichecker run's outcome.
+type Result struct {
+	Diagnostics []analysis.Diagnostic
+	Suppressed  int
+	Packages    int
+}
+
+// Run loads patterns relative to dir and applies the analyzers to every
+// matched package.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) (*Result, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, suppressed, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			res.Diagnostics = append(res.Diagnostics, diags...)
+			res.Suppressed += suppressed
+		}
+	}
+	analysis.SortDiagnostics(res.Diagnostics)
+	return res, nil
+}
+
+// Print renders diagnostics one per line, with positions relative to base
+// when possible.
+func Print(w io.Writer, base string, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(base, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+}

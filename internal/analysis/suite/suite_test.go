@@ -1,0 +1,242 @@
+package suite_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"hipress/internal/analysis/suite"
+)
+
+// The end-to-end acceptance gate: each seeded violation, compiled into a
+// scratch module of its own, must make hipress-vet exit nonzero with an
+// actionable file:line diagnostic from the expected analyzer; and the same
+// scratch tree with the violations removed must pass. The scratch module
+// reaches the real hipress packages (kernels, telemetry) through a local
+// replace directive, so the binary is exercised exactly as `make lint` runs
+// it — over `go list` output, export data, and all.
+
+// violation is one seeded contract breach.
+type violation struct {
+	analyzer string
+	file     string
+	src      string
+}
+
+var violations = []violation{
+	{
+		analyzer: "determinism",
+		file:     "det.go",
+		src: `//hipress:critical scratch package opts in
+package scratch
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	},
+	{
+		analyzer: "leasecheck",
+		file:     "lease.go",
+		src: `package scratch
+
+import "hipress/internal/kernels"
+
+func Leak() byte {
+	var l kernels.Lease
+	b := l.Bytes(8)
+	return b[0]
+}
+`,
+	},
+	{
+		analyzer: "wgorder",
+		file:     "wg.go",
+		src: `package scratch
+
+import "sync"
+
+func Teardown() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+	wg.Add(1)
+	wg.Done()
+}
+`,
+	},
+	{
+		analyzer: "errtyped",
+		file:     "err.go",
+		src: `package scratch
+
+import "errors"
+
+var ErrScratch = errors.New("scratch")
+
+func Sentinel(err error) bool { return err == ErrScratch }
+`,
+	},
+	{
+		analyzer: "telemetrysafe",
+		file:     "tel.go",
+		src: `package scratch
+
+import "hipress/internal/telemetry"
+
+func Tracer(set *telemetry.Set) float64 { return set.Tracer.Now() }
+`,
+	},
+	{
+		analyzer: "framebounds",
+		file:     "frame.go",
+		src: `//hipress:critical scratch package opts in
+package scratch
+
+func DecodeByte(b []byte) byte { return b[0] }
+`,
+	},
+}
+
+var (
+	vetOnce sync.Once
+	vetPath string
+	vetErr  error
+)
+
+// buildVet compiles cmd/hipress-vet once per test run.
+func buildVet(t *testing.T) string {
+	t.Helper()
+	vetOnce.Do(func() {
+		repoRoot, err := filepath.Abs(filepath.Join("..", "..", ".."))
+		if err != nil {
+			vetErr = err
+			return
+		}
+		vetPath = filepath.Join(os.TempDir(), fmt.Sprintf("hipress-vet-e2e-%d", os.Getpid()))
+		cmd := exec.Command("go", "build", "-o", vetPath, "./cmd/hipress-vet")
+		cmd.Dir = repoRoot
+		if out, err := cmd.CombinedOutput(); err != nil {
+			vetErr = fmt.Errorf("building hipress-vet: %v\n%s", err, out)
+		}
+	})
+	if vetErr != nil {
+		t.Fatal(vetErr)
+	}
+	return vetPath
+}
+
+// scratchModule writes a one-package module that can import hipress via a
+// replace directive. The module path sits under hipress/ so that Go's
+// internal-package rule lets the seeded violations use the real kernels and
+// telemetry types.
+func scratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	repoRoot, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gomod := fmt.Sprintf("module hipress/scratch\n\ngo 1.22\n\nrequire hipress v0.0.0\n\nreplace hipress => %s\n", repoRoot)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runVet(t *testing.T, dir string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(buildVet(t), "-C", dir, ".")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	exit, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running hipress-vet: %v\n%s", err, out)
+	}
+	return string(out), exit.ExitCode()
+}
+
+func TestSeededViolationsFail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go builds")
+	}
+	fileLine := regexp.MustCompile(`\.go:\d+:\d+:`)
+	for _, v := range violations {
+		t.Run(v.analyzer, func(t *testing.T) {
+			dir := scratchModule(t, map[string]string{v.file: v.src})
+			out, code := runVet(t, dir)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1; output:\n%s", code, out)
+			}
+			if !strings.Contains(out, v.analyzer+":") {
+				t.Errorf("output does not name analyzer %q:\n%s", v.analyzer, out)
+			}
+			if !fileLine.MatchString(out) {
+				t.Errorf("output carries no file:line:col position:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestCleanScratchPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go builds")
+	}
+	dir := scratchModule(t, map[string]string{"clean.go": `package scratch
+
+// Clean returns a constant; nothing for any analyzer to find.
+func Clean() int { return 42 }
+`})
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+// TestSuppressedViolationPasses proves the directive grammar end to end: the
+// same wall-clock violation with a //hipress:wallclock annotation is silent.
+func TestSuppressedViolationPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go builds")
+	}
+	dir := scratchModule(t, map[string]string{"det.go": `//hipress:critical scratch package opts in
+package scratch
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //hipress:wallclock demo telemetry path
+}
+`})
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := suite.Select("")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
+	}
+	two, err := suite.Select("determinism,wgorder")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select(two) = %d analyzers, err %v; want 2, nil", len(two), err)
+	}
+	if _, err := suite.Select("nosuch"); err == nil {
+		t.Fatal("Select(\"nosuch\") succeeded, want error")
+	}
+}

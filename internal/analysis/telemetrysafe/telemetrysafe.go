@@ -1,0 +1,75 @@
+// Package telemetrysafe enforces the observability plane's nil-safety
+// contract outside internal/telemetry: the tracer and metrics registry
+// bundled in a telemetry.Set are reached through the nil-safe T() and M()
+// accessors, never by direct field access.
+//
+// Every telemetry entry point no-ops on nil — that is what lets disabled
+// runs pay two branches instead of an allocation — but the discipline has a
+// single weak joint: `set.Tracer` on a nil *Set panics where `set.T()`
+// returns a nil (and still usable) tracer. A direct field read compiles,
+// passes tests that always enable telemetry, and crashes the first
+// production run that leaves it off.
+package telemetrysafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hipress/internal/analysis"
+)
+
+// Analyzer is the nil-safe telemetry access contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemetrysafe",
+	Doc: "telemetry.Set fields (Tracer, Metrics) must be accessed through the nil-safe " +
+		"T()/M() accessors outside internal/telemetry (suppress with //hipress:telemetry)",
+	Aliases: []string{"telemetry"},
+	Run:     run,
+}
+
+const telemetryPkg = "hipress/internal/telemetry"
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == telemetryPkg {
+		return nil // the package itself owns its representation
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if !isTelemetrySet(selection.Recv()) {
+				return true
+			}
+			accessor := "T()"
+			if sel.Sel.Name == "Metrics" {
+				accessor = "M()"
+			}
+			pass.Reportf(sel.Sel.Pos(), "direct field access %s on a *telemetry.Set panics when "+
+				"telemetry is disabled (nil Set): use the nil-safe %s accessor, or suppress a "+
+				"construction site with //hipress:telemetry", sel.Sel.Name, accessor)
+			return true
+		})
+	}
+	return nil
+}
+
+// isTelemetrySet reports whether t is telemetry.Set or a pointer to it.
+func isTelemetrySet(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Set" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/telemetry")
+}

@@ -1,0 +1,12 @@
+package telemetrysafe_test
+
+import (
+	"testing"
+
+	"hipress/internal/analysis/analysistest"
+	"hipress/internal/analysis/telemetrysafe"
+)
+
+func TestTelemetrysafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), telemetrysafe.Analyzer, "a", "b", "c")
+}

@@ -1,0 +1,13 @@
+// Package a is the flagged telemetrysafe fixture: direct field reads on a
+// *telemetry.Set outside internal/telemetry.
+package a
+
+import "hipress/internal/telemetry"
+
+func dump(set *telemetry.Set) float64 {
+	tr := set.Tracer // want `direct field access Tracer`
+	now := tr.Now()
+	reg := set.Metrics // want `direct field access Metrics`
+	reg.Counter("hipress_fixture_total", "fixture").Inc()
+	return now
+}

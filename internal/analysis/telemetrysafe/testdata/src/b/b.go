@@ -1,0 +1,15 @@
+// Package b is the clean telemetrysafe fixture: nil-safe accessors and
+// composite-literal construction.
+package b
+
+import "hipress/internal/telemetry"
+
+func dump(set *telemetry.Set) float64 {
+	now := set.T().Now()
+	set.M().Counter("hipress_fixture_total", "fixture").Inc()
+	return now
+}
+
+func construct() *telemetry.Set {
+	return &telemetry.Set{Tracer: telemetry.NewTracer(), Metrics: telemetry.NewRegistry()}
+}

@@ -1,0 +1,9 @@
+// Package c is the suppressed telemetrysafe fixture: a construction-time
+// rebind documented by directive.
+package c
+
+import "hipress/internal/telemetry"
+
+func rebind(set *telemetry.Set) {
+	set.Tracer = telemetry.NewTracer() //hipress:telemetry set is freshly constructed, never nil here
+}

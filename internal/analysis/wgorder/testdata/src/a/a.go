@@ -1,0 +1,28 @@
+// Package a is the flagged wgorder fixture: Add positioned after Wait on
+// the same WaitGroup — the PR 7 teardown race shape.
+package a
+
+import "sync"
+
+func addAfterWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+	wg.Add(1) // want `Add after wg\.Wait`
+	wg.Done()
+}
+
+type teardown struct {
+	ackWG sync.WaitGroup
+}
+
+func (td *teardown) run() {
+	td.ackWG.Add(1)
+	go func() { td.ackWG.Done() }()
+	td.ackWG.Wait()
+	go func() {
+		td.ackWG.Add(1) // want `Add after td\.ackWG\.Wait`
+		td.ackWG.Done()
+	}()
+}

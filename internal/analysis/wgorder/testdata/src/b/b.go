@@ -1,0 +1,24 @@
+// Package b is the clean wgorder fixture: Adds strictly precede Waits, and
+// distinct WaitGroups do not alias.
+package b
+
+import "sync"
+
+func cleanOrder(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { wg.Done() }()
+	}
+	wg.Wait()
+}
+
+func twoGroups() {
+	var spawn, drain sync.WaitGroup
+	spawn.Add(1)
+	go func() { spawn.Done() }()
+	spawn.Wait()
+	drain.Add(1)
+	go func() { drain.Done() }()
+	drain.Wait()
+}

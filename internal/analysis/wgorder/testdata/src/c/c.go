@@ -1,0 +1,15 @@
+// Package c is the suppressed wgorder fixture: sequential reuse documented
+// by directive.
+package c
+
+import "sync"
+
+func sequentialReuse() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+	wg.Add(1) //hipress:wgorder strictly sequential phases, Wait has returned
+	go func() { wg.Done() }()
+	wg.Wait()
+}

@@ -1,0 +1,119 @@
+// Package wgorder flags sync.WaitGroup.Add calls that appear after a Wait
+// on the same variable within one function — the exact shape of the live
+// plane's teardown race (PR 7): dispatchers drained after Close were still
+// spawning ack goroutines with ackWG.Add while run()'s teardown had already
+// entered ackWG.Wait, which is undefined behavior under the race detector
+// and a lost-wakeup in production.
+//
+// Sequential reuse of a WaitGroup after Wait is technically legal Go, but
+// the house rule is a fresh WaitGroup per phase: an Add positioned after a
+// Wait is one refactor away from being reachable concurrently. Deliberate
+// reuse carries a //hipress:wgorder directive.
+package wgorder
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hipress/internal/analysis"
+)
+
+// Analyzer is the WaitGroup ordering contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "wgorder",
+	Doc: "flag WaitGroup.Add positioned after Wait on the same variable within a function " +
+		"(the teardown Add-after-Wait race; suppress deliberate reuse with //hipress:wgorder)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn)
+			return false
+		})
+	}
+	return nil
+}
+
+// wgCall is one Add/Wait call on a WaitGroup-typed receiver.
+type wgCall struct {
+	key  string // canonical receiver spelling, e.g. "wg" or "r.ackWG"
+	name string // "Add" or "Wait"
+	pos  token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var calls []wgCall
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Add" && sel.Sel.Name != "Wait") {
+			return true
+		}
+		if !isWaitGroup(pass, sel.X) {
+			return true
+		}
+		calls = append(calls, wgCall{key: exprKey(pass.Fset, sel.X), name: sel.Sel.Name, pos: sel.Sel.Pos()})
+		return true
+	})
+	// First Wait per receiver; any Add on that receiver positioned later is
+	// the hazard.
+	firstWait := map[string]token.Pos{}
+	for _, c := range calls {
+		if c.name != "Wait" {
+			continue
+		}
+		if p, ok := firstWait[c.key]; !ok || c.pos < p {
+			firstWait[c.key] = c.pos
+		}
+	}
+	for _, c := range calls {
+		if c.name != "Add" {
+			continue
+		}
+		if waitPos, ok := firstWait[c.key]; ok && c.pos > waitPos {
+			wait := pass.Fset.Position(waitPos)
+			pass.Reportf(c.pos, "WaitGroup %s.Add after %s.Wait (line %d) in %s: Add must not be "+
+				"reachable once Wait has started — use a fresh WaitGroup or suppress sequential "+
+				"reuse with //hipress:wgorder", c.key, c.key, wait.Line, fn.Name.Name)
+		}
+	}
+}
+
+// isWaitGroup reports whether expr has type sync.WaitGroup or a pointer to
+// it.
+func isWaitGroup(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// exprKey renders a receiver expression canonically so x.wg in two call
+// sites compares equal.
+func exprKey(fset *token.FileSet, expr ast.Expr) string {
+	var sb strings.Builder
+	printer.Fprint(&sb, fset, expr)
+	return sb.String()
+}

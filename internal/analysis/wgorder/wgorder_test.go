@@ -1,0 +1,12 @@
+package wgorder_test
+
+import (
+	"testing"
+
+	"hipress/internal/analysis/analysistest"
+	"hipress/internal/analysis/wgorder"
+)
+
+func TestWgorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wgorder.Analyzer, "a", "b", "c")
+}

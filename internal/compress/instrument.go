@@ -74,7 +74,7 @@ func (m *Instrumented) Name() string { return m.inner.Name() }
 
 // Encode implements Compressor.
 func (m *Instrumented) Encode(grad []float32) ([]byte, error) {
-	start := time.Now()
+	start := time.Now() //hipress:wallclock codec latency telemetry; never serialized
 	payload, err := m.inner.Encode(grad)
 	m.noteEncode(len(grad), payload, err, start)
 	if err != nil {
@@ -86,7 +86,7 @@ func (m *Instrumented) Encode(grad []float32) ([]byte, error) {
 // EncodeInto implements EncoderInto, forwarding to the wrapped compressor's
 // chunked kernel (or the allocating fallback).
 func (m *Instrumented) EncodeInto(dst []byte, grad []float32) ([]byte, error) {
-	start := time.Now()
+	start := time.Now() //hipress:wallclock codec latency telemetry; never serialized
 	payload, err := EncodeInto(m.inner, dst, grad)
 	m.noteEncode(len(grad), payload, err, start)
 	if err != nil {
@@ -98,7 +98,7 @@ func (m *Instrumented) EncodeInto(dst []byte, grad []float32) ([]byte, error) {
 // EncodeFused implements FusedEncoder, forwarding the fused error-feedback
 // encode.
 func (m *Instrumented) EncodeFused(dst []byte, grad, residual []float32) ([]byte, error) {
-	start := time.Now()
+	start := time.Now() //hipress:wallclock codec latency telemetry; never serialized
 	payload, err := encodeFused(m.inner, dst, grad, residual)
 	m.noteEncode(len(grad), payload, err, start)
 	if err != nil {
@@ -112,7 +112,7 @@ func (m *Instrumented) noteEncode(n int, payload []byte, err error, start time.T
 		m.errors.Inc()
 		return
 	}
-	m.encodeNs.Add(float64(time.Since(start).Nanoseconds()))
+	m.encodeNs.Add(float64(time.Since(start).Nanoseconds())) //hipress:wallclock codec latency telemetry; never serialized
 	m.encodes.Inc()
 	m.encodeElems.Add(float64(n))
 	m.rawBytes.Add(float64(4 * n))
@@ -121,7 +121,7 @@ func (m *Instrumented) noteEncode(n int, payload []byte, err error, start time.T
 
 // Decode implements Compressor.
 func (m *Instrumented) Decode(payload []byte, n int) ([]float32, error) {
-	start := time.Now()
+	start := time.Now() //hipress:wallclock codec latency telemetry; never serialized
 	out, err := m.inner.Decode(payload, n)
 	if err != nil {
 		m.errors.Inc()
@@ -133,7 +133,7 @@ func (m *Instrumented) Decode(payload []byte, n int) ([]float32, error) {
 
 // DecodeInto implements DecoderInto, forwarding to the wrapped compressor.
 func (m *Instrumented) DecodeInto(dst []float32, payload []byte) error {
-	start := time.Now()
+	start := time.Now() //hipress:wallclock codec latency telemetry; never serialized
 	if err := DecodeInto(m.inner, dst, payload); err != nil {
 		m.errors.Inc()
 		return err
@@ -146,7 +146,7 @@ func (m *Instrumented) DecodeInto(dst []float32, payload []byte) error {
 // wrapping a compressor does not silently fall back to Decode+add on the
 // live merge path.
 func (m *Instrumented) DecodeAdd(payload []byte, dst []float32) error {
-	start := time.Now()
+	start := time.Now() //hipress:wallclock codec latency telemetry; never serialized
 	if err := DecodeAdd(m.inner, payload, dst); err != nil {
 		m.errors.Inc()
 		return err
@@ -156,7 +156,7 @@ func (m *Instrumented) DecodeAdd(payload []byte, dst []float32) error {
 }
 
 func (m *Instrumented) noteDecode(n int, start time.Time) {
-	m.decodeNs.Add(float64(time.Since(start).Nanoseconds()))
+	m.decodeNs.Add(float64(time.Since(start).Nanoseconds())) //hipress:wallclock codec latency telemetry; never serialized
 	m.decodes.Inc()
 	m.decElems.Add(float64(n))
 }

@@ -345,7 +345,7 @@ func newHealthPlane(n int, cfg *HealthConfig, elastic bool, tel *telemetry.Set) 
 		cfg:     c,
 		n:       n,
 		elastic: elastic,
-		birth:   time.Now(),
+		birth:   time.Now(), //hipress:wallclock phi-detector epoch base; virtual clock injectable via cfg.Now
 		tel:     tel,
 		links:   make([]rttEstimator, n*n),
 		det:     make([]*phiDetector, n),
@@ -368,7 +368,7 @@ func (hp *healthPlane) clock() time.Duration {
 	if hp.cfg.Now != nil {
 		return hp.cfg.Now()
 	}
-	return time.Since(hp.birth)
+	return time.Since(hp.birth) //hipress:wallclock RTT/failure-detection clock, not on the result-bytes path
 }
 
 func (hp *healthPlane) seconds() float64 { return hp.clock().Seconds() }

@@ -644,7 +644,7 @@ func (r *liveRound) onPeerDead(victim int) {
 // run executes the DAG with real data under one frozen plan epoch.
 func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]float32, elems, parts map[string]int, algos map[string]string, ep PlanEpoch) ([]map[string][]float32, *RoundHealth, error) {
 	n := lc.n
-	started := time.Now()
+	started := time.Now() //hipress:wallclock round-duration telemetry for RoundHealth
 	capacity := len(g.Tasks)/n + 16
 	if lc.cfg.Reliable {
 		capacity *= 4 // duplicates and retries need headroom
@@ -871,7 +871,7 @@ func (lc *LiveCluster) run(ctx context.Context, g *Graph, grads []map[string][]f
 	r.pipe.wait()
 	r.ackWG.Wait()
 
-	health := r.rs.health(r.reliable, time.Since(started))
+	health := r.rs.health(r.reliable, time.Since(started)) //hipress:wallclock round-duration telemetry for RoundHealth
 	health.EpochVersion = ep.Version
 	health.SendWallNs = r.pipe.sendWallNs()
 	health.MaxLinkQueueDepth = int(r.pipe.maxDepth.Load())

@@ -112,7 +112,7 @@ func newSendEngine(r *liveRound, cfg PipelineConfig) *sendEngine {
 		perLink: cfg.Window > 1,
 		overlap: cfg.OverlapEncode,
 		lanes:   map[LinkKey]*sendLane{},
-		began:   time.Now(),
+		began:   time.Now(), //hipress:wallclock engine-relative monotonic base for ack latencies
 	}
 	if e.window < 1 {
 		e.window = 1
@@ -256,7 +256,7 @@ func (e *sendEngine) wait() { e.wg.Wait() }
 // sinceNs is the engine-relative monotonic clock (ns, clamped ≥ 1 so a
 // stored value is distinguishable from "never").
 func (e *sendEngine) sinceNs() int64 {
-	d := time.Since(e.began).Nanoseconds()
+	d := time.Since(e.began).Nanoseconds() //hipress:wallclock send-window latency accounting, never serialized
 	if d < 1 {
 		d = 1
 	}

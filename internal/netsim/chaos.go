@@ -230,7 +230,7 @@ func (t *ChaosTransport) Send(msg Message) error {
 		// size/bandwidth, queued FIFO behind whatever is already in flight.
 		ser := time.Duration(float64(len(msg.Payload)) / lf.Bandwidth * float64(time.Second))
 		l := Link{Src: msg.From, Dst: msg.To}
-		now := time.Now()
+		now := time.Now() //hipress:wallclock bandwidth-pipe occupancy is real-time by design
 		t.bwMu.Lock()
 		free := t.bwFree[l]
 		if free.Before(now) {

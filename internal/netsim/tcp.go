@@ -394,7 +394,7 @@ func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 	// Handshake: the stream is inadmissible until a valid HELLO advances
 	// the directed link's generation.
 	if d := t.opts.HandshakeTimeout; d > 0 {
-		conn.SetReadDeadline(time.Now().Add(d))
+		conn.SetReadDeadline(time.Now().Add(d)) //hipress:wallclock socket deadline arithmetic
 	}
 	var hello [helloLen]byte
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
@@ -434,7 +434,7 @@ func (t *TCPTransport) readLoop(node int, conn net.Conn) {
 	corrupt := 0 // consecutive undecodable frame bodies on this stream
 	for {
 		if d := t.opts.IdleReadTimeout; d > 0 {
-			conn.SetReadDeadline(time.Now().Add(d))
+			conn.SetReadDeadline(time.Now().Add(d)) //hipress:wallclock socket deadline arithmetic
 		} else {
 			conn.SetReadDeadline(time.Time{})
 		}
@@ -753,7 +753,7 @@ func (t *TCPTransport) writeFrame(tc *tcpConn, msg Message) error {
 	tc.wmu.Lock()
 	defer tc.wmu.Unlock()
 	if d := time.Duration(atomic.LoadInt64(&t.writeTimeout)); d > 0 {
-		tc.c.SetWriteDeadline(time.Now().Add(d))
+		tc.c.SetWriteDeadline(time.Now().Add(d)) //hipress:wallclock socket deadline arithmetic
 	}
 	if _, err := tc.c.Write(frame); err != nil {
 		var nerr net.Error
@@ -791,7 +791,7 @@ func (t *TCPTransport) connTo(from, to int) (*tcpConn, error) {
 	if c, ok := t.conns[key]; ok {
 		return c, nil
 	}
-	start := time.Now()
+	start := time.Now() //hipress:wallclock handshake-latency histogram
 	t.genCtr[key]++
 	gen := t.genCtr[key]
 	c, err := net.DialTimeout("tcp", t.listeners[to].Addr().String(), t.opts.DialTimeout)
@@ -801,7 +801,7 @@ func (t *TCPTransport) connTo(from, to int) (*tcpConn, error) {
 	t.count(&t.stats.Dials, MetricTCPDials, "connections dialed (including redials)")
 	c = t.chaos.wrap(c, Link{Src: from, Dst: to}, gen)
 	if d := time.Duration(atomic.LoadInt64(&t.writeTimeout)); d > 0 {
-		c.SetWriteDeadline(time.Now().Add(d))
+		c.SetWriteDeadline(time.Now().Add(d)) //hipress:wallclock socket deadline arithmetic
 	}
 	if _, err := c.Write(encodeHello(from, gen)); err != nil {
 		c.Close()
@@ -809,7 +809,7 @@ func (t *TCPTransport) connTo(from, to int) (*tcpConn, error) {
 	}
 	t.opts.Metrics.Histogram(MetricTCPHandshakeSeconds,
 		"dial + HELLO handshake latency (seconds)", telemetry.LatencyBuckets).
-		Observe(time.Since(start).Seconds())
+		Observe(time.Since(start).Seconds()) //hipress:wallclock handshake-latency histogram
 	tc := &tcpConn{c: c, gen: gen}
 	t.conns[key] = tc
 	return tc, nil
@@ -875,8 +875,8 @@ func (t *TCPTransport) Close() {
 				tc.c.Close()
 			}
 		}
-		deadline := time.Now().Add(closeDrainTimeout)
-		for time.Now().Before(deadline) {
+		deadline := time.Now().Add(closeDrainTimeout) //hipress:wallclock close-drain deadline
+		for time.Now().Before(deadline) {             //hipress:wallclock close-drain deadline
 			t.mu.Lock()
 			n := len(t.accepted)
 			t.mu.Unlock()
